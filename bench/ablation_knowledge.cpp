@@ -1,0 +1,100 @@
+// Ablation: global vs gossip (partial) knowledge (§6).
+//
+// §4 assumes "immediate global knowledge of all buffers"; §6 proposes a
+// BitTorrent-like rotating-neighbour exchange. This bench sweeps the
+// gossip fanout and reports overhead, view staleness, and the classical
+// control traffic in real encoded bytes — the §2 "classical overheads"
+// the paper says both approaches must account for.
+//
+// Usage: ablation_knowledge [--csv] [--quick]
+#include <iostream>
+#include <string>
+
+#include "common.hpp"
+#include "core/gossip.hpp"
+
+int main(int argc, char** argv) {
+  using namespace poq;
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+
+  const std::size_t nodes = 25;
+  const std::size_t requests = quick ? 30 : 100;
+  const std::uint32_t seeds = quick ? 1 : 3;
+
+  std::cout << "Ablation: knowledge model (global vs rotating gossip)\n"
+            << "(random-grid |N| = " << nodes
+            << ", D = 1, 35 consumer pairs, " << requests
+            << " requests, run to completion, mean of " << seeds << " seeds)\n\n";
+
+  util::Table table({"knowledge", "overhead(paper)", "rounds", "view age",
+                     "ctl msgs", "ctl KiB", "KiB/request"});
+
+  // Global-knowledge reference.
+  {
+    util::RunningStats overhead;
+    util::RunningStats rounds;
+    for (std::uint32_t rep = 0; rep < seeds; ++rep) {
+      const std::uint64_t seed = 5000 + rep;
+      util::Rng topo_rng(seed);
+      const graph::Graph graph = graph::make_random_connected_grid(nodes, topo_rng);
+      util::Rng workload_rng = topo_rng.fork(42);
+      const core::Workload workload =
+          core::make_uniform_workload(nodes, 35, requests, workload_rng);
+      core::BalancingConfig config;
+      config.seed = seed;
+      config.max_rounds = 400000;
+      const core::BalancingResult result =
+          core::run_balancing(graph, workload, config);
+      if (!result.completed) continue;
+      overhead.add(result.swap_overhead_paper());
+      rounds.add(static_cast<double>(result.rounds));
+    }
+    table.add_row({"global",
+                   overhead.count() ? util::format_double(overhead.mean(), 2)
+                                    : "starved",
+                   rounds.count() ? util::format_double(rounds.mean(), 0) : "-",
+                   "0.0", "0", "0.0", "0.0"});
+  }
+
+  for (const std::uint32_t fanout : {1u, 2u, 4u, 8u}) {
+    util::RunningStats overhead;
+    util::RunningStats rounds;
+    util::RunningStats age;
+    util::RunningStats messages;
+    util::RunningStats kibibytes;
+    for (std::uint32_t rep = 0; rep < seeds; ++rep) {
+      const std::uint64_t seed = 5000 + rep;
+      util::Rng topo_rng(seed);
+      const graph::Graph graph = graph::make_random_connected_grid(nodes, topo_rng);
+      util::Rng workload_rng = topo_rng.fork(42);
+      const core::Workload workload =
+          core::make_uniform_workload(nodes, 35, requests, workload_rng);
+      core::GossipConfig config;
+      config.base.seed = seed;
+      config.base.max_rounds = 400000;
+      config.fanout = fanout;
+      const core::GossipResult result = core::run_gossip(graph, workload, config);
+      if (!result.base.completed) continue;
+      overhead.add(result.base.swap_overhead_paper());
+      rounds.add(static_cast<double>(result.base.rounds));
+      age.add(result.mean_view_age);
+      messages.add(static_cast<double>(result.control_messages));
+      kibibytes.add(static_cast<double>(result.control_bytes) / 1024.0);
+    }
+    const double per_request =
+        kibibytes.count() ? kibibytes.mean() / static_cast<double>(requests) : 0.0;
+    table.add_row(
+        {"gossip-fanout-" + std::to_string(fanout),
+         overhead.count() ? util::format_double(overhead.mean(), 2) : "starved",
+         rounds.count() ? util::format_double(rounds.mean(), 0) : "-",
+         age.count() ? util::format_double(age.mean(), 1) : "-",
+         messages.count() ? util::format_double(messages.mean(), 0) : "-",
+         kibibytes.count() ? util::format_double(kibibytes.mean(), 1) : "-",
+         util::format_double(per_request, 1)});
+  }
+
+  bench::emit(table, argc, argv);
+  std::cout << "\nview age = mean staleness (rounds) of the beneficiary "
+               "counts used at swap decisions (global knowledge = 0).\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation: §6 protocol variants against the plain §4 balancer.
+//
+// Variants:
+//   * distance-penalized swapping (detour_slack in {0, 2}) — "reducing the
+//     likelihood that node i, very distant from both x and y ...
+//     implements a swap between x and y";
+//   * hybrid oblivious + minimal planning — assemble the head request by
+//     nested swapping over the entanglement graph when it is blocked.
+//
+// Usage: ablation_variants [--csv] [--quick]
+#include <iostream>
+#include <string>
+
+#include "common.hpp"
+#include "core/hybrid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace poq;
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+
+  const std::size_t nodes = 25;
+  const std::size_t requests = quick ? 40 : 120;
+  const std::uint32_t seeds = quick ? 1 : 3;
+  const std::vector<double> distillation_values =
+      quick ? std::vector<double>{1.0, 2.0} : std::vector<double>{1.0, 2.0, 3.0};
+
+  std::cout << "Ablation: Section 6 variants vs the plain max-min balancer\n"
+            << "(random-grid |N| = " << nodes << ", 35 consumer pairs, "
+            << requests << " requests, run to completion, mean of " << seeds
+            << " seeds)\n\n";
+
+  util::Table table({"D", "variant", "overhead(paper)", "mean wait", "rounds",
+                     "assists"});
+
+  struct VariantRow {
+    std::string name;
+    util::RunningStats overhead;
+    util::RunningStats wait;
+    util::RunningStats rounds;
+    util::RunningStats assists;
+  };
+
+  for (const double d : distillation_values) {
+    std::vector<VariantRow> rows;
+    rows.push_back({"plain", {}, {}, {}, {}});
+    rows.push_back({"detour-slack-0", {}, {}, {}, {}});
+    rows.push_back({"detour-slack-2", {}, {}, {}, {}});
+    rows.push_back({"hybrid", {}, {}, {}, {}});
+
+    for (std::uint32_t rep = 0; rep < seeds; ++rep) {
+      const std::uint64_t seed = 3000 + rep;
+      util::Rng topo_rng(seed);
+      const graph::Graph graph = graph::make_random_connected_grid(nodes, topo_rng);
+      util::Rng workload_rng = topo_rng.fork(42);
+      const core::Workload workload =
+          core::make_uniform_workload(nodes, 35, requests, workload_rng);
+
+      core::BalancingConfig base;
+      base.distillation = d;
+      base.seed = seed;
+      base.max_rounds = 400000;
+
+      const auto record = [&](VariantRow& row, const core::BalancingResult& result,
+                              double assists) {
+        if (!result.completed) return;
+        row.overhead.add(result.swap_overhead_paper());
+        row.wait.add(result.head_wait_rounds.mean());
+        row.rounds.add(static_cast<double>(result.rounds));
+        row.assists.add(assists);
+      };
+
+      record(rows[0], core::run_balancing(graph, workload, base), 0.0);
+
+      core::BalancingConfig tight = base;
+      tight.policy.detour_slack = 0;
+      record(rows[1], core::run_balancing(graph, workload, tight), 0.0);
+
+      core::BalancingConfig loose = base;
+      loose.policy.detour_slack = 2;
+      record(rows[2], core::run_balancing(graph, workload, loose), 0.0);
+
+      core::HybridConfig hybrid;
+      hybrid.base = base;
+      const core::HybridResult assisted = core::run_hybrid(graph, workload, hybrid);
+      record(rows[3], assisted.base,
+             static_cast<double>(assisted.assists_succeeded));
+    }
+
+    for (VariantRow& row : rows) {
+      table.add_row(
+          {util::format_double(d, 0), row.name,
+           row.overhead.count() ? util::format_double(row.overhead.mean(), 2)
+                                : "starved",
+           row.wait.count() ? util::format_double(row.wait.mean(), 1) : "-",
+           row.rounds.count() ? util::format_double(row.rounds.mean(), 0) : "-",
+           row.assists.count() ? util::format_double(row.assists.mean(), 0) : "-"});
+    }
+  }
+  bench::emit(table, argc, argv);
+  return 0;
+}

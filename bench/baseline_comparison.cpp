@@ -1,0 +1,118 @@
+// Baseline comparison: executable planned-path protocols vs the
+// path-oblivious balancer on identical workloads.
+//
+// §5 argues the swap-overhead scoring is conservative because "practical
+// planned-path approaches need not always take the shortest swapping
+// path" and the balancer's leftover swaps remain useful. This bench runs
+// the connection-oriented ([20]-style) and connectionless ([32]-style)
+// baselines and the balancer on the same finite request sequences and
+// reports swap overhead (both denominators) and service latency.
+//
+// Usage: baseline_comparison [--csv] [--quick]
+#include <iostream>
+#include <string>
+
+#include "common.hpp"
+#include "core/planned_path.hpp"
+
+int main(int argc, char** argv) {
+  using namespace poq;
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+
+  const std::size_t nodes = 25;
+  const std::size_t requests = quick ? 40 : 120;
+  const std::uint32_t seeds = quick ? 1 : 3;
+  const std::vector<double> distillation_values =
+      quick ? std::vector<double>{1.0, 2.0} : std::vector<double>{1.0, 2.0, 3.0};
+
+  std::cout << "Planned-path baselines vs path-oblivious balancing\n"
+            << "(random-grid |N| = " << nodes << ", 35 consumer pairs, "
+            << requests << " in-order requests, run to completion, mean of "
+            << seeds << " seeds)\n\n";
+
+  util::Table table({"D", "protocol", "overhead(paper)", "overhead(exact)",
+                     "mean wait [rounds]", "rounds"});
+
+  for (const double d : distillation_values) {
+    util::RunningStats balancer_paper;
+    util::RunningStats balancer_exact;
+    util::RunningStats balancer_wait;
+    util::RunningStats balancer_rounds;
+    util::RunningStats oriented_paper;
+    util::RunningStats oriented_exact;
+    util::RunningStats oriented_wait;
+    util::RunningStats oriented_rounds;
+    util::RunningStats connless_paper;
+    util::RunningStats connless_exact;
+    util::RunningStats connless_wait;
+    util::RunningStats connless_rounds;
+
+    for (std::uint32_t rep = 0; rep < seeds; ++rep) {
+      const std::uint64_t seed = 2000 + rep;
+      util::Rng topo_rng(seed);
+      const graph::Graph graph = graph::make_random_connected_grid(nodes, topo_rng);
+      util::Rng workload_rng = topo_rng.fork(42);
+      const core::Workload workload =
+          core::make_uniform_workload(nodes, 35, requests, workload_rng);
+
+      core::BalancingConfig balancing;
+      balancing.distillation = d;
+      balancing.seed = seed;
+      balancing.max_rounds = 400000;
+      const core::BalancingResult oblivious =
+          core::run_balancing(graph, workload, balancing);
+      if (oblivious.completed) {
+        balancer_paper.add(oblivious.swap_overhead_paper());
+        balancer_exact.add(oblivious.swap_overhead_exact());
+        balancer_wait.add(oblivious.head_wait_rounds.mean());
+        balancer_rounds.add(static_cast<double>(oblivious.rounds));
+      }
+
+      core::PlannedPathConfig oriented;
+      oriented.distillation = d;
+      oriented.seed = seed;
+      oriented.window = 4;
+      const core::PlannedPathResult reserved =
+          core::run_planned_path(graph, workload, oriented);
+      if (reserved.completed) {
+        oriented_paper.add(reserved.swap_overhead_paper());
+        oriented_exact.add(reserved.swap_overhead_exact());
+        oriented_wait.add(reserved.service_rounds.mean());
+        oriented_rounds.add(static_cast<double>(reserved.rounds));
+      }
+
+      core::PlannedPathConfig connless = oriented;
+      connless.mode = core::PlannedPathMode::kConnectionless;
+      const core::PlannedPathResult competing =
+          core::run_planned_path(graph, workload, connless);
+      if (competing.completed) {
+        connless_paper.add(competing.swap_overhead_paper());
+        connless_exact.add(competing.swap_overhead_exact());
+        connless_wait.add(competing.service_rounds.mean());
+        connless_rounds.add(static_cast<double>(competing.rounds));
+      }
+    }
+
+    const auto emit_row = [&](const std::string& name, util::RunningStats& paper,
+                              util::RunningStats& exact, util::RunningStats& wait,
+                              util::RunningStats& rounds) {
+      table.add_row({util::format_double(d, 0), name,
+                     paper.count() ? util::format_double(paper.mean(), 2) : "n/a",
+                     exact.count() ? util::format_double(exact.mean(), 2) : "n/a",
+                     wait.count() ? util::format_double(wait.mean(), 1) : "n/a",
+                     rounds.count() ? util::format_double(rounds.mean(), 0) : "n/a"});
+    };
+    emit_row("oblivious", balancer_paper, balancer_exact, balancer_wait,
+             balancer_rounds);
+    emit_row("conn-oriented", oriented_paper, oriented_exact, oriented_wait,
+             oriented_rounds);
+    emit_row("connectionless", connless_paper, connless_exact, connless_wait,
+             connless_rounds);
+  }
+  bench::emit(table, argc, argv);
+  std::cout << "\nPlanned-path protocols execute the exact nested schedule, so "
+               "their overhead(exact) is 1.00 by construction;\n"
+               "overhead(paper) > 1 for them quantifies how much the paper's "
+               "published s() recurrence undercounts true nested cost.\n";
+  return 0;
+}

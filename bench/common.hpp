@@ -1,0 +1,107 @@
+// Shared experiment harness helpers for the figure benches.
+//
+// Protocol (matching §5's semantics): a fixed simulated-time budget, a
+// request backlog that never drains, strict in-order satisfaction, and the
+// swap-overhead ratio computed over the consumption events that were
+// satisfied ("the sum over c covers all consumption events that were
+// satisfied in simulation"). Cells average several independent
+// topology/workload draws; cells whose runs satisfied nothing are
+// reported as starved.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/balancing_sim.hpp"
+#include "core/workload.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace poq::bench {
+
+/// The paper's §5 setup: 35 consumer pairs, in-order request sequence.
+struct FigureSetup {
+  std::size_t consumer_pairs = 35;
+  /// Backlog length; large enough that the sequence never drains within
+  /// the round budget.
+  std::size_t backlog = 1000000;
+  /// Fixed simulated-round budget per run.
+  std::uint32_t round_budget = 6000;
+  std::uint32_t seeds = 3;  // repetitions averaged per cell
+};
+
+struct CellResult {
+  util::RunningStats overhead_paper;
+  util::RunningStats overhead_exact;
+  util::RunningStats satisfied;
+  std::uint32_t starved_runs = 0;  // runs that satisfied nothing costed
+};
+
+/// One figure cell: balancing on `family` over n nodes at distillation D,
+/// averaged over `setup.seeds` independent topology/workload draws.
+inline CellResult run_balancing_cell(graph::TopologyFamily family, std::size_t n,
+                                     double distillation, const FigureSetup& setup,
+                                     std::uint64_t base_seed = 1000) {
+  CellResult cell;
+  for (std::uint32_t rep = 0; rep < setup.seeds; ++rep) {
+    const std::uint64_t seed = base_seed + rep;
+    util::Rng topo_rng(seed);
+    const graph::Graph graph = graph::make_topology(family, n, topo_rng);
+    util::Rng workload_rng = topo_rng.fork(42);
+    // The paper draws 35 consumer pairs from all C(n,2) pairs; n = 9
+    // cannot support that many, so clamp.
+    const std::size_t max_pairs = n * (n - 1) / 2;
+    const core::Workload workload = core::make_uniform_workload(
+        n, std::min(setup.consumer_pairs, max_pairs), setup.backlog, workload_rng);
+    core::BalancingConfig config;
+    config.distillation = distillation;
+    config.seed = seed;
+    config.max_rounds = setup.round_budget;
+    const core::BalancingResult result =
+        core::run_balancing(graph, workload, config);
+    cell.satisfied.add(static_cast<double>(result.requests_satisfied));
+    if (result.denominator_paper <= 0.0) {
+      ++cell.starved_runs;
+      continue;
+    }
+    cell.overhead_paper.add(result.swap_overhead_paper());
+    cell.overhead_exact.add(result.swap_overhead_exact());
+  }
+  return cell;
+}
+
+/// Format a cell mean, flagging starved repetitions.
+inline std::string cell_text(const CellResult& cell, bool exact = false) {
+  if (cell.overhead_paper.count() == 0) return "starved";
+  const auto& stats = exact ? cell.overhead_exact : cell.overhead_paper;
+  std::string text = util::format_double(stats.mean(), 2);
+  if (cell.starved_runs > 0) text += "*";
+  return text;
+}
+
+/// Emit table and optional CSV based on argv.
+inline void emit(const util::Table& table, int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") csv = true;
+  }
+  if (csv) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+}
+
+[[maybe_unused]] inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace poq::bench

@@ -1,0 +1,147 @@
+// §3 LP reproduction: the path-oblivious steady-state program under every
+// §3.3 objective, with the §3.2 extensions (distillation D, survival L,
+// QEC thinning R).
+//
+// The paper presents the LP as the asymptotic-capability analysis tool; it
+// reports no LP table of its own, so this harness prints the quantities
+// the formulation defines: achieved objective, total generation /
+// consumption / swap rates, solver effort, and a locality profile of the
+// chosen swap rates (how far the swapping repeater sits from the pair it
+// serves — path-obliviousness made visible).
+//
+// Usage: lp_steady_state [--csv] [--quick]
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "common.hpp"
+#include "core/lp_formulation.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace {
+
+using namespace poq;
+
+core::SteadyStateSpec make_spec(const graph::Graph& graph, double capacity,
+                                const std::vector<core::NodePair>& demands,
+                                double kappa) {
+  core::SteadyStateSpec spec;
+  spec.node_count = graph.node_count();
+  for (const graph::Edge& edge : graph.edges()) {
+    spec.generation_capacity.push_back(
+        core::RatedPair{core::NodePair(edge.a(), edge.b()), capacity});
+  }
+  for (const core::NodePair& pair : demands) {
+    spec.demand.push_back(core::RatedPair{pair, kappa});
+  }
+  return spec;
+}
+
+std::string objective_name(core::SteadyStateObjective objective) {
+  switch (objective) {
+    case core::SteadyStateObjective::kMinTotalGeneration: return "min sum g";
+    case core::SteadyStateObjective::kMinMaxGeneration: return "min max g";
+    case core::SteadyStateObjective::kMaxTotalConsumption: return "max sum c";
+    case core::SteadyStateObjective::kMaxMinConsumption: return "max min c";
+    case core::SteadyStateObjective::kMaxConcurrentScale: return "max alpha";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const std::size_t nodes = quick ? 9 : 16;
+
+  util::Rng topo_rng(7);
+  const graph::Graph graph = graph::make_random_connected_grid(nodes, topo_rng);
+  util::Rng demand_rng = topo_rng.fork(13);
+  const core::Workload workload = core::make_uniform_workload(
+      nodes, quick ? 4 : 8, 1, demand_rng);
+
+  std::cout << "Section 3 steady-state LP on a random-grid generation graph\n"
+            << "(|N| = " << nodes << ", gamma = 1 per generation edge, "
+            << workload.pairs.size() << " demand pairs, kappa = 0.25 each)\n\n";
+
+  // --- all objectives, base parameters ---
+  util::Table objectives_table({"objective", "status", "objective value",
+                                "sum g", "sum c", "sum sigma", "iters [ms]"});
+  for (const auto objective :
+       {core::SteadyStateObjective::kMinTotalGeneration,
+        core::SteadyStateObjective::kMinMaxGeneration,
+        core::SteadyStateObjective::kMaxTotalConsumption,
+        core::SteadyStateObjective::kMaxMinConsumption,
+        core::SteadyStateObjective::kMaxConcurrentScale}) {
+    const core::SteadyStateLp lp(make_spec(graph, 1.0, workload.pairs, 0.25));
+    const auto start = std::chrono::steady_clock::now();
+    const core::SteadyStateSolution solution = lp.solve(objective);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    objectives_table.add_row(
+        {objective_name(objective), lp::status_name(solution.status),
+         util::format_double(solution.objective, 4),
+         util::format_double(solution.total_generation, 3),
+         util::format_double(solution.total_consumption, 3),
+         util::format_double(solution.total_swap_rate, 3),
+         util::format_double(elapsed, 1)});
+  }
+  bench::emit(objectives_table, argc, argv);
+
+  // --- Section 3.2 extensions: D, L, R sweeps under min-total-generation ---
+  std::cout << "\nSection 3.2 extensions (min sum g; demand fixed at kappa = "
+               "0.05 so high-D cases stay feasible):\n\n";
+  util::Table extension_table({"D", "L", "R(QEC)", "status", "sum g", "sum sigma"});
+  const double kappa = 0.05;
+  struct Case {
+    double d, l, r;
+  };
+  for (const Case c : {Case{1, 1, 1}, Case{2, 1, 1}, Case{3, 1, 1},
+                       Case{1, 0.8, 1}, Case{1, 0.5, 1}, Case{1, 1, 2},
+                       Case{1, 1, 4}, Case{2, 0.8, 2}}) {
+    core::SteadyStateSpec spec = make_spec(graph, 50.0, workload.pairs, kappa);
+    spec.distillation = core::PairMatrix(c.d);
+    spec.survival = core::PairMatrix(c.l);
+    spec.qec_overhead = c.r;
+    const core::SteadyStateLp lp(std::move(spec));
+    const core::SteadyStateSolution solution =
+        lp.solve(core::SteadyStateObjective::kMinTotalGeneration);
+    extension_table.add_row({util::format_double(c.d, 0),
+                             util::format_double(c.l, 2),
+                             util::format_double(c.r, 0),
+                             lp::status_name(solution.status),
+                             util::format_double(solution.total_generation, 3),
+                             util::format_double(solution.total_swap_rate, 3)});
+  }
+  bench::emit(extension_table, argc, argv);
+
+  // --- swap locality profile: how path-oblivious is the optimum? ---
+  std::cout << "\nSwap locality at the min-generation optimum (distance of "
+               "the repeater i from the served pair (x,y)):\n\n";
+  const core::SteadyStateLp lp(make_spec(graph, 1.0, workload.pairs, 0.25));
+  const core::SteadyStateSolution solution =
+      lp.solve(core::SteadyStateObjective::kMinTotalGeneration);
+  const auto distances = graph::all_pairs_distances(graph);
+  util::Table locality({"repeater detour (hops)", "swap rate share"});
+  std::vector<double> by_detour(16, 0.0);
+  double total = 0.0;
+  for (const core::SwapRate& swap : solution.swap_rates) {
+    const std::uint32_t via = distances[swap.pair.first][swap.repeater] +
+                              distances[swap.repeater][swap.pair.second];
+    const std::uint32_t direct = distances[swap.pair.first][swap.pair.second];
+    const std::size_t detour = std::min<std::size_t>(via - direct, 15);
+    by_detour[detour] += swap.rate;
+    total += swap.rate;
+  }
+  for (std::size_t detour = 0; detour < by_detour.size(); ++detour) {
+    if (by_detour[detour] <= 0.0) continue;
+    locality.add_row({std::to_string(detour),
+                      util::format_double(by_detour[detour] / total, 3)});
+  }
+  bench::emit(locality, argc, argv);
+  std::cout << "\n(detour 0 = repeater on a shortest x-y path; the optimum "
+               "may legitimately use off-path repeaters when edges "
+               "congest.)\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks for poqnet's hot kernels (google-benchmark).
+//
+// These guard the costs that dominate the figure harnesses: the §4
+// best-swap scan, ledger updates, shortest paths, the simplex solver and
+// the statevector kernels.
+#include <benchmark/benchmark.h>
+
+#include "core/balancing_sim.hpp"
+#include "core/ledger.hpp"
+#include "core/lp_formulation.hpp"
+#include "core/maxmin_balancer.hpp"
+#include "core/workload.hpp"
+#include "graph/shortest_path.hpp"
+#include "graph/topology.hpp"
+#include "quantum/circuits.hpp"
+#include "quantum/gates.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace poq;
+
+void BM_LedgerAddRemove(benchmark::State& state) {
+  core::PairLedger ledger(64);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto x = static_cast<core::NodeId>(rng.uniform_index(64));
+    auto y = static_cast<core::NodeId>(rng.uniform_index(64));
+    if (y == x) y = (y + 1) % 64;
+    ledger.add(x, y);
+    ledger.remove(x, y);
+  }
+}
+BENCHMARK(BM_LedgerAddRemove);
+
+void BM_BestSwapScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::PairLedger ledger(n);
+  util::Rng rng(7);
+  // Dense-ish ledger: every node entangled with ~n/2 partners.
+  for (core::NodeId x = 0; x < n; ++x) {
+    for (core::NodeId y = x + 1; y < n; ++y) {
+      if (rng.bernoulli(0.5)) ledger.add(x, y, 1 + static_cast<std::uint32_t>(rng.uniform_index(5)));
+    }
+  }
+  const core::MaxMinBalancer balancer((core::DistillationMatrix(1.0)));
+  core::NodeId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balancer.best_swap(ledger, node));
+    node = (node + 1) % static_cast<core::NodeId>(n);
+  }
+}
+BENCHMARK(BM_BestSwapScan)->Arg(25)->Arg(49)->Arg(100);
+
+void BM_BalancingRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng topo_rng(3);
+  const graph::Graph graph = graph::make_random_connected_grid(n, topo_rng);
+  util::Rng workload_rng(5);
+  const core::Workload workload = core::make_uniform_workload(
+      n, std::min<std::size_t>(35, n * (n - 1) / 2), 1000000, workload_rng);
+  core::BalancingConfig config;
+  core::BalancingSimulation sim(graph, workload, config);
+  for (auto _ : state) {
+    sim.step_round();
+  }
+}
+BENCHMARK(BM_BalancingRound)->Arg(25)->Arg(49);
+
+void BM_AllPairsBfs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph graph = graph::make_torus_grid(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::all_pairs_distances(graph));
+  }
+}
+BENCHMARK(BM_AllPairsBfs)->Arg(25)->Arg(100);
+
+void BM_SteadyStateLpMinGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SteadyStateSpec spec;
+  spec.node_count = n;
+  const graph::Graph graph = graph::make_cycle(n);
+  for (const graph::Edge& edge : graph.edges()) {
+    spec.generation_capacity.push_back(
+        core::RatedPair{core::NodePair(edge.a(), edge.b()), 100.0});
+  }
+  spec.demand.push_back(core::RatedPair{core::NodePair(0, static_cast<core::NodeId>(n / 2)), 1.0});
+  const core::SteadyStateLp lp(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp.solve(core::SteadyStateObjective::kMinTotalGeneration));
+  }
+}
+BENCHMARK(BM_SteadyStateLpMinGeneration)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_StatevectorCnotLadder(benchmark::State& state) {
+  const auto qubits = static_cast<unsigned>(state.range(0));
+  quantum::Statevector sv(qubits);
+  sv.apply(quantum::gates::hadamard(), 0);
+  for (auto _ : state) {
+    for (unsigned q = 0; q + 1 < qubits; ++q) sv.apply_cnot(q, q + 1);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_StatevectorCnotLadder)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_SwapChainFourHops(benchmark::State& state) {
+  util::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantum::swap_chain(4, {2, 1, 3}, rng));
+  }
+}
+BENCHMARK(BM_SwapChainFourHops);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Scaling down the control plane: balancing with BitTorrent-style
+// rotating-neighbour gossip instead of global buffer knowledge (§6),
+// with the classical overhead measured in real encoded bytes (§2).
+//
+//   ./build/examples/gossip_grid
+#include <iostream>
+
+#include "core/gossip.hpp"
+#include "core/workload.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace poq;
+
+  util::Rng rng(77);
+  const graph::Graph graph = graph::make_random_connected_grid(49, rng);
+  util::Rng workload_rng = rng.fork(3);
+  const core::Workload workload = core::make_uniform_workload(49, 35, 80, workload_rng);
+
+  std::cout << "7x7 random-grid, 35 consumer pairs, 80 in-order requests\n\n";
+
+  // Global-knowledge reference (the paper's §4 assumption).
+  core::BalancingConfig base;
+  base.seed = 5;
+  base.max_rounds = 100000;
+  const core::BalancingResult global = core::run_balancing(graph, workload, base);
+  std::cout << "global knowledge:   rounds=" << global.rounds << "  overhead="
+            << util::format_double(global.swap_overhead_paper(), 2)
+            << "  control bytes=0 (assumed free)\n";
+
+  // Gossip with increasing fanout: each node sends its count row to
+  // `fanout` rotating peers plus one random optimistic peer per round;
+  // messages travel with per-hop latency, so views are stale.
+  for (const std::uint32_t fanout : {1u, 3u, 6u}) {
+    core::GossipConfig config;
+    config.base = base;
+    config.fanout = fanout;
+    const core::GossipResult result = core::run_gossip(graph, workload, config);
+    std::cout << "gossip fanout " << fanout << ":    rounds="
+              << result.base.rounds << "  overhead="
+              << util::format_double(result.base.swap_overhead_paper(), 2)
+              << "  view age="
+              << util::format_double(result.mean_view_age, 1) << " rounds"
+              << "  control="
+              << util::format_double(
+                     static_cast<double>(result.control_bytes) / 1024.0, 1)
+              << " KiB ("
+              << result.control_messages << " msgs)\n";
+  }
+
+  std::cout << "\nStale views cost extra swaps (mis-targeted balancing) but "
+               "the protocol still completes;\nfanout trades classical "
+               "bandwidth against balancing efficiency - the §6 conjecture "
+               "made measurable.\n";
+  return 0;
+}

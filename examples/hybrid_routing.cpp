@@ -1,0 +1,71 @@
+// Starvation and the §6 hybrid fix.
+//
+// The paper observed that "consumption requests between nodes who are
+// close on the generation graph would usurp the Bell pairs needed to form
+// the longer paths" and proposed hybrid oblivious + minimal planning: when
+// the head request is blocked, assemble it by nested swapping over a
+// shortest path in the *entanglement* graph. This example builds a
+// workload that interleaves one far pair with many near pairs and compares
+// the plain balancer against the hybrid.
+//
+//   ./build/examples/hybrid_routing
+#include <iostream>
+
+#include "core/hybrid.hpp"
+#include "core/workload.hpp"
+#include "graph/topology.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace poq;
+
+  const graph::Graph graph = graph::make_cycle(16);
+
+  // Far pair (0, 8) is diameter-distant; near pairs are adjacent. The
+  // sequence hammers near pairs and sprinkles far requests between them.
+  core::Workload workload;
+  workload.pairs = {core::NodePair(0, 8), core::NodePair(3, 4),
+                    core::NodePair(10, 11), core::NodePair(6, 7)};
+  for (int block = 0; block < 12; ++block) {
+    workload.sequence.push_back(0);  // the far request
+    for (std::uint32_t near = 1; near <= 3; ++near) {
+      workload.sequence.push_back(near);
+      workload.sequence.push_back(near);
+    }
+  }
+  std::cout << "cycle |N| = 16; " << workload.request_count()
+            << " requests; far pair (0,8) at distance 8 interleaved with "
+               "adjacent pairs\n\n";
+
+  core::BalancingConfig base;
+  base.seed = 11;
+  base.distillation = 1.0;
+  base.max_rounds = 100000;
+
+  const core::BalancingResult plain = core::run_balancing(graph, workload, base);
+  std::cout << "plain balancer:  rounds=" << plain.rounds
+            << "  mean head wait=" << util::format_double(plain.head_wait_rounds.mean(), 1)
+            << "  max head wait=" << util::format_double(plain.head_wait_rounds.max(), 0)
+            << "  overhead=" << util::format_double(plain.swap_overhead_paper(), 2)
+            << '\n';
+
+  core::HybridConfig hybrid;
+  hybrid.base = base;
+  hybrid.max_assist_hops = 8;
+  const core::HybridResult assisted = core::run_hybrid(graph, workload, hybrid);
+  std::cout << "hybrid (assist): rounds=" << assisted.base.rounds << "  mean head wait="
+            << util::format_double(assisted.base.head_wait_rounds.mean(), 1)
+            << "  max head wait="
+            << util::format_double(assisted.base.head_wait_rounds.max(), 0)
+            << "  overhead="
+            << util::format_double(assisted.base.swap_overhead_paper(), 2) << '\n';
+  std::cout << "  assists attempted=" << assisted.assists_attempted
+            << " succeeded=" << assisted.assists_succeeded
+            << " extra swaps=" << util::format_double(assisted.assist_swaps, 0)
+            << '\n';
+
+  std::cout << "\nThe hybrid satisfies blocked far requests from pairs the "
+               "balancer already seeded nearby,\ntrading a few extra swaps "
+               "for much lower head-of-line waiting.\n";
+  return 0;
+}

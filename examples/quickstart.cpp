@@ -1,0 +1,57 @@
+// Quickstart: build a quantum network, balance Bell pairs path-obliviously,
+// serve teleportation demand, and read the paper's swap-overhead metric.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "core/balancing_sim.hpp"
+#include "core/workload.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace poq;
+
+  // 1. A generation graph: which node pairs can create Bell pairs directly.
+  //    Here: the paper's randomly-connected wraparound grid over 25 nodes.
+  util::Rng rng(/*seed=*/2025);
+  const graph::Graph generation_graph = graph::make_random_connected_grid(25, rng);
+  std::cout << "generation graph: " << generation_graph.node_count() << " nodes, "
+            << generation_graph.edge_count() << " generation edges\n";
+
+  // 2. A consumption workload: 35 consumer pairs drawn from all 300
+  //    possible pairs, and 200 in-order teleportation requests over them.
+  util::Rng workload_rng = rng.fork(1);
+  const core::Workload workload =
+      core::make_uniform_workload(25, 35, 200, workload_rng);
+  std::cout << "workload: " << workload.pairs.size() << " consumer pairs, "
+            << workload.request_count() << " requests\n";
+
+  // 3. Run the path-oblivious max-min balancer (paper §4/§5): per round,
+  //    every generation edge emits a Bell pair, every node performs its
+  //    best *preferable* swap, and the head-of-line request consumes as
+  //    soon as its pair count covers the distillation cost.
+  core::BalancingConfig config;
+  config.distillation = 1.0;  // the paper's D knob
+  config.seed = 7;
+  const core::BalancingResult result =
+      core::run_balancing(generation_graph, workload, config);
+
+  // 4. Read the results.
+  std::cout << "\ncompleted: " << (result.completed ? "yes" : "no") << '\n'
+            << "rounds: " << result.rounds << '\n'
+            << "Bell pairs generated: " << result.pairs_generated << '\n'
+            << "swaps performed: " << result.swaps_performed << '\n'
+            << "swap overhead (paper s):  "
+            << util::format_double(result.swap_overhead_paper(), 2) << '\n'
+            << "swap overhead (exact s):  "
+            << util::format_double(result.swap_overhead_exact(), 2) << '\n'
+            << "mean head-of-line wait:   "
+            << util::format_double(result.head_wait_rounds.mean(), 1)
+            << " rounds\n";
+  std::cout << "\nAn overhead of k means the balancer performed k swaps for "
+               "every swap an oracle running\nnested swapping over shortest "
+               "paths would need for the same satisfied requests.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "core/balancing_sim.hpp"
+
+#include <cmath>
+
+#include "core/nested.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/error.hpp"
+
+namespace poq::core {
+
+namespace {
+
+/// Probabilistic rounding of a fractional amount.
+std::uint32_t rounded_amount(double value, util::Rng& rng) {
+  const double floor_part = std::floor(value);
+  auto amount = static_cast<std::uint32_t>(floor_part);
+  const double frac = value - floor_part;
+  if (frac > 0.0 && rng.bernoulli(frac)) ++amount;
+  return amount;
+}
+
+}  // namespace
+
+BalancingSimulation::BalancingSimulation(const graph::Graph& generation_graph,
+                                         const Workload& workload,
+                                         const BalancingConfig& config)
+    : generation_graph_(generation_graph),
+      workload_(workload),
+      config_(config),
+      distances_(graph::all_pairs_distances(generation_graph)),
+      ledger_(generation_graph.node_count()),
+      balancer_(DistillationMatrix(config.distillation), config.policy, &distances_),
+      generation_rng_(util::Rng(config.seed).fork(1)),
+      swap_rng_(util::Rng(config.seed).fork(2)),
+      consume_rng_(util::Rng(config.seed).fork(3)) {
+  require(config.distillation >= 0.0, "BalancingConfig: D must be >= 0");
+  require(config.generation_per_edge_per_round >= 0.0,
+          "BalancingConfig: generation rate must be >= 0");
+  require(generation_graph.node_count() >= 3,
+          "BalancingSimulation: need at least 3 nodes to swap");
+  for (const NodePair& pair : workload.pairs) {
+    require(pair.second < generation_graph.node_count(),
+            "BalancingSimulation: workload references unknown node");
+    require(distances_[pair.first][pair.second] != graph::kUnreachable,
+            "BalancingSimulation: consumer pair disconnected");
+  }
+}
+
+bool BalancingSimulation::finished() const {
+  return head_ >= workload_.request_count() || result_.rounds >= config_.max_rounds;
+}
+
+void BalancingSimulation::begin_round() { ++result_.rounds; }
+
+void BalancingSimulation::generation_phase() {
+  for (const graph::Edge& edge : generation_graph_.edges()) {
+    const std::uint32_t amount =
+        rounded_amount(config_.generation_per_edge_per_round, generation_rng_);
+    if (amount == 0) continue;
+    ledger_.add(edge.a(), edge.b(), amount);
+    result_.pairs_generated += amount;
+  }
+}
+
+void BalancingSimulation::swap_phase() {
+  const auto first =
+      static_cast<NodeId>(result_.rounds % generation_graph_.node_count());
+  const SweepStats stats = run_swap_sweep(
+      balancer_, ledger_, first, config_.swaps_per_node_per_round, swap_rng_);
+  result_.swaps_performed += stats.swaps;
+  result_.pairs_spent_on_swaps += stats.pairs_consumed;
+  result_.pairs_produced_by_swaps += stats.pairs_produced;
+}
+
+void BalancingSimulation::consumption_phase() {
+  while (head_ < workload_.request_count()) {
+    const NodePair& pair = workload_.request(head_);
+    const double need = balancer_.distillation().at(pair.first, pair.second);
+    // A consumption event uses (and destroys) D_{x,y} pairs (§3.2's r-).
+    const auto need_ceiling = static_cast<std::uint32_t>(std::ceil(need));
+    if (ledger_.count(pair.first, pair.second) < std::max(1u, need_ceiling)) break;
+    const std::uint32_t amount =
+        std::max(1u, rounded_amount(need, consume_rng_));
+    ledger_.remove(pair.first, pair.second,
+                   std::min(amount, ledger_.count(pair.first, pair.second)));
+    result_.pairs_consumed += amount;
+    ++result_.requests_satisfied;
+    const std::uint32_t hops = distances_[pair.first][pair.second];
+    result_.denominator_paper += nested_swap_cost_paper(hops, config_.distillation);
+    result_.denominator_exact += nested_swap_cost_exact(hops, config_.distillation);
+    result_.head_wait_rounds.add(static_cast<double>(result_.rounds - head_since_));
+    ++head_;
+    head_since_ = result_.rounds;
+  }
+  if (head_ >= workload_.request_count()) result_.completed = true;
+}
+
+void BalancingSimulation::step_round() {
+  begin_round();
+  generation_phase();
+  swap_phase();
+  consumption_phase();
+}
+
+BalancingResult BalancingSimulation::run() {
+  // Requests may already be satisfiable at round 0 (e.g. adjacent pairs
+  // after the first generation round); the loop handles that naturally.
+  while (!finished()) step_round();
+  return result_;
+}
+
+BalancingResult run_balancing(const graph::Graph& generation_graph,
+                              const Workload& workload,
+                              const BalancingConfig& config) {
+  BalancingSimulation simulation(generation_graph, workload, config);
+  return simulation.run();
+}
+
+}  // namespace poq::core

@@ -1,0 +1,338 @@
+#include "core/distributed.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/shortest_path.hpp"
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace poq::core {
+
+namespace {
+
+using QubitId = std::uint64_t;
+constexpr QubitId kDead = UINT64_MAX;
+
+/// Ground truth: qubits never move; entanglement is a symmetric partner
+/// relation that swaps rewire and measurements sever.
+class Truth {
+ public:
+  QubitId create(NodeId holder) {
+    holders_.push_back(holder);
+    partners_.push_back(kDead);
+    return holders_.size() - 1;
+  }
+
+  void entangle(QubitId a, QubitId b) {
+    partners_[a] = b;
+    partners_[b] = a;
+  }
+
+  void measure(QubitId q) {
+    if (partners_[q] != kDead) partners_[partners_[q]] = kDead;
+    partners_[q] = kDead;
+  }
+
+  [[nodiscard]] QubitId partner(QubitId q) const { return partners_[q]; }
+  [[nodiscard]] bool alive(QubitId q) const { return partners_[q] != kDead; }
+  [[nodiscard]] NodeId holder(QubitId q) const { return holders_[q]; }
+
+ private:
+  std::vector<NodeId> holders_;
+  std::vector<QubitId> partners_;
+};
+
+/// What one node believes about the qubits it holds.
+struct Belief {
+  NodeId partner_node = 0;
+  QubitId partner_qubit = kDead;
+};
+
+class NodeState {
+ public:
+  explicit NodeState(std::size_t node_count) : by_partner_(node_count) {}
+
+  void learn(QubitId qubit, NodeId partner_node, QubitId partner_qubit) {
+    forget(qubit);
+    beliefs_[qubit] = Belief{partner_node, partner_qubit};
+    by_partner_[partner_node].push_back(qubit);
+  }
+
+  void forget(QubitId qubit) {
+    const auto it = beliefs_.find(qubit);
+    if (it == beliefs_.end()) return;
+    auto& list = by_partner_[it->second.partner_node];
+    list.erase(std::find(list.begin(), list.end(), qubit));
+    beliefs_.erase(it);
+  }
+
+  [[nodiscard]] bool knows(QubitId qubit) const { return beliefs_.contains(qubit); }
+
+  [[nodiscard]] const Belief* belief(QubitId qubit) const {
+    const auto it = beliefs_.find(qubit);
+    return it == beliefs_.end() ? nullptr : &it->second;
+  }
+
+  /// Believed count of pairs shared with `partner`, excluding `locked`.
+  [[nodiscard]] std::uint32_t count(NodeId partner, QubitId locked) const {
+    const auto& list = by_partner_[partner];
+    auto size = static_cast<std::uint32_t>(list.size());
+    if (locked != kDead &&
+        std::find(list.begin(), list.end(), locked) != list.end()) {
+      --size;
+    }
+    return size;
+  }
+
+  /// First believed qubit toward `partner` that is not `locked`.
+  [[nodiscard]] QubitId pick(NodeId partner, QubitId locked) const {
+    for (QubitId q : by_partner_[partner]) {
+      if (q != locked) return q;
+    }
+    return kDead;
+  }
+
+  /// Partners with at least one believed pair.
+  [[nodiscard]] std::vector<NodeId> partners(QubitId locked) const {
+    std::vector<NodeId> result;
+    for (NodeId y = 0; y < by_partner_.size(); ++y) {
+      if (count(y, locked) > 0) result.push_back(y);
+    }
+    return result;
+  }
+
+ private:
+  std::unordered_map<QubitId, Belief> beliefs_;
+  std::vector<std::vector<QubitId>> by_partner_;
+};
+
+}  // namespace
+
+DistributedResult run_distributed(const graph::Graph& generation_graph,
+                                  const Workload& workload,
+                                  const DistributedConfig& config) {
+  const auto n = static_cast<NodeId>(generation_graph.node_count());
+  require(n >= 3, "run_distributed: need at least 3 nodes");
+  require(config.latency_per_hop >= 0.0, "run_distributed: negative latency");
+
+  sim::Engine engine(config.seed);
+  util::Rng decision_rng = engine.rng().fork(0xD157);
+  Truth truth;
+  DistributedResult result;
+
+  const auto distances = graph::all_pairs_distances(generation_graph);
+  std::vector<NodeState> nodes(n, NodeState(n));
+
+  // Count views: view_count[x][reporter*n + peer], refreshed by CountUpdate.
+  std::vector<std::vector<std::uint32_t>> view_count(
+      n, std::vector<std::uint32_t>(static_cast<std::size_t>(n) * n, 0));
+  std::vector<std::vector<double>> view_time(n, std::vector<double>(n, 0.0));
+
+  // Consumption handshake state (head-of-line, so at most one in flight).
+  std::size_t head = 0;
+  double head_since = 0.0;
+  QubitId offered_qubit = kDead;  // initiator's locked qubit
+  bool offer_in_flight = false;
+
+  const auto account = [&result](const net::Message& message) {
+    ++result.control_messages;
+    result.control_bytes += net::encoded_size(message);
+  };
+  const auto latency = [&](NodeId a, NodeId b) {
+    return std::max(1e-9, config.latency_per_hop * distances[a][b]);
+  };
+
+  // --- message handlers -----------------------------------------------
+  const auto deliver_pair_update = [&](const net::PairUpdate& update) {
+    NodeState& node = nodes[update.to];
+    // Obsolete if the recipient already measured this qubit itself.
+    if (!node.knows(update.qubit)) return;
+    node.learn(update.qubit, update.new_partner, update.new_partner_qubit);
+  };
+
+  std::function<void()> try_offer;  // forward declaration for retries
+
+  const auto deliver_consume_reply = [&](const net::ConsumeReply& reply) {
+    offer_in_flight = false;
+    NodeState& initiator = nodes[reply.to];
+    if (reply.accept) {
+      // Responder measured its half at accept time; finish locally.
+      truth.measure(offered_qubit);
+      initiator.forget(offered_qubit);
+      offered_qubit = kDead;
+      ++result.requests_satisfied;
+      result.request_latency.add(engine.now() - head_since);
+      ++head;
+      head_since = engine.now();
+      return;
+    }
+    // Conflict: our belief was stale; the pending PairUpdate will repair
+    // it. Unlock the qubit and let the retry timer try again.
+    ++result.consume_conflicts;
+    offered_qubit = kDead;
+  };
+
+  const auto deliver_consume_offer = [&](const net::ConsumeOffer& offer) {
+    NodeState& responder = nodes[offer.to];
+    net::ConsumeReply reply;
+    reply.from = offer.to;
+    reply.to = offer.from;
+    reply.request_id = offer.request_id;
+    const bool valid = responder.knows(offer.responder_qubit) &&
+                       truth.alive(offer.responder_qubit) &&
+                       truth.partner(offer.responder_qubit) == offer.initiator_qubit;
+    reply.accept = valid;
+    if (valid) {
+      responder.forget(offer.responder_qubit);
+      truth.measure(offer.responder_qubit);  // severs both ends
+    }
+    account(reply);
+    const double delay = latency(offer.to, offer.from);
+    engine.after(delay, [&, reply] { deliver_consume_reply(reply); });
+  };
+
+  try_offer = [&] {
+    if (offer_in_flight || head >= workload.request_count()) return;
+    const NodePair& request = workload.request(head);
+    NodeState& initiator = nodes[request.first];
+    const QubitId qubit = initiator.pick(request.second, kDead);
+    if (qubit == kDead) return;  // nothing believed toward the partner yet
+    const Belief* belief = initiator.belief(qubit);
+    net::ConsumeOffer offer;
+    offer.from = request.first;
+    offer.to = request.second;
+    offer.request_id = head;
+    offer.initiator_qubit = qubit;
+    offer.responder_qubit = belief->partner_qubit;
+    offered_qubit = qubit;
+    offer_in_flight = true;
+    account(offer);
+    engine.after(latency(offer.from, offer.to),
+                 [&, offer] { deliver_consume_offer(offer); });
+  };
+
+  // --- processes --------------------------------------------------------
+  for (const graph::Edge& edge : generation_graph.edges()) {
+    engine.poisson_process(config.generation_rate, [&, edge] {
+      const QubitId qa = truth.create(edge.a());
+      const QubitId qb = truth.create(edge.b());
+      truth.entangle(qa, qb);
+      nodes[edge.a()].learn(qa, edge.b(), qb);
+      nodes[edge.b()].learn(qb, edge.a(), qa);
+      ++result.pairs_generated;
+      return true;
+    });
+  }
+
+  for (NodeId x = 0; x < n; ++x) {
+    // Count reporting: broadcast this node's believed row to everyone.
+    engine.poisson_process(config.report_rate, [&, x] {
+      net::CountUpdate update;
+      update.reporter = x;
+      update.version = static_cast<std::uint64_t>(engine.now() * 1e6);
+      for (NodeId peer = 0; peer < n; ++peer) {
+        if (peer == x) continue;
+        update.entries.push_back(
+            net::CountUpdate::Entry{peer, nodes[x].count(peer, offered_qubit)});
+      }
+      for (NodeId target = 0; target < n; ++target) {
+        if (target == x) continue;
+        account(update);
+        const double now = engine.now();
+        engine.after(latency(x, target), [&, update, target, now] {
+          for (const auto& entry : update.entries) {
+            view_count[target][static_cast<std::size_t>(update.reporter) * n +
+                               entry.peer] = entry.count;
+          }
+          view_time[target][update.reporter] = now;
+        });
+      }
+      return true;
+    });
+
+    // Swap scans: the §4 rule on believed own counts and viewed
+    // beneficiary counts (D = 1).
+    engine.poisson_process(config.scan_rate, [&, x] {
+      const QubitId locked = offered_qubit;
+      const std::vector<NodeId> partner_list = nodes[x].partners(locked);
+      NodeId best_left = n;
+      NodeId best_right = n;
+      std::uint32_t best_beneficiary = UINT32_MAX;
+      for (std::size_t i = 0; i < partner_list.size(); ++i) {
+        const NodeId a = partner_list[i];
+        const double cap_a = static_cast<double>(nodes[x].count(a, locked)) - 1.0;
+        if (cap_a < 1.0) continue;
+        for (std::size_t j = i + 1; j < partner_list.size(); ++j) {
+          const NodeId b = partner_list[j];
+          const double cap_b = static_cast<double>(nodes[x].count(b, locked)) - 1.0;
+          if (cap_b < 1.0) continue;
+          // Freshest first-hand report about the (a, b) pair.
+          const std::uint32_t beneficiary =
+              view_time[x][a] >= view_time[x][b]
+                  ? view_count[x][static_cast<std::size_t>(a) * n + b]
+                  : view_count[x][static_cast<std::size_t>(b) * n + a];
+          if (static_cast<double>(beneficiary) + 1.0 > std::min(cap_a, cap_b)) {
+            continue;
+          }
+          if (beneficiary < best_beneficiary) {
+            best_beneficiary = beneficiary;
+            best_left = a;
+            best_right = b;
+          }
+        }
+      }
+      if (best_left == n) return true;
+      result.decision_view_age.add(
+          engine.now() -
+          std::max(view_time[x][best_left], view_time[x][best_right]));
+
+      const QubitId q1 = nodes[x].pick(best_left, locked);
+      const QubitId q2 = nodes[x].pick(best_right, locked);
+      ensure(q1 != kDead && q2 != kDead, "distributed: belief lists corrupt");
+      // Physics: measure both local qubits; their true far partners become
+      // entangled with each other, whatever the beliefs said.
+      const QubitId far1 = truth.partner(q1);
+      const QubitId far2 = truth.partner(q2);
+      truth.measure(q1);
+      truth.measure(q2);
+      truth.entangle(far1, far2);
+      nodes[x].forget(q1);
+      nodes[x].forget(q2);
+      ++result.swaps;
+      const NodeId actual_u = truth.holder(far1);
+      const NodeId actual_v = truth.holder(far2);
+      if (NodePair(actual_u, actual_v) != NodePair(best_left, best_right)) {
+        ++result.stale_swaps;
+      }
+      // Notify the true endpoints, with the 2 classical bits (Fig. 2).
+      for (const auto& [endpoint, qubit, partner_node, partner_qubit] :
+           {std::tuple{actual_u, far1, actual_v, far2},
+            std::tuple{actual_v, far2, actual_u, far1}}) {
+        net::PairUpdate update;
+        update.to = endpoint;
+        update.new_partner = partner_node;
+        update.qubit = qubit;
+        update.new_partner_qubit = partner_qubit;
+        update.z_bit = decision_rng.bernoulli(0.5);
+        update.x_bit = decision_rng.bernoulli(0.5);
+        account(update);
+        engine.after(latency(x, endpoint),
+                     [&, update] { deliver_pair_update(update); });
+      }
+      return true;
+    });
+  }
+
+  engine.every(config.consume_retry_interval, [&] {
+    try_offer();
+    return true;
+  });
+
+  engine.run(config.duration);
+  return result;
+}
+
+}  // namespace poq::core

@@ -1,0 +1,235 @@
+#include "core/fidelity_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "core/maxmin_balancer.hpp"
+#include "quantum/distillation.hpp"
+#include "quantum/werner.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace poq::core {
+
+double FidelitySimResult::realized_distillation_overhead() const {
+  const double products =
+      static_cast<double>(swaps - swap_outputs_discarded) +
+      static_cast<double>(distillations);
+  if (products <= 0.0) return 0.0;
+  const double inputs = 2.0 * static_cast<double>(swaps + distillations +
+                                                  distillation_failures);
+  return inputs / products;
+}
+
+namespace {
+
+/// One stored Bell pair: when it was created and at what fidelity.
+struct StoredPair {
+  double created = 0.0;
+  double initial_fidelity = 1.0;
+};
+
+/// All stored pairs plus a mirrored usable-count ledger so the §4
+/// preferability logic can be reused unchanged.
+class Storage {
+ public:
+  Storage(std::size_t node_count, const FidelitySimConfig& config)
+      : node_count_(node_count), config_(config), counts_(node_count),
+        pairs_(node_count * (node_count - 1) / 2) {}
+
+  [[nodiscard]] PairLedger& counts() { return counts_; }
+
+  [[nodiscard]] double fidelity_now(const StoredPair& pair, double now) const {
+    return quantum::decohered_fidelity(pair.initial_fidelity, now - pair.created,
+                                       config_.memory_time_constant);
+  }
+
+  /// Drop pairs of (x,y) that decohered below the usable threshold.
+  /// Returns how many were dropped.
+  std::uint64_t purge(NodeId x, NodeId y, double now) {
+    auto& bucket = pairs_[index(x, y)];
+    std::uint64_t dropped = 0;
+    for (std::size_t i = bucket.size(); i-- > 0;) {
+      if (fidelity_now(bucket[i], now) < config_.usable_fidelity) {
+        bucket.erase(bucket.begin() + static_cast<long>(i));
+        counts_.remove(x, y, 1);
+        ++dropped;
+      }
+    }
+    return dropped;
+  }
+
+  void add(NodeId x, NodeId y, double now, double fidelity) {
+    pairs_[index(x, y)].push_back(StoredPair{now, fidelity});
+    counts_.add(x, y, 1);
+  }
+
+  [[nodiscard]] bool empty(NodeId x, NodeId y) const {
+    return pairs_[index(x, y)].empty();
+  }
+
+  /// Remove and return the pair chosen by `policy`; bucket must be
+  /// non-empty (callers check via the mirrored counts).
+  StoredPair take(NodeId x, NodeId y, double now, PairingPolicy policy) {
+    auto& bucket = pairs_[index(x, y)];
+    ensure(!bucket.empty(), "fidelity_sim: take from empty bucket");
+    std::size_t chosen = 0;
+    for (std::size_t i = 1; i < bucket.size(); ++i) {
+      if (policy == PairingPolicy::kFreshest
+              ? fidelity_now(bucket[i], now) > fidelity_now(bucket[chosen], now)
+              : bucket[i].created < bucket[chosen].created) {
+        chosen = i;
+      }
+    }
+    const StoredPair pair = bucket[chosen];
+    bucket.erase(bucket.begin() + static_cast<long>(chosen));
+    counts_.remove(x, y, 1);
+    return pair;
+  }
+
+  /// Best current fidelity of the (x,y) bucket (0 when empty).
+  [[nodiscard]] double best_fidelity(NodeId x, NodeId y, double now) const {
+    const auto& bucket = pairs_[index(x, y)];
+    double best = 0.0;
+    for (const StoredPair& pair : bucket) {
+      best = std::max(best, fidelity_now(pair, now));
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::uint64_t total_pairs() const { return counts_.total_pairs(); }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId x, NodeId y) const {
+    if (x > y) std::swap(x, y);
+    return static_cast<std::size_t>(x) * (2 * node_count_ - x - 1) / 2 + (y - x - 1);
+  }
+
+  std::size_t node_count_;
+  const FidelitySimConfig& config_;
+  PairLedger counts_;
+  std::vector<std::vector<StoredPair>> pairs_;
+};
+
+}  // namespace
+
+FidelitySimResult run_fidelity_sim(const graph::Graph& generation_graph,
+                                   const Workload& workload,
+                                   const FidelitySimConfig& config) {
+  require(config.raw_fidelity > config.usable_fidelity,
+          "fidelity_sim: raw pairs must be usable when fresh");
+  require(config.duration > 0.0, "fidelity_sim: duration must be positive");
+  const std::size_t n = generation_graph.node_count();
+  require(n >= 3, "fidelity_sim: need at least 3 nodes");
+
+  sim::Engine engine(config.seed);
+  Storage storage(n, config);
+  FidelitySimResult result;
+  util::Rng decision_rng = engine.rng().fork(0xF1DE);
+
+  // The swap decision rule is the §4 preferability predicate with D = 1:
+  // distillation is explicit here, not folded into the counts.
+  const MaxMinBalancer balancer{DistillationMatrix(1.0)};
+
+  std::size_t head = 0;
+  double head_since = 0.0;
+
+  const auto purge_node = [&](NodeId x) {
+    const double now = engine.now();
+    // Copy: purge mutates the partner list.
+    const auto partner_list = storage.counts().partners(x);
+    const std::vector<NodeId> partner_copy(partner_list.begin(), partner_list.end());
+    for (NodeId y : partner_copy) result.pairs_decayed += storage.purge(x, y, now);
+  };
+
+  const auto try_consume = [&] {
+    const double now = engine.now();
+    while (head < workload.request_count()) {
+      const NodePair& pair = workload.request(head);
+      result.pairs_decayed += storage.purge(pair.first, pair.second, now);
+      if (storage.best_fidelity(pair.first, pair.second, now) < config.app_fidelity) {
+        break;
+      }
+      const StoredPair used =
+          storage.take(pair.first, pair.second, now, PairingPolicy::kFreshest);
+      result.consumed_fidelity.add(storage.fidelity_now(used, now));
+      result.storage_age_at_use.add(now - used.created);
+      result.request_latency.add(now - head_since);
+      ++result.requests_satisfied;
+      ++head;
+      head_since = now;
+    }
+  };
+
+  // Poisson generation per edge.
+  for (const graph::Edge& edge : generation_graph.edges()) {
+    engine.poisson_process(config.generation_rate, [&, edge] {
+      storage.add(edge.a(), edge.b(), engine.now(), config.raw_fidelity);
+      ++result.pairs_generated;
+      return true;
+    });
+  }
+
+  // Per-node swap/distill scans.
+  for (NodeId x = 0; x < n; ++x) {
+    engine.poisson_process(config.scan_rate, [&, x] {
+      const double now = engine.now();
+      purge_node(x);
+      const auto candidate = balancer.best_swap(storage.counts(), x);
+      if (candidate) {
+        const StoredPair left = storage.take(x, candidate->left, now, config.policy);
+        const StoredPair right =
+            storage.take(x, candidate->right, now, config.policy);
+        const double fused = quantum::swap_fidelity(storage.fidelity_now(left, now),
+                                                    storage.fidelity_now(right, now));
+        ++result.swaps;
+        if (fused >= config.usable_fidelity) {
+          storage.add(candidate->left, candidate->right, now, fused);
+        } else {
+          ++result.swap_outputs_discarded;
+        }
+        return true;
+      }
+      if (!config.distillation_enabled) return true;
+      // No preferable swap: boost a weak pair type instead. Pick the
+      // partner whose best pair is furthest below the application target
+      // but still distillable.
+      NodeId best_peer = x;
+      double worst_best = config.app_fidelity;
+      for (NodeId y : storage.counts().partners(x)) {
+        if (storage.counts().count(x, y) < 2) continue;
+        const double best = storage.best_fidelity(x, y, now);
+        if (best > quantum::kDistillableThreshold && best < worst_best) {
+          worst_best = best;
+          best_peer = y;
+        }
+      }
+      if (best_peer == x) return true;
+      const StoredPair a = storage.take(x, best_peer, now, config.policy);
+      const StoredPair b = storage.take(x, best_peer, now, config.policy);
+      const quantum::DistillationStep step = quantum::bbpssw(
+          storage.fidelity_now(a, now), storage.fidelity_now(b, now));
+      if (decision_rng.bernoulli(step.success_probability) &&
+          step.output_fidelity >= config.usable_fidelity) {
+        storage.add(x, best_peer, now, step.output_fidelity);
+        ++result.distillations;
+      } else {
+        ++result.distillation_failures;
+      }
+      return true;
+    });
+  }
+
+  // Head-of-line consumption check, frequent relative to the scan rate.
+  engine.every(0.25 / config.scan_rate, [&] {
+    try_consume();
+    return true;
+  });
+
+  engine.run(config.duration);
+  result.pairs_in_storage_at_end = storage.total_pairs();
+  return result;
+}
+
+}  // namespace poq::core

@@ -1,0 +1,150 @@
+#include "core/gossip.hpp"
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "util/error.hpp"
+
+namespace poq::core {
+
+namespace {
+
+/// Per-node stale views of everyone else's count rows.
+class KnowledgeBase {
+ public:
+  KnowledgeBase(std::size_t node_count)
+      : node_count_(node_count),
+        counts_(node_count * node_count * node_count, 0),
+        age_(node_count * node_count, 0) {}
+
+  /// Install reporter's row as seen by `owner` at `round`.
+  void install(NodeId owner, NodeId reporter, const std::vector<std::uint32_t>& row,
+               std::uint32_t round) {
+    for (NodeId peer = 0; peer < node_count_; ++peer) {
+      counts_[flat(owner, reporter, peer)] = row[peer];
+    }
+    age_[static_cast<std::size_t>(owner) * node_count_ + reporter] = round;
+  }
+
+  [[nodiscard]] std::uint32_t view(NodeId owner, NodeId a, NodeId b) const {
+    // Freshest of the two first-hand reports about the (a, b) pair.
+    const std::uint32_t age_a = report_round(owner, a);
+    const std::uint32_t age_b = report_round(owner, b);
+    return age_a >= age_b ? counts_[flat(owner, a, b)] : counts_[flat(owner, b, a)];
+  }
+
+  [[nodiscard]] std::uint32_t report_round(NodeId owner, NodeId reporter) const {
+    return age_[static_cast<std::size_t>(owner) * node_count_ + reporter];
+  }
+
+ private:
+  [[nodiscard]] std::size_t flat(NodeId owner, NodeId reporter, NodeId peer) const {
+    return (static_cast<std::size_t>(owner) * node_count_ + reporter) * node_count_ +
+           peer;
+  }
+
+  std::size_t node_count_;
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint32_t> age_;  // round of last report, per (owner, reporter)
+};
+
+}  // namespace
+
+GossipResult run_gossip(const graph::Graph& generation_graph, const Workload& workload,
+                        const GossipConfig& config) {
+  require(config.fanout >= 1, "GossipConfig: fanout must be >= 1");
+  BalancingSimulation sim(generation_graph, workload, config.base);
+  const auto node_count = static_cast<NodeId>(generation_graph.node_count());
+
+  KnowledgeBase knowledge(node_count);
+  util::Rng gossip_rng = util::Rng(config.base.seed).fork(7);
+  util::Rng swap_rng = util::Rng(config.base.seed).fork(8);
+
+  const auto& distances = sim.distances();
+  net::ClassicalFabric fabric([&](net::NodeId src, net::NodeId dst) {
+    return config.latency_per_hop * static_cast<double>(distances[src][dst]);
+  });
+
+  GossipResult result;
+  double view_age_total = 0.0;
+  std::uint64_t view_age_samples = 0;
+
+  while (!sim.finished()) {
+    sim.begin_round();
+    const auto round = static_cast<std::uint32_t>(sim.round());
+    const double now = static_cast<double>(round);
+
+    sim.generation_phase();
+
+    // 1. Send count rows to the rotating window (+ optimistic peer).
+    for (NodeId x = 0; x < node_count; ++x) {
+      std::vector<NodeId> targets;
+      for (std::uint32_t k = 0; k < config.fanout; ++k) {
+        const auto offset = 1 + (static_cast<std::uint64_t>(round) * config.fanout + k) %
+                                    (node_count - 1);
+        targets.push_back(static_cast<NodeId>((x + offset) % node_count));
+      }
+      if (config.optimistic_peer) {
+        NodeId random_peer = x;
+        while (random_peer == x) {
+          random_peer = static_cast<NodeId>(gossip_rng.uniform_index(node_count));
+        }
+        targets.push_back(random_peer);
+      }
+      net::CountUpdate update;
+      update.reporter = x;
+      update.version = round;
+      update.entries.reserve(node_count - 1);
+      for (NodeId peer = 0; peer < node_count; ++peer) {
+        if (peer == x) continue;
+        update.entries.push_back(
+            net::CountUpdate::Entry{peer, sim.ledger().count(x, peer)});
+      }
+      for (NodeId target : targets) {
+        fabric.send(x, target, now, update);
+      }
+    }
+
+    // 2. Deliver everything due by this round.
+    while (auto envelope = fabric.poll(now)) {
+      const auto& update = std::get<net::CountUpdate>(envelope->message);
+      std::vector<std::uint32_t> row(node_count, 0);
+      for (const auto& entry : update.entries) row[entry.peer] = entry.count;
+      knowledge.install(envelope->dst, update.reporter, row,
+                        static_cast<std::uint32_t>(update.version));
+    }
+
+    // 3. Swap sweep with stale beneficiary views.
+    const NodeId first = static_cast<NodeId>(round % node_count);
+    for (NodeId offset = 0; offset < node_count; ++offset) {
+      const NodeId x = static_cast<NodeId>((first + offset) % node_count);
+      for (std::uint32_t attempt = 0;
+           attempt < config.base.swaps_per_node_per_round; ++attempt) {
+        const auto candidate = sim.balancer().best_swap_with_view(
+            sim.ledger(), x, [&](NodeId a, NodeId b) {
+              return knowledge.view(x, a, b);
+            });
+        if (!candidate) break;
+        view_age_total += round - std::max(knowledge.report_round(x, candidate->left),
+                                           knowledge.report_round(x, candidate->right));
+        ++view_age_samples;
+        sim.balancer().execute_swap(sim.ledger(), x, candidate->left,
+                                    candidate->right, swap_rng);
+        sim.record_extra_swaps(1);
+      }
+    }
+
+    sim.consumption_phase();
+  }
+
+  const net::TrafficStats traffic = fabric.stats(net::MessageType::kCountUpdate);
+  result.base = sim.result();
+  result.control_messages = traffic.messages;
+  result.control_bytes = traffic.bytes;
+  result.mean_view_age =
+      view_age_samples > 0 ? view_age_total / static_cast<double>(view_age_samples)
+                           : 0.0;
+  return result;
+}
+
+}  // namespace poq::core

@@ -1,0 +1,86 @@
+#include "core/hybrid.hpp"
+
+#include <cmath>
+
+#include "core/planned_path.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/error.hpp"
+
+namespace poq::core {
+
+namespace {
+
+/// Try to produce the head request's pairs by nested swapping along a
+/// shortest entanglement-graph path. Returns the swaps spent, or 0 if no
+/// viable path exists.
+double attempt_assist(BalancingSimulation& sim, const NodePair& pair,
+                      double distillation, std::uint32_t max_hops) {
+  PairLedger& ledger = sim.ledger();
+  graph::Graph entanglement = ledger.entanglement_graph(1);
+  // A direct pair that exists but is too weak to consume would be found as
+  // a 1-edge "path"; route around it so the assist can top the count up.
+  entanglement.remove_edge(pair.first, pair.second);
+  const auto path = graph::shortest_path(entanglement, pair.first, pair.second);
+  if (!path || path->size() < 3) return 0.0;
+  const std::size_t hops = path->size() - 1;
+  if (hops > max_hops) return 0.0;
+
+  // Consumption will destroy D raw (x,y) pairs, so the assist must
+  // manufacture ceil(D) of them; top-level usable_need = 1 already yields
+  // D raw top pairs in compute_nested_demand's accounting.
+  NestedDemand demand = compute_nested_demand(hops, distillation);
+  for (std::size_t k = 0; k + 1 < path->size(); ++k) {
+    const auto have = ledger.count((*path)[k], (*path)[k + 1]);
+    if (static_cast<double>(have) < std::ceil(demand.edge_raw_demand[k])) {
+      return 0.0;  // some span pair cannot cover its share
+    }
+  }
+  // Execute: consume the span pairs, credit the end-to-end raw pairs.
+  for (std::size_t k = 0; k + 1 < path->size(); ++k) {
+    ledger.remove((*path)[k], (*path)[k + 1],
+                  static_cast<std::uint32_t>(std::ceil(demand.edge_raw_demand[k])));
+  }
+  const auto produced =
+      static_cast<std::uint32_t>(std::max(1.0, std::ceil(distillation)));
+  ledger.add(pair.first, pair.second, produced);
+  return demand.swap_count;
+}
+
+}  // namespace
+
+HybridResult run_hybrid(const graph::Graph& generation_graph, const Workload& workload,
+                        const HybridConfig& config) {
+  BalancingSimulation sim(generation_graph, workload, config.base);
+  HybridResult result;
+
+  while (!sim.finished()) {
+    sim.begin_round();
+    sim.generation_phase();
+    sim.swap_phase();
+
+    // Assist the head request if it is still blocked after balancing.
+    const std::size_t head = sim.head_request();
+    if (head < workload.request_count()) {
+      const NodePair& pair = workload.request(head);
+      const auto need = static_cast<std::uint32_t>(
+          std::max(1.0, std::ceil(config.base.distillation)));
+      if (sim.ledger().count(pair.first, pair.second) < need) {
+        ++result.assists_attempted;
+        const double spent = attempt_assist(sim, pair, config.base.distillation,
+                                            config.max_assist_hops);
+        if (spent > 0.0) {
+          ++result.assists_succeeded;
+          result.assist_swaps += spent;
+          sim.record_extra_swaps(static_cast<std::uint64_t>(std::llround(spent)));
+        }
+      }
+    }
+
+    sim.consumption_phase();
+  }
+
+  result.base = sim.result();
+  return result;
+}
+
+}  // namespace poq::core

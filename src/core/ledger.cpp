@@ -1,0 +1,85 @@
+#include "core/ledger.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace poq::core {
+
+PairLedger::PairLedger(std::size_t node_count)
+    : node_count_(node_count),
+      counts_(node_count * node_count, 0),
+      partners_(node_count) {
+  require(node_count >= 2, "PairLedger: need at least 2 nodes");
+}
+
+void PairLedger::check(NodeId x, NodeId y) const {
+  require(x < node_count_ && y < node_count_, "PairLedger: node out of range");
+  require(x != y, "PairLedger: no self-pairs (g(x,x) = c(x,x) = 0)");
+}
+
+std::uint32_t PairLedger::count(NodeId x, NodeId y) const {
+  check(x, y);
+  return counts_[index(x, y)];
+}
+
+void PairLedger::add(NodeId x, NodeId y, std::uint32_t amount) {
+  check(x, y);
+  if (amount == 0) return;
+  std::uint32_t& forward = counts_[index(x, y)];
+  if (forward == 0) {
+    auto insert_sorted = [](std::vector<NodeId>& list, NodeId value) {
+      list.insert(std::lower_bound(list.begin(), list.end(), value), value);
+    };
+    insert_sorted(partners_[x], y);
+    insert_sorted(partners_[y], x);
+  }
+  forward += amount;
+  counts_[index(y, x)] = forward;
+  total_ += amount;
+}
+
+void PairLedger::remove(NodeId x, NodeId y, std::uint32_t amount) {
+  check(x, y);
+  if (amount == 0) return;
+  std::uint32_t& forward = counts_[index(x, y)];
+  require(forward >= amount, "PairLedger::remove: count underflow");
+  forward -= amount;
+  counts_[index(y, x)] = forward;
+  total_ -= amount;
+  if (forward == 0) {
+    auto erase_sorted = [](std::vector<NodeId>& list, NodeId value) {
+      list.erase(std::lower_bound(list.begin(), list.end(), value));
+    };
+    erase_sorted(partners_[x], y);
+    erase_sorted(partners_[y], x);
+  }
+}
+
+std::span<const NodeId> PairLedger::partners(NodeId x) const {
+  require(x < node_count_, "PairLedger::partners: node out of range");
+  return partners_[x];
+}
+
+std::uint32_t PairLedger::minimum_pair_count() const {
+  std::uint32_t minimum = UINT32_MAX;
+  for (NodeId x = 0; x < node_count_; ++x) {
+    for (NodeId y = x + 1; y < node_count_; ++y) {
+      minimum = std::min(minimum, counts_[index(x, y)]);
+      if (minimum == 0) return 0;
+    }
+  }
+  return minimum;
+}
+
+graph::Graph PairLedger::entanglement_graph(std::uint32_t threshold) const {
+  graph::Graph result(node_count_);
+  for (NodeId x = 0; x < node_count_; ++x) {
+    for (NodeId y : partners_[x]) {
+      if (y > x && counts_[index(x, y)] >= threshold) result.add_edge(x, y);
+    }
+  }
+  return result;
+}
+
+}  // namespace poq::core

@@ -1,0 +1,60 @@
+// Network-wide Bell-pair count state C_x(y).
+//
+// §4: "each node x maintains a count C_x(y) of the number of Bell pairs it
+// stores that are shared with each y in the network (note C_x(y) =
+// C_y(x))". Bell pairs between the same endpoints are interchangeable, so
+// a symmetric count matrix is the complete state. PairLedger is that
+// matrix plus per-node partner sets for fast swap-candidate enumeration,
+// and doubles as the instantaneous entanglement graph (§6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace poq::core {
+
+/// Symmetric Bell-pair counts over a fixed node set.
+class PairLedger {
+ public:
+  explicit PairLedger(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+  [[nodiscard]] std::uint32_t count(NodeId x, NodeId y) const;
+
+  /// Add `amount` pairs between x and y (x != y).
+  void add(NodeId x, NodeId y, std::uint32_t amount = 1);
+
+  /// Remove `amount` pairs; requires count(x, y) >= amount.
+  void remove(NodeId x, NodeId y, std::uint32_t amount = 1);
+
+  /// Total pairs currently stored (each pair counted once).
+  [[nodiscard]] std::uint64_t total_pairs() const { return total_; }
+
+  /// Nodes y with count(x, y) > 0, ascending.
+  [[nodiscard]] std::span<const NodeId> partners(NodeId x) const;
+
+  /// Smallest count over all (unordered) node pairs, including zeroes.
+  [[nodiscard]] std::uint32_t minimum_pair_count() const;
+
+  /// Snapshot of pairs with count >= threshold as an undirected graph
+  /// (the entanglement graph the hybrid protocol routes over, §6).
+  [[nodiscard]] graph::Graph entanglement_graph(std::uint32_t threshold = 1) const;
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId x, NodeId y) const {
+    return static_cast<std::size_t>(x) * node_count_ + y;
+  }
+  void check(NodeId x, NodeId y) const;
+
+  std::size_t node_count_;
+  std::vector<std::uint32_t> counts_;           // dense symmetric matrix
+  std::vector<std::vector<NodeId>> partners_;   // sorted nonzero partners
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace poq::core

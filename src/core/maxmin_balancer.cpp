@@ -1,0 +1,88 @@
+#include "core/maxmin_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace poq::core {
+
+MaxMinBalancer::MaxMinBalancer(
+    DistillationMatrix distillation, BalancerPolicy policy,
+    const std::vector<std::vector<std::uint32_t>>* generation_distances)
+    : distillation_(std::move(distillation)),
+      policy_(policy),
+      generation_distances_(generation_distances) {
+  require(!policy_.detour_slack.has_value() || generation_distances_ != nullptr,
+          "MaxMinBalancer: detour policy requires generation distances");
+}
+
+bool MaxMinBalancer::detour_allowed(NodeId x, NodeId a, NodeId b) const {
+  if (!policy_.detour_slack) return true;
+  const auto& dist = *generation_distances_;
+  const std::uint64_t through_x =
+      static_cast<std::uint64_t>(dist[a][x]) + dist[x][b];
+  const std::uint64_t direct = dist[a][b];
+  return through_x <= direct + *policy_.detour_slack;
+}
+
+bool MaxMinBalancer::is_preferable(const PairLedger& ledger, NodeId x, NodeId left,
+                                   NodeId right) const {
+  require(left != right && left != x && right != x,
+          "is_preferable: swap endpoints must be three distinct nodes");
+  const double cap_right =
+      static_cast<double>(ledger.count(x, right)) - distillation_.at(x, right);
+  const double cap_left =
+      static_cast<double>(ledger.count(x, left)) - distillation_.at(x, left);
+  const double beneficiary = ledger.count(left, right);
+  if (beneficiary + 1.0 > std::min(cap_left, cap_right)) return false;
+  return detour_allowed(x, left, right);
+}
+
+std::optional<SwapCandidate> MaxMinBalancer::best_swap(const PairLedger& ledger,
+                                                       NodeId x) const {
+  return best_swap_with_view(ledger, x, [&ledger](NodeId a, NodeId b) {
+    return ledger.count(a, b);
+  });
+}
+
+MaxMinBalancer::Execution MaxMinBalancer::execute_swap(PairLedger& ledger, NodeId x,
+                                                       NodeId left, NodeId right,
+                                                       util::Rng& rng) const {
+  const auto rounded = [&rng](double d) {
+    const double floor_part = std::floor(d);
+    const double frac = d - floor_part;
+    auto amount = static_cast<std::uint32_t>(floor_part);
+    if (frac > 0.0 && rng.bernoulli(frac)) ++amount;
+    return amount;
+  };
+  Execution execution;
+  execution.consumed_left = rounded(distillation_.at(x, left));
+  execution.consumed_right = rounded(distillation_.at(x, right));
+  ledger.remove(x, left, execution.consumed_left);
+  ledger.remove(x, right, execution.consumed_right);
+  ledger.add(left, right, 1);
+  return execution;
+}
+
+SweepStats run_swap_sweep(const MaxMinBalancer& balancer, PairLedger& ledger,
+                          NodeId first_node, std::uint32_t swaps_per_node,
+                          util::Rng& rng) {
+  const auto node_count = static_cast<NodeId>(ledger.node_count());
+  SweepStats stats;
+  for (NodeId offset = 0; offset < node_count; ++offset) {
+    const NodeId x = static_cast<NodeId>((first_node + offset) % node_count);
+    for (std::uint32_t attempt = 0; attempt < swaps_per_node; ++attempt) {
+      const auto candidate = balancer.best_swap(ledger, x);
+      if (!candidate) break;
+      const auto execution =
+          balancer.execute_swap(ledger, x, candidate->left, candidate->right, rng);
+      ++stats.swaps;
+      stats.pairs_consumed += execution.consumed_left + execution.consumed_right;
+      ++stats.pairs_produced;
+    }
+  }
+  return stats;
+}
+
+}  // namespace poq::core

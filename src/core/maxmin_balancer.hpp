@@ -1,0 +1,140 @@
+// The paper's max-min distributed swapping protocol (§4).
+//
+// Node x, holding pairs toward y and y', may perform the swap
+// y' <- x -> y. The swap is *preferable* when
+//
+//   C_y(y') + 1 <= min( C_x(y) - D_{x,y},  C_x(y') - D_{x,y'} )
+//
+// i.e. x only spends its own counts when the beneficiary pair would still
+// be no better off than either donor pair after the swap. Among multiple
+// preferable candidates x picks the one with minimal C_y(y'); with
+// generation and consumption frozen this greedy process drives the count
+// vector to a max-min fair fixed point (no count can rise without lowering
+// a smaller one; cf. Jaffe's bottleneck allocation [16]).
+//
+// §6 extensions implemented as policy knobs:
+//   * detour_slack: forbid swaps where x is far off the generation-graph
+//     y--y' geodesic ("reducing the likelihood that node i, very distant
+//     from both x and y ... implements a swap between x and y").
+//   * beneficiary counts can be read through a stale view (gossip.hpp)
+//     instead of ground truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace poq::core {
+
+/// A chosen swap y' <- x -> y (left = y', right = y).
+struct SwapCandidate {
+  NodeId left = 0;
+  NodeId right = 0;
+  /// C_left(right) at decision time (through the decision view).
+  std::uint32_t beneficiary_count = 0;
+};
+
+/// Optional §6 policy restrictions.
+struct BalancerPolicy {
+  /// If set, candidate (y, y') at node x is allowed only when
+  /// dist(y,x) + dist(x,y') <= dist(y,y') + detour_slack in the
+  /// generation graph. Requires distances to be supplied.
+  std::optional<std::uint32_t> detour_slack;
+};
+
+/// Stateless decision engine for the §4 rule; all mutable state lives in
+/// the PairLedger so alternative knowledge models can reuse the logic.
+class MaxMinBalancer {
+ public:
+  /// `generation_distances` (all-pairs hop counts, aligned with node ids)
+  /// is required iff policy.detour_slack is set; the caller keeps it alive.
+  MaxMinBalancer(DistillationMatrix distillation, BalancerPolicy policy = {},
+                 const std::vector<std::vector<std::uint32_t>>* generation_distances =
+                     nullptr);
+
+  /// The §4 preferability predicate, evaluated on true counts.
+  [[nodiscard]] bool is_preferable(const PairLedger& ledger, NodeId x, NodeId left,
+                                   NodeId right) const;
+
+  /// Best preferable swap at x under true (global) knowledge; nullopt when
+  /// no candidate is preferable.
+  [[nodiscard]] std::optional<SwapCandidate> best_swap(const PairLedger& ledger,
+                                                       NodeId x) const;
+
+  /// Best preferable swap where the *beneficiary* count C_y(y') is read
+  /// through `view(y, y')` (possibly stale); x's own counts are always
+  /// ground truth (x owns them).
+  template <typename View>
+  [[nodiscard]] std::optional<SwapCandidate> best_swap_with_view(
+      const PairLedger& ledger, NodeId x, View&& view) const {
+    const auto partner_list = ledger.partners(x);
+    eligible_.clear();
+    for (NodeId y : partner_list) {
+      const double cap =
+          static_cast<double>(ledger.count(x, y)) - distillation_.at(x, y);
+      if (cap >= 1.0) eligible_.push_back(Eligible{y, cap});
+    }
+    std::optional<SwapCandidate> best;
+    for (std::size_t i = 0; i < eligible_.size(); ++i) {
+      for (std::size_t j = i + 1; j < eligible_.size(); ++j) {
+        const NodeId a = eligible_[i].node;
+        const NodeId b = eligible_[j].node;
+        const double cap = std::min(eligible_[i].capacity, eligible_[j].capacity);
+        const std::uint32_t beneficiary = view(a, b);
+        if (static_cast<double>(beneficiary) + 1.0 > cap) continue;
+        if (!detour_allowed(x, a, b)) continue;
+        if (!best || beneficiary < best->beneficiary_count) {
+          best = SwapCandidate{a, b, beneficiary};
+          if (beneficiary == 0) return best;  // cannot improve further
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Execute left <- x -> right on the ledger: consumes D_{x,right} pairs
+  /// of (x,right) and D_{x,left} of (x,left) (fractional D uses
+  /// probabilistic rounding via `rng`), produces one (left,right) pair.
+  /// Returns the amounts actually consumed.
+  struct Execution {
+    std::uint32_t consumed_left = 0;
+    std::uint32_t consumed_right = 0;
+  };
+  Execution execute_swap(PairLedger& ledger, NodeId x, NodeId left, NodeId right,
+                         util::Rng& rng) const;
+
+  [[nodiscard]] const DistillationMatrix& distillation() const { return distillation_; }
+
+ private:
+  [[nodiscard]] bool detour_allowed(NodeId x, NodeId a, NodeId b) const;
+
+  struct Eligible {
+    NodeId node;
+    double capacity;  // C_x(node) - D_{x,node}
+  };
+
+  DistillationMatrix distillation_;
+  BalancerPolicy policy_;
+  const std::vector<std::vector<std::uint32_t>>* generation_distances_;
+  mutable std::vector<Eligible> eligible_;  // scratch; avoids per-call allocs
+};
+
+/// Outcome of one network-wide swap sweep.
+struct SweepStats {
+  std::uint64_t swaps = 0;
+  std::uint64_t pairs_consumed = 0;  // donor pairs destroyed (distillation included)
+  std::uint64_t pairs_produced = 0;  // one per swap
+};
+
+/// Round-robin sweep: give every node (starting at `first_node`) up to
+/// `swaps_per_node` best-swap executions. This is the paper's "all nodes
+/// perform the swapping process at an identical rate" step.
+SweepStats run_swap_sweep(const MaxMinBalancer& balancer, PairLedger& ledger,
+                          NodeId first_node, std::uint32_t swaps_per_node,
+                          util::Rng& rng);
+
+}  // namespace poq::core

@@ -1,0 +1,32 @@
+#include "core/nested.hpp"
+
+#include "util/error.hpp"
+
+namespace poq::core {
+
+double nested_swap_cost_paper(std::uint32_t hops, double distillation) {
+  require(hops >= 1, "nested_swap_cost_paper: hops must be >= 1");
+  require(distillation >= 0.0, "nested_swap_cost_paper: D must be >= 0");
+  if (hops == 1) return 0.0;
+  if (hops == 2) return distillation;
+  return distillation * (nested_swap_cost_paper(hops / 2, distillation) +
+                         nested_swap_cost_paper(hops - hops / 2, distillation));
+}
+
+double nested_swap_cost_exact(std::uint32_t hops, double distillation) {
+  require(hops >= 1, "nested_swap_cost_exact: hops must be >= 1");
+  require(distillation >= 0.0, "nested_swap_cost_exact: D must be >= 0");
+  if (hops == 1) return 0.0;
+  return distillation * (1.0 + nested_swap_cost_exact(hops / 2, distillation) +
+                         nested_swap_cost_exact(hops - hops / 2, distillation));
+}
+
+double nested_raw_pair_cost(std::uint32_t hops, double distillation) {
+  require(hops >= 1, "nested_raw_pair_cost: hops must be >= 1");
+  require(distillation >= 0.0, "nested_raw_pair_cost: D must be >= 0");
+  if (hops == 1) return distillation;  // one usable elementary pair costs D raw
+  return distillation * (nested_raw_pair_cost(hops / 2, distillation) +
+                         nested_raw_pair_cost(hops - hops / 2, distillation));
+}
+
+}  // namespace poq::core

@@ -1,0 +1,170 @@
+#include "core/planned_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/nested.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace poq::core {
+
+namespace {
+
+void expand_demand(std::size_t lo, std::size_t hi, double usable_need,
+                   double distillation, NestedDemand& out) {
+  const std::size_t hops = hi - lo;
+  if (hops == 1) {
+    // One usable elementary pair costs D raw pairs from this edge.
+    out.edge_raw_demand[lo] += distillation * usable_need;
+    return;
+  }
+  // Each usable pair of this span is distilled from D raw copies; each
+  // raw copy takes one joining swap of a usable pair of each half-span.
+  const double raw_copies = distillation * usable_need;
+  out.swap_count += raw_copies;
+  const std::size_t mid = lo + hops / 2;
+  expand_demand(lo, mid, raw_copies, distillation, out);
+  expand_demand(mid, hi, raw_copies, distillation, out);
+}
+
+}  // namespace
+
+NestedDemand compute_nested_demand(std::size_t path_edges, double distillation) {
+  require(path_edges >= 1, "compute_nested_demand: need >= 1 edge");
+  require(distillation >= 0.0, "compute_nested_demand: D must be >= 0");
+  NestedDemand demand;
+  demand.edge_raw_demand.assign(path_edges, 0.0);
+  expand_demand(0, path_edges, 1.0, distillation, demand);
+  return demand;
+}
+
+namespace {
+
+struct Connection {
+  std::size_t request_index = 0;
+  std::vector<std::size_t> edge_indices;   // into graph.edges()
+  std::vector<double> remaining;           // per edge_indices entry
+  double swap_count = 0.0;
+  std::uint32_t admitted_round = 0;
+
+  [[nodiscard]] bool done() const {
+    for (double r : remaining) {
+      if (r > 1e-9) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
+                                   const Workload& workload,
+                                   const PlannedPathConfig& config) {
+  require(config.window >= 1, "PlannedPathConfig: window must be >= 1");
+  require(config.distillation >= 0.0, "PlannedPathConfig: D must be >= 0");
+
+  PlannedPathResult result;
+  util::Rng rng(config.seed);
+  util::Rng generation_rng = rng.fork(1);
+
+  std::vector<double> buffer(generation_graph.edge_count(), 0.0);
+  std::vector<bool> reserved(generation_graph.edge_count(), false);
+  std::deque<Connection> active;
+  std::size_t next_request = 0;
+
+  const auto admit_head = [&]() -> bool {
+    if (next_request >= workload.request_count() || active.size() >= config.window) {
+      return false;
+    }
+    const NodePair& pair = workload.request(next_request);
+    const auto path = graph::shortest_path(generation_graph, pair.first, pair.second);
+    require(path.has_value(), "run_planned_path: consumer pair disconnected");
+    const std::size_t hops = path->size() - 1;
+
+    Connection connection;
+    connection.request_index = next_request;
+    connection.edge_indices.reserve(hops);
+    for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+      const auto index = generation_graph.edge_index((*path)[i], (*path)[i + 1]);
+      connection.edge_indices.push_back(*index);
+    }
+    if (config.mode == PlannedPathMode::kConnectionOriented) {
+      // Head-of-line: if any edge is reserved by an in-flight connection,
+      // the head request (and everything behind it) waits.
+      for (std::size_t e : connection.edge_indices) {
+        if (reserved[e]) return false;
+      }
+      for (std::size_t e : connection.edge_indices) reserved[e] = true;
+    }
+    NestedDemand demand = compute_nested_demand(hops, config.distillation);
+    connection.remaining = std::move(demand.edge_raw_demand);
+    connection.swap_count = demand.swap_count;
+    connection.admitted_round = result.rounds;
+    active.push_back(std::move(connection));
+    ++next_request;
+    return true;
+  };
+
+  const auto complete = [&](Connection& connection) {
+    result.swaps_performed += connection.swap_count;
+    ++result.requests_satisfied;
+    result.service_rounds.add(
+        static_cast<double>(result.rounds - connection.admitted_round));
+    const auto hops = static_cast<std::uint32_t>(connection.edge_indices.size());
+    result.denominator_paper += nested_swap_cost_paper(hops, config.distillation);
+    result.denominator_exact += nested_swap_cost_exact(hops, config.distillation);
+    if (config.mode == PlannedPathMode::kConnectionOriented) {
+      for (std::size_t e : connection.edge_indices) reserved[e] = false;
+    }
+  };
+
+  while ((next_request < workload.request_count() || !active.empty()) &&
+         result.rounds < config.max_rounds) {
+    ++result.rounds;
+
+    // 1. Generation into shared edge buffers.
+    for (std::size_t e = 0; e < buffer.size(); ++e) {
+      const double whole = std::floor(config.generation_per_edge_per_round);
+      double amount = whole;
+      const double frac = config.generation_per_edge_per_round - whole;
+      if (frac > 0.0 && generation_rng.bernoulli(frac)) amount += 1.0;
+      buffer[e] += amount;
+      result.pairs_generated += static_cast<std::uint64_t>(amount);
+    }
+
+    // 2. Admission, strictly in sequence order.
+    while (admit_head()) {
+    }
+
+    // 3. Allocation: in-flight connections claim pairs in request order
+    //    (connectionless competition is resolved oldest-first; with
+    //    reservation the buffers on reserved edges are private anyway).
+    for (Connection& connection : active) {
+      for (std::size_t k = 0; k < connection.edge_indices.size(); ++k) {
+        const std::size_t e = connection.edge_indices[k];
+        if (connection.remaining[k] <= 0.0) continue;
+        const double take = std::min(connection.remaining[k], buffer[e]);
+        connection.remaining[k] -= take;
+        buffer[e] -= take;
+      }
+    }
+
+    // 4. Completions (any order within the window; admissions were FIFO).
+    for (auto it = active.begin(); it != active.end();) {
+      if (it->done()) {
+        complete(*it);
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  result.completed = result.requests_satisfied == workload.request_count();
+  return result;
+}
+
+}  // namespace poq::core

@@ -1,0 +1,58 @@
+#include "core/workload.hpp"
+
+#include "graph/shortest_path.hpp"
+#include "util/error.hpp"
+
+namespace poq::core {
+
+Workload make_uniform_workload(std::size_t node_count, std::size_t pair_count,
+                               std::size_t request_count, util::Rng& rng) {
+  require(node_count >= 2, "make_uniform_workload: need >= 2 nodes");
+  const std::size_t all_pairs = node_count * (node_count - 1) / 2;
+  require(pair_count >= 1 && pair_count <= all_pairs,
+          "make_uniform_workload: pair_count must be in [1, C(n,2)]");
+
+  // Enumerate pair index -> (x, y) lazily via a flat index sample.
+  const std::vector<std::size_t> chosen = rng.sample_indices(all_pairs, pair_count);
+  Workload workload;
+  workload.pairs.reserve(pair_count);
+  for (std::size_t flat : chosen) {
+    // Invert the triangular index: flat = x*(2n - x - 1)/2 + (y - x - 1).
+    std::size_t x = 0;
+    std::size_t remaining = flat;
+    while (remaining >= node_count - 1 - x) {
+      remaining -= node_count - 1 - x;
+      ++x;
+    }
+    const std::size_t y = x + 1 + remaining;
+    workload.pairs.emplace_back(static_cast<NodeId>(x), static_cast<NodeId>(y));
+  }
+
+  workload.sequence.reserve(request_count);
+  for (std::size_t i = 0; i < request_count; ++i) {
+    workload.sequence.push_back(
+        static_cast<std::uint32_t>(rng.uniform_index(pair_count)));
+  }
+  return workload;
+}
+
+std::vector<std::uint32_t> request_hop_counts(const Workload& workload,
+                                              const graph::Graph& generation_graph) {
+  // BFS once per distinct source node among the consumer pairs.
+  std::vector<std::vector<std::uint32_t>> cache(generation_graph.node_count());
+  std::vector<std::uint32_t> hops;
+  hops.reserve(workload.request_count());
+  for (std::size_t i = 0; i < workload.request_count(); ++i) {
+    const NodePair& pair = workload.request(i);
+    if (cache[pair.first].empty()) {
+      cache[pair.first] = graph::bfs_distances(generation_graph, pair.first);
+    }
+    const std::uint32_t distance = cache[pair.first][pair.second];
+    require(distance != graph::kUnreachable,
+            "request_hop_counts: consumer pair disconnected in generation graph");
+    hops.push_back(distance);
+  }
+  return hops;
+}
+
+}  // namespace poq::core

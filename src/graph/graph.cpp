@@ -1,0 +1,70 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace poq::graph {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+void Graph::check_node(NodeId u) const {
+  require(u < adjacency_.size(), "Graph: node id out of range");
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  require(u != v, "Graph: self-loops are not allowed");
+  if (has_edge(u, v)) return false;
+  auto insert_sorted = [](std::vector<NodeId>& list, NodeId value) {
+    list.insert(std::lower_bound(list.begin(), list.end(), value), value);
+  };
+  insert_sorted(adjacency_[u], v);
+  insert_sorted(adjacency_[v], u);
+  edges_.push_back(Edge{std::min(u, v), std::max(u, v)});
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (!has_edge(u, v)) return false;
+  auto erase_sorted = [](std::vector<NodeId>& list, NodeId value) {
+    auto it = std::lower_bound(list.begin(), list.end(), value);
+    list.erase(it);
+  };
+  erase_sorted(adjacency_[u], v);
+  erase_sorted(adjacency_[v], u);
+  const Edge target{std::min(u, v), std::max(u, v)};
+  edges_.erase(std::find(edges_.begin(), edges_.end(), target));
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& list = adjacency_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  check_node(u);
+  return adjacency_[u];
+}
+
+std::size_t Graph::degree(NodeId u) const {
+  check_node(u);
+  return adjacency_[u].size();
+}
+
+std::optional<std::size_t> Graph::edge_index(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const Edge target{std::min(u, v), std::max(u, v)};
+  const auto it = std::find(edges_.begin(), edges_.end(), target);
+  if (it == edges_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+}  // namespace poq::graph

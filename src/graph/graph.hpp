@@ -1,0 +1,67 @@
+// Undirected graph with contiguous integer node ids.
+//
+// poqnet uses one graph type for both roles the paper distinguishes:
+//   * the *generation graph* G (edges where g(x,y) > 0, §3), and
+//   * the instantaneous *entanglement graph* (pairs with C_x(y) > 0, §6).
+// Nodes are dense ids 0..n-1 so adjacency state can live in flat vectors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace poq::graph {
+
+using NodeId = std::uint32_t;
+
+/// Undirected edge; normalized so a() <= b().
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  [[nodiscard]] NodeId a() const { return u < v ? u : v; }
+  [[nodiscard]] NodeId b() const { return u < v ? v : u; }
+
+  friend bool operator==(const Edge& lhs, const Edge& rhs) {
+    return lhs.a() == rhs.a() && lhs.b() == rhs.b();
+  }
+};
+
+/// Undirected simple graph (no self-loops, no parallel edges).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds an undirected edge; returns false (and changes nothing) if the
+  /// edge already exists. Self-loops are a precondition violation.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes the edge if present; returns whether it was present.
+  bool remove_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Neighbor ids in ascending order.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const;
+
+  [[nodiscard]] std::size_t degree(NodeId u) const;
+
+  /// All edges, normalized (a() <= b()), in insertion order.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Position of edge {u,v} in edges(), if present.
+  [[nodiscard]] std::optional<std::size_t> edge_index(NodeId u, NodeId v) const;
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace poq::graph

@@ -1,0 +1,87 @@
+#include "graph/kpaths.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/shortest_path.hpp"
+#include "util/error.hpp"
+
+namespace poq::graph {
+
+namespace {
+
+/// Lexicographic comparison for deterministic candidate ordering.
+struct PathLess {
+  bool operator()(const std::vector<NodeId>& lhs,
+                  const std::vector<NodeId>& rhs) const {
+    if (lhs.size() != rhs.size()) return lhs.size() < rhs.size();
+    return lhs < rhs;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> k_shortest_paths(const Graph& graph, NodeId source,
+                                                  NodeId target, std::size_t k) {
+  require(k >= 1, "k_shortest_paths: k must be >= 1");
+  std::vector<std::vector<NodeId>> accepted;
+  const auto first = shortest_path(graph, source, target);
+  if (!first) return accepted;
+  accepted.push_back(*first);
+
+  std::set<std::vector<NodeId>, PathLess> candidates;
+  while (accepted.size() < k) {
+    const auto& last = accepted.back();
+    // Yen: for each spur node in the previous path, remove the edges used
+    // by accepted paths sharing the same root, then find a spur path.
+    for (std::size_t spur_index = 0; spur_index + 1 < last.size(); ++spur_index) {
+      const NodeId spur_node = last[spur_index];
+      const std::vector<NodeId> root(last.begin(),
+                                     last.begin() + static_cast<long>(spur_index) + 1);
+      Graph pruned = graph;
+      for (const auto& path : accepted) {
+        if (path.size() > spur_index &&
+            std::equal(root.begin(), root.end(), path.begin())) {
+          if (path.size() > spur_index + 1) {
+            pruned.remove_edge(path[spur_index], path[spur_index + 1]);
+          }
+        }
+      }
+      // Exclude root nodes (except the spur) by detaching them entirely.
+      for (std::size_t i = 0; i < spur_index; ++i) {
+        const NodeId dead = root[i];
+        const std::vector<NodeId> copy(pruned.neighbors(dead).begin(),
+                                       pruned.neighbors(dead).end());
+        for (NodeId v : copy) pruned.remove_edge(dead, v);
+      }
+      const auto spur = shortest_path(pruned, spur_node, target);
+      if (!spur) continue;
+      std::vector<NodeId> total(root.begin(), root.end() - 1);
+      total.insert(total.end(), spur->begin(), spur->end());
+      if (std::find(accepted.begin(), accepted.end(), total) == accepted.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    accepted.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return accepted;
+}
+
+std::vector<std::vector<NodeId>> edge_disjoint_paths(Graph graph, NodeId source,
+                                                     NodeId target,
+                                                     std::size_t max_paths) {
+  std::vector<std::vector<NodeId>> paths;
+  while (paths.size() < max_paths) {
+    const auto path = shortest_path(graph, source, target);
+    if (!path || path->size() < 2) break;
+    for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+      graph.remove_edge((*path)[i], (*path)[i + 1]);
+    }
+    paths.push_back(*path);
+  }
+  return paths;
+}
+
+}  // namespace poq::graph

@@ -1,0 +1,31 @@
+// Multi-path routing support: Yen's k-shortest simple paths and greedy
+// edge-disjoint path extraction.
+//
+// The connectionless planned-path baseline (§1, [32] in the paper) lets
+// several candidate paths compete for pairs at shared links; it needs a
+// set of alternative paths per demand, which these utilities supply.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace poq::graph {
+
+/// Up to k loop-free shortest paths (by hop count, deterministic ties),
+/// ascending length. Fewer than k are returned when the graph has fewer
+/// simple paths.
+[[nodiscard]] std::vector<std::vector<NodeId>> k_shortest_paths(const Graph& graph,
+                                                                NodeId source,
+                                                                NodeId target,
+                                                                std::size_t k);
+
+/// Greedy edge-disjoint shortest paths: repeatedly take a shortest path
+/// and delete its edges. Not maximum-cardinality, but deterministic and
+/// cheap; adequate for spreading reservations.
+[[nodiscard]] std::vector<std::vector<NodeId>> edge_disjoint_paths(Graph graph,
+                                                                   NodeId source,
+                                                                   NodeId target,
+                                                                   std::size_t max_paths);
+
+}  // namespace poq::graph

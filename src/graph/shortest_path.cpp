@@ -1,0 +1,127 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace poq::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& graph, NodeId source) {
+  require(source < graph.node_count(), "bfs_distances: source out of range");
+  std::vector<std::uint32_t> dist(graph.node_count(), kUnreachable);
+  dist[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : graph.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<NodeId>> shortest_path(const Graph& graph, NodeId source,
+                                                 NodeId target) {
+  require(source < graph.node_count() && target < graph.node_count(),
+          "shortest_path: node out of range");
+  if (source == target) return std::vector<NodeId>{source};
+  std::vector<NodeId> parent(graph.node_count(), source);
+  std::vector<bool> seen(graph.node_count(), false);
+  seen[source] = true;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : graph.neighbors(u)) {  // ascending ids => deterministic ties
+      if (seen[v]) continue;
+      seen[v] = true;
+      parent[v] = u;
+      if (v == target) {
+        std::vector<NodeId> path{target};
+        for (NodeId at = target; at != source; at = parent[at]) {
+          path.push_back(parent[at]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint32_t hop_distance(const Graph& graph, NodeId source, NodeId target) {
+  const auto dist = bfs_distances(graph, source);
+  return dist[target];
+}
+
+std::vector<std::vector<std::uint32_t>> all_pairs_distances(const Graph& graph) {
+  std::vector<std::vector<std::uint32_t>> result;
+  result.reserve(graph.node_count());
+  for (std::size_t u = 0; u < graph.node_count(); ++u) {
+    result.push_back(bfs_distances(graph, static_cast<NodeId>(u)));
+  }
+  return result;
+}
+
+std::vector<double> dijkstra(const Graph& graph, NodeId source,
+                             const std::vector<double>& edge_cost) {
+  require(source < graph.node_count(), "dijkstra: source out of range");
+  require(edge_cost.size() == graph.edge_count(),
+          "dijkstra: edge_cost must align with graph.edges()");
+  std::vector<double> dist(graph.node_count(), kInfCost);
+  dist[source] = 0.0;
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (NodeId v : graph.neighbors(u)) {
+      const auto idx = graph.edge_index(u, v);
+      const double cost = edge_cost[*idx];
+      require(cost >= 0.0, "dijkstra: negative edge cost");
+      if (dist[u] + cost < dist[v]) {
+        dist[v] = dist[u] + cost;
+        heap.emplace(dist[v], v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<NodeId>> dijkstra_path(const Graph& graph, NodeId source,
+                                                 NodeId target,
+                                                 const std::vector<double>& edge_cost) {
+  require(target < graph.node_count(), "dijkstra_path: target out of range");
+  const auto dist = dijkstra(graph, source, edge_cost);
+  if (dist[target] == kInfCost) return std::nullopt;
+  // Walk back from target choosing any predecessor on a tight edge.
+  std::vector<NodeId> path{target};
+  NodeId current = target;
+  while (current != source) {
+    bool stepped = false;
+    for (NodeId v : graph.neighbors(current)) {
+      const auto idx = graph.edge_index(current, v);
+      if (std::abs(dist[v] + edge_cost[*idx] - dist[current]) < 1e-12) {
+        path.push_back(v);
+        current = v;
+        stepped = true;
+        break;
+      }
+    }
+    ensure(stepped, "dijkstra_path: backtrack failed");
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace poq::graph

@@ -1,0 +1,54 @@
+// Shortest-path queries over generation/entanglement graphs.
+//
+// The paper's swap-overhead metric needs hop counts l(c) of shortest paths
+// in the generation graph (§5), the hybrid protocol needs shortest paths in
+// the instantaneous entanglement graph (§6), and the planned-path baselines
+// route over explicit shortest paths.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace poq::graph {
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Hop distances from `source` to every node (BFS). Unreachable nodes get
+/// kUnreachable.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& graph,
+                                                       NodeId source);
+
+/// One shortest path (inclusive of endpoints) from source to target, or
+/// nullopt when unreachable. Ties broken toward smaller node ids, so the
+/// result is deterministic.
+[[nodiscard]] std::optional<std::vector<NodeId>> shortest_path(const Graph& graph,
+                                                               NodeId source,
+                                                               NodeId target);
+
+/// Hop count of the shortest path, or kUnreachable.
+[[nodiscard]] std::uint32_t hop_distance(const Graph& graph, NodeId source,
+                                         NodeId target);
+
+/// All-pairs hop distances via repeated BFS: result[u][v].
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_pairs_distances(
+    const Graph& graph);
+
+/// Dijkstra over non-negative edge weights supplied per edge index
+/// (aligned with graph.edges()). Returns per-node distance, kInfCost when
+/// unreachable.
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+[[nodiscard]] std::vector<double> dijkstra(const Graph& graph, NodeId source,
+                                           const std::vector<double>& edge_cost);
+
+/// Weighted shortest path (node sequence) under `edge_cost`; nullopt when
+/// unreachable.
+[[nodiscard]] std::optional<std::vector<NodeId>> dijkstra_path(
+    const Graph& graph, NodeId source, NodeId target,
+    const std::vector<double>& edge_cost);
+
+}  // namespace poq::graph

@@ -1,0 +1,212 @@
+#include "graph/topology.hpp"
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "util/error.hpp"
+
+namespace poq::graph {
+
+namespace {
+
+std::size_t integer_sqrt(std::size_t n) {
+  auto root = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(n))));
+  while (root * root > n) --root;
+  while ((root + 1) * (root + 1) <= n) ++root;
+  return root;
+}
+
+std::size_t require_perfect_square(std::size_t n) {
+  const std::size_t side = integer_sqrt(n);
+  require(side * side == n && n >= 9,
+          "grid topology: node count must be a perfect square >= 9");
+  return side;
+}
+
+/// All 2n torus edges for an side x side wraparound grid.
+std::vector<Edge> torus_edges(std::size_t side) {
+  std::vector<Edge> edges;
+  edges.reserve(2 * side * side);
+  const auto id = [side](std::size_t row, std::size_t col) {
+    return static_cast<NodeId>(row * side + col);
+  };
+  for (std::size_t row = 0; row < side; ++row) {
+    for (std::size_t col = 0; col < side; ++col) {
+      edges.push_back(Edge{id(row, col), id(row, (col + 1) % side)});
+      edges.push_back(Edge{id(row, col), id((row + 1) % side, col)});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Graph make_cycle(std::size_t n) {
+  require(n >= 3, "make_cycle: need at least 3 nodes");
+  Graph graph(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return graph;
+}
+
+Graph make_path(std::size_t n) {
+  require(n >= 2, "make_path: need at least 2 nodes");
+  Graph graph(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return graph;
+}
+
+Graph make_star(std::size_t n) {
+  require(n >= 2, "make_star: need at least 2 nodes");
+  Graph graph(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    graph.add_edge(0, static_cast<NodeId>(i));
+  }
+  return graph;
+}
+
+Graph make_complete(std::size_t n) {
+  require(n >= 2, "make_complete: need at least 2 nodes");
+  Graph graph(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return graph;
+}
+
+Graph make_torus_grid(std::size_t n) {
+  const std::size_t side = require_perfect_square(n);
+  Graph graph(n);
+  for (const Edge& e : torus_edges(side)) graph.add_edge(e.u, e.v);
+  return graph;
+}
+
+Graph make_random_connected_grid(std::size_t n, util::Rng& rng) {
+  const std::size_t side = require_perfect_square(n);
+  std::vector<Edge> candidates = torus_edges(side);
+  rng.shuffle(std::span<Edge>(candidates));
+  Graph graph(n);
+  DisjointSets sets(n);
+  // Paper, §5: add candidate grid edges uniformly at random until connected.
+  for (const Edge& e : candidates) {
+    graph.add_edge(e.u, e.v);
+    sets.unite(e.a(), e.b());
+    if (sets.set_count() == 1) break;
+  }
+  ensure(sets.set_count() == 1, "make_random_connected_grid: torus must connect");
+  return graph;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, util::Rng& rng,
+                       bool force_connected) {
+  require(n >= 2, "make_erdos_renyi: need at least 2 nodes");
+  require(p >= 0.0 && p <= 1.0, "make_erdos_renyi: p must be in [0,1]");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Graph graph(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.bernoulli(p)) {
+          graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        }
+      }
+    }
+    if (!force_connected || is_connected(graph)) return graph;
+  }
+  throw PreconditionError(
+      "make_erdos_renyi: could not draw a connected graph in 1000 attempts; "
+      "p is too small for force_connected");
+}
+
+Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                          util::Rng& rng) {
+  require(k >= 1 && n > 2 * k, "make_watts_strogatz: need n > 2k, k >= 1");
+  require(beta >= 0.0 && beta <= 1.0, "make_watts_strogatz: beta in [0,1]");
+  Graph graph(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t offset = 1; offset <= k; ++offset) {
+      const auto u = static_cast<NodeId>(i);
+      auto v = static_cast<NodeId>((i + offset) % n);
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniform non-self, non-duplicate target; skip the
+        // rewire (keep the lattice edge) if we fail to find one quickly.
+        bool rewired = false;
+        for (int tries = 0; tries < 32; ++tries) {
+          const auto w = static_cast<NodeId>(rng.uniform_index(n));
+          if (w != u && !graph.has_edge(u, w)) {
+            graph.add_edge(u, w);
+            rewired = true;
+            break;
+          }
+        }
+        if (rewired) continue;
+      }
+      if (!graph.has_edge(u, v)) graph.add_edge(u, v);
+    }
+  }
+  return graph;
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
+  require(m >= 1 && n > m, "make_barabasi_albert: need n > m >= 1");
+  Graph graph(n);
+  // Seed with a star over the first m+1 nodes so every seed node has degree
+  // >= 1 before preferential attachment begins.
+  std::vector<NodeId> attachment;  // node repeated once per unit of degree
+  for (std::size_t i = 1; i <= m; ++i) {
+    graph.add_edge(0, static_cast<NodeId>(i));
+    attachment.push_back(0);
+    attachment.push_back(static_cast<NodeId>(i));
+  }
+  for (std::size_t arrival = m + 1; arrival < n; ++arrival) {
+    const auto u = static_cast<NodeId>(arrival);
+    std::size_t added = 0;
+    while (added < m) {
+      const NodeId target = attachment[rng.uniform_index(attachment.size())];
+      if (target != u && graph.add_edge(u, target)) {
+        attachment.push_back(u);
+        attachment.push_back(target);
+        ++added;
+      }
+    }
+  }
+  return graph;
+}
+
+std::string family_name(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::kCycle: return "cycle";
+    case TopologyFamily::kRandomGrid: return "random-grid";
+    case TopologyFamily::kFullGrid: return "full-grid";
+    case TopologyFamily::kErdosRenyi: return "erdos-renyi";
+    case TopologyFamily::kWattsStrogatz: return "watts-strogatz";
+    case TopologyFamily::kBarabasiAlbert: return "barabasi-albert";
+  }
+  return "?";
+}
+
+Graph make_topology(TopologyFamily family, std::size_t n, util::Rng& rng) {
+  switch (family) {
+    case TopologyFamily::kCycle:
+      return make_cycle(n);
+    case TopologyFamily::kRandomGrid:
+      return make_random_connected_grid(n, rng);
+    case TopologyFamily::kFullGrid:
+      return make_torus_grid(n);
+    case TopologyFamily::kErdosRenyi: {
+      const double p = 2.0 * std::log(static_cast<double>(n)) / static_cast<double>(n);
+      return make_erdos_renyi(n, std::min(1.0, p), rng, /*force_connected=*/true);
+    }
+    case TopologyFamily::kWattsStrogatz:
+      return make_watts_strogatz(n, 2, 0.2, rng);
+    case TopologyFamily::kBarabasiAlbert:
+      return make_barabasi_albert(n, 2, rng);
+  }
+  throw PreconditionError("make_topology: unknown family");
+}
+
+}  // namespace poq::graph

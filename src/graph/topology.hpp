@@ -1,0 +1,74 @@
+// Generation-graph topology generators.
+//
+// §5 of the paper evaluates on two families: a cycle over |N| nodes and a
+// wraparound sqrt(|N|) x sqrt(|N|) grid whose generation edges are "added
+// uniformly at random on the grid until the underlying generation graph
+// connects all nodes". We provide those plus the standard families used by
+// the ablation benches (full torus, Erdos-Renyi, Watts-Strogatz,
+// Barabasi-Albert, path, star, complete).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace poq::graph {
+
+/// Cycle 0-1-...-(n-1)-0. Requires n >= 3.
+[[nodiscard]] Graph make_cycle(std::size_t n);
+
+/// Simple path 0-1-...-(n-1). Requires n >= 2.
+[[nodiscard]] Graph make_path(std::size_t n);
+
+/// Star with node 0 as hub. Requires n >= 2.
+[[nodiscard]] Graph make_star(std::size_t n);
+
+/// Complete graph K_n. Requires n >= 2.
+[[nodiscard]] Graph make_complete(std::size_t n);
+
+/// Full wraparound grid (torus): every node links to its four neighbours
+/// with modular wraparound. Requires n to be a perfect square >= 9.
+[[nodiscard]] Graph make_torus_grid(std::size_t n);
+
+/// The paper's grid construction (§5): candidate edges are the torus-grid
+/// edges; they are added uniformly at random (without replacement) until
+/// the graph is connected. The result is a sparse connected subgraph of
+/// the torus. Requires n to be a perfect square >= 9.
+[[nodiscard]] Graph make_random_connected_grid(std::size_t n, util::Rng& rng);
+
+/// Erdos-Renyi G(n, p). If `force_connected`, resamples until connected
+/// (requires p large enough for that to terminate quickly; callers should
+/// use p >= ~2 ln n / n).
+[[nodiscard]] Graph make_erdos_renyi(std::size_t n, double p, util::Rng& rng,
+                                     bool force_connected = false);
+
+/// Watts-Strogatz small world: ring lattice with k nearest neighbours per
+/// side rewired with probability beta. Requires n > 2k, k >= 1.
+[[nodiscard]] Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                                        util::Rng& rng);
+
+/// Barabasi-Albert preferential attachment, m edges per arriving node.
+/// Requires n > m >= 1.
+[[nodiscard]] Graph make_barabasi_albert(std::size_t n, std::size_t m,
+                                         util::Rng& rng);
+
+/// Named topology families, used by benches and examples to sweep.
+enum class TopologyFamily {
+  kCycle,
+  kRandomGrid,   // paper's random-until-connected torus subgraph
+  kFullGrid,     // complete torus
+  kErdosRenyi,
+  kWattsStrogatz,
+  kBarabasiAlbert,
+};
+
+[[nodiscard]] std::string family_name(TopologyFamily family);
+
+/// Build a topology of `family` over n nodes with default family
+/// parameters (ER: p = 2 ln n / n, connected; WS: k=2, beta=0.2; BA: m=2).
+[[nodiscard]] Graph make_topology(TopologyFamily family, std::size_t n,
+                                  util::Rng& rng);
+
+}  // namespace poq::graph

@@ -1,0 +1,145 @@
+#include "lp/maxmin.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace poq::lp {
+
+namespace {
+
+double evaluate(const LinearExpr& expr, const std::vector<double>& x) {
+  double total = 0.0;
+  for (const Term& term : expr) total += term.coefficient * x[term.var];
+  return total;
+}
+
+/// Clears the objective of a copied model.
+void clear_objective(LpModel& model) {
+  for (VarId v = 0; v < model.variable_count(); ++v) {
+    model.set_objective_coefficient(v, 0.0);
+  }
+}
+
+}  // namespace
+
+MaxMinResult maximize_minimum(const LpModel& model,
+                              const std::vector<LinearExpr>& expressions,
+                              const SimplexOptions& options) {
+  require(!expressions.empty(), "maximize_minimum: need at least one expression");
+  LpModel work = model;
+  clear_objective(work);
+  const VarId level = work.add_variable(-kInf, kInf, "maxmin_level");
+  for (const LinearExpr& expr : expressions) {
+    LinearExpr row = expr;
+    row.push_back(Term{level, -1.0});
+    work.add_constraint(std::move(row), Relation::kGreaterEqual, 0.0);
+  }
+  work.set_objective_sense(Sense::kMaximize);
+  work.set_objective_coefficient(level, 1.0);
+
+  const Solution solution = solve(work, options);
+  MaxMinResult result;
+  result.status = solution.status;
+  if (solution.status != SolveStatus::kOptimal) return result;
+  result.bottleneck_level = solution.objective;
+  result.values.assign(solution.values.begin(),
+                       solution.values.begin() + static_cast<long>(model.variable_count()));
+  result.expression_values.reserve(expressions.size());
+  for (const LinearExpr& expr : expressions) {
+    result.expression_values.push_back(evaluate(expr, result.values));
+  }
+  return result;
+}
+
+MaxMinResult lexicographic_max_min(const LpModel& model,
+                                   const std::vector<LinearExpr>& expressions,
+                                   const SimplexOptions& options) {
+  require(!expressions.empty(), "lexicographic_max_min: need >= 1 expression");
+  const double tol = 1e-6;
+
+  LpModel work = model;
+  clear_objective(work);
+  std::vector<bool> saturated(expressions.size(), false);
+  std::vector<double> levels(expressions.size(), 0.0);
+
+  MaxMinResult final_result;
+  while (true) {
+    std::vector<std::size_t> active;
+    for (std::size_t k = 0; k < expressions.size(); ++k) {
+      if (!saturated[k]) active.push_back(k);
+    }
+    if (active.empty()) break;
+
+    // Raise the common level of the active expressions.
+    LpModel round = work;
+    const VarId level = round.add_variable(-kInf, kInf, "level");
+    for (std::size_t k : active) {
+      LinearExpr row = expressions[k];
+      row.push_back(Term{level, -1.0});
+      round.add_constraint(std::move(row), Relation::kGreaterEqual, 0.0);
+    }
+    round.set_objective_sense(Sense::kMaximize);
+    round.set_objective_coefficient(level, 1.0);
+    const Solution lifted = solve(round, options);
+    if (lifted.status != SolveStatus::kOptimal) {
+      final_result.status = lifted.status;
+      return final_result;
+    }
+    const double reached = lifted.objective;
+
+    // Decide which active expressions are stuck at `reached`.
+    std::size_t newly_saturated = 0;
+    for (std::size_t k : active) {
+      LpModel probe = work;
+      for (std::size_t j : active) {
+        if (j == k) continue;
+        probe.add_constraint(expressions[j], Relation::kGreaterEqual, reached - tol);
+      }
+      clear_objective(probe);
+      probe.set_objective_sense(Sense::kMaximize);
+      for (const Term& term : expressions[k]) {
+        probe.add_objective_coefficient(term.var, term.coefficient);
+      }
+      const Solution head = solve(probe, options);
+      if (head.status != SolveStatus::kOptimal) {
+        final_result.status = head.status;
+        return final_result;
+      }
+      if (head.objective <= reached + tol) {
+        saturated[k] = true;
+        levels[k] = reached;
+        ++newly_saturated;
+        // Pin it so later rounds keep this level exactly.
+        work.add_constraint(expressions[k], Relation::kGreaterEqual, reached - tol);
+      }
+    }
+    ensure(newly_saturated > 0, "lexicographic_max_min: no progress");
+  }
+
+  // Final solve: all saturation constraints active; maximize total of all
+  // expressions to pick a deterministic representative solution.
+  LpModel last = work;
+  clear_objective(last);
+  last.set_objective_sense(Sense::kMaximize);
+  for (const LinearExpr& expr : expressions) {
+    for (const Term& term : expr) last.add_objective_coefficient(term.var, term.coefficient);
+  }
+  const Solution solution = solve(last, options);
+  final_result.status = solution.status;
+  if (solution.status != SolveStatus::kOptimal) return final_result;
+  final_result.values.assign(
+      solution.values.begin(),
+      solution.values.begin() + static_cast<long>(model.variable_count()));
+  final_result.expression_values.reserve(expressions.size());
+  for (const LinearExpr& expr : expressions) {
+    final_result.expression_values.push_back(evaluate(expr, final_result.values));
+  }
+  final_result.bottleneck_level =
+      *std::min_element(final_result.expression_values.begin(),
+                        final_result.expression_values.end());
+  final_result.saturation_levels = levels;
+  return final_result;
+}
+
+}  // namespace poq::lp

@@ -1,0 +1,43 @@
+// Max-min fairness over linear expressions.
+//
+// §3.3 of the paper lists "maximize the minimum c(x,y)" among its
+// optimization objectives and §4's distributed balancer targets a max-min
+// fair allocation of pair counts; this module provides the centralized
+// optimum to compare against: the single-level max-min LP and the full
+// lexicographic (water-filling) refinement.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace poq::lp {
+
+struct MaxMinResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  /// Value of the smallest expression at the solution.
+  double bottleneck_level = 0.0;
+  /// Structural variable assignment.
+  std::vector<double> values;
+  /// Achieved value of each input expression.
+  std::vector<double> expression_values;
+  /// Per-expression saturation level (lexicographic solve only; empty for
+  /// the single-level solve).
+  std::vector<double> saturation_levels;
+};
+
+/// Maximize min_k expressions[k] subject to `model`'s constraints/bounds.
+/// The model's own objective is ignored.
+[[nodiscard]] MaxMinResult maximize_minimum(const LpModel& model,
+                                            const std::vector<LinearExpr>& expressions,
+                                            const SimplexOptions& options = {});
+
+/// Lexicographic max-min (progressive filling): maximize the minimum, fix
+/// the saturated expressions, recurse on the rest. Exact but solves
+/// O(k^2) LPs; intended for small instances.
+[[nodiscard]] MaxMinResult lexicographic_max_min(const LpModel& model,
+                                                 const std::vector<LinearExpr>& expressions,
+                                                 const SimplexOptions& options = {});
+
+}  // namespace poq::lp

@@ -1,0 +1,558 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace poq::lp {
+
+std::string status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Sparse column of the constraint matrix.
+struct Column {
+  std::vector<std::uint32_t> rows;
+  std::vector<double> coefficients;
+};
+
+/// Working solver state. Column layout: [structural | slack | artificial].
+class Solver {
+ public:
+  /// `conservative` trades speed for robustness: Bland's rule throughout
+  /// and frequent refactorization. Used on retry after numerical trouble.
+  Solver(const LpModel& model, const SimplexOptions& options, bool conservative)
+      : model_(model), options_(options), conservative_(conservative),
+        use_bland_(conservative) {}
+
+  Solution run();
+
+ private:
+  enum class VarState : std::uint8_t { kBasic, kAtLower, kAtUpper };
+
+  void build_columns();
+  void install_artificial_basis();
+  void compute_basic_values();
+  SolveStatus iterate(bool phase_one);
+  void price(std::vector<double>& reduced) const;
+  [[nodiscard]] double column_dot(std::size_t col, const std::vector<double>& y) const;
+  void ftran(std::size_t col, std::vector<double>& w) const;
+  void refactorize();
+
+  const LpModel& model_;
+  const SimplexOptions& options_;
+
+  std::size_t rows_ = 0;
+  std::size_t structural_ = 0;
+  std::size_t total_ = 0;  // structural + slacks + artificials
+
+  std::vector<Column> columns_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> cost_;       // active objective (phase 1 or 2)
+  std::vector<double> real_cost_;  // phase-2 objective (minimization sense)
+  std::vector<double> rhs_;
+
+  std::vector<std::uint32_t> basis_;       // rows_ entries: column in row's basis slot
+  std::vector<VarState> state_;            // per column
+  std::vector<double> value_;              // per column current value
+  std::vector<std::vector<double>> binv_;  // dense basis inverse, rows_ x rows_
+
+  std::uint64_t iterations_ = 0;
+  std::uint32_t stalled_ = 0;
+  bool conservative_ = false;
+  bool use_bland_ = false;
+
+  [[nodiscard]] double bound_infeasibility() const;
+};
+
+void Solver::build_columns() {
+  rows_ = model_.constraint_count();
+  structural_ = model_.variable_count();
+  total_ = structural_ + 2 * rows_;
+
+  columns_.assign(total_, Column{});
+  lower_.assign(total_, 0.0);
+  upper_.assign(total_, kInfinity);
+  cost_.assign(total_, 0.0);
+  real_cost_.assign(total_, 0.0);
+  rhs_.assign(rows_, 0.0);
+
+  const double sense = model_.objective_sense() == Sense::kMinimize ? 1.0 : -1.0;
+  for (std::size_t v = 0; v < structural_; ++v) {
+    lower_[v] = model_.lower_bound(static_cast<VarId>(v));
+    upper_[v] = model_.upper_bound(static_cast<VarId>(v));
+    real_cost_[v] = sense * model_.objective_coefficient(static_cast<VarId>(v));
+  }
+
+  // Structural columns: accumulate duplicate terms defensively.
+  std::vector<double> dense(rows_, 0.0);
+  for (std::size_t v = 0; v < structural_; ++v) {
+    columns_[v].rows.clear();
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const Constraint& row = model_.constraint(static_cast<RowId>(r));
+    rhs_[r] = row.rhs;
+    for (const Term& term : row.expr) {
+      Column& col = columns_[term.var];
+      if (!col.rows.empty() && col.rows.back() == r) {
+        col.coefficients.back() += term.coefficient;
+      } else {
+        col.rows.push_back(static_cast<std::uint32_t>(r));
+        col.coefficients.push_back(term.coefficient);
+      }
+    }
+  }
+
+  // Slack columns: one logical per row.
+  //
+  // Inequality right-hand sides are relaxed by tiny distinct amounts
+  // (classic anti-degeneracy perturbation): highly symmetric programs like
+  // the §3 steady-state LP otherwise trap the simplex on a combinatorial
+  // plateau of t = 0 pivots at the optimal vertex. Relaxation direction
+  // keeps the original feasible region contained, equalities stay exact,
+  // and the perturbation is scaled to each row's coefficient magnitude so
+  // the induced solution shift stays ~1e-9 relative regardless of row
+  // scaling.
+  std::vector<double> row_scale(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (const Term& term : model_.constraint(static_cast<RowId>(r)).expr) {
+      row_scale[r] = std::max(row_scale[r], std::abs(term.coefficient));
+    }
+    row_scale[r] = std::max(row_scale[r], std::abs(rhs_[r]));
+  }
+  std::uint64_t mix = 0xD1B54A32D192ED03ULL;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::size_t s = structural_ + r;
+    columns_[s].rows.push_back(static_cast<std::uint32_t>(r));
+    columns_[s].coefficients.push_back(1.0);
+    mix = mix * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double jitter = 0.5 + static_cast<double>(mix >> 40) * 0x1.0p-25;
+    const double epsilon = 1e-9 * jitter * row_scale[r];
+    switch (model_.constraint(static_cast<RowId>(r)).relation) {
+      case Relation::kLessEqual:
+        lower_[s] = 0.0;
+        upper_[s] = kInfinity;
+        rhs_[r] += epsilon;
+        break;
+      case Relation::kGreaterEqual:
+        lower_[s] = -kInfinity;
+        upper_[s] = 0.0;
+        rhs_[r] -= epsilon;
+        break;
+      case Relation::kEqual:
+        lower_[s] = 0.0;
+        upper_[s] = 0.0;
+        break;
+    }
+  }
+}
+
+void Solver::install_artificial_basis() {
+  state_.assign(total_, VarState::kAtLower);
+  value_.assign(total_, 0.0);
+
+  // Nonbasic structural/slack variables start at their bound nearest zero.
+  for (std::size_t j = 0; j < structural_ + rows_; ++j) {
+    double v;
+    if (lower_[j] > -kInfinity && upper_[j] < kInfinity) {
+      v = std::abs(lower_[j]) <= std::abs(upper_[j]) ? lower_[j] : upper_[j];
+      state_[j] = (v == lower_[j]) ? VarState::kAtLower : VarState::kAtUpper;
+    } else if (lower_[j] > -kInfinity) {
+      v = lower_[j];
+      state_[j] = VarState::kAtLower;
+    } else if (upper_[j] < kInfinity) {
+      v = upper_[j];
+      state_[j] = VarState::kAtUpper;
+    } else {
+      v = 0.0;  // free variable; treated as at a pseudo lower bound
+      state_[j] = VarState::kAtLower;
+    }
+    value_[j] = v;
+  }
+
+  // Residual the artificials must absorb.
+  std::vector<double> residual = rhs_;
+  for (std::size_t j = 0; j < structural_ + rows_; ++j) {
+    if (value_[j] == 0.0) continue;
+    const Column& col = columns_[j];
+    for (std::size_t k = 0; k < col.rows.size(); ++k) {
+      residual[col.rows[k]] -= col.coefficients[k] * value_[j];
+    }
+  }
+
+  basis_.assign(rows_, 0);
+  binv_.assign(rows_, std::vector<double>(rows_, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::size_t a = structural_ + rows_ + r;
+    const double sign = residual[r] >= 0.0 ? 1.0 : -1.0;
+    columns_[a].rows.push_back(static_cast<std::uint32_t>(r));
+    columns_[a].coefficients.push_back(sign);
+    lower_[a] = 0.0;
+    upper_[a] = kInfinity;
+    cost_[a] = 1.0;  // phase-1 objective: sum of artificials
+    basis_[r] = static_cast<std::uint32_t>(a);
+    state_[a] = VarState::kBasic;
+    value_[a] = std::abs(residual[r]);
+    binv_[r][r] = sign;  // inverse of the +-1 diagonal artificial basis
+  }
+}
+
+void Solver::compute_basic_values() {
+  // x_B = B^-1 (b - N x_N)
+  std::vector<double> residual = rhs_;
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (state_[j] == VarState::kBasic || value_[j] == 0.0) continue;
+    const Column& col = columns_[j];
+    for (std::size_t k = 0; k < col.rows.size(); ++k) {
+      residual[col.rows[k]] -= col.coefficients[k] * value_[j];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < rows_; ++c) sum += binv_[r][c] * residual[c];
+    value_[basis_[r]] = sum;
+  }
+}
+
+double Solver::column_dot(std::size_t col_index, const std::vector<double>& y) const {
+  const Column& col = columns_[col_index];
+  double sum = 0.0;
+  for (std::size_t k = 0; k < col.rows.size(); ++k) {
+    sum += y[col.rows[k]] * col.coefficients[k];
+  }
+  return sum;
+}
+
+void Solver::ftran(std::size_t col_index, std::vector<double>& w) const {
+  const Column& col = columns_[col_index];
+  w.assign(rows_, 0.0);
+  for (std::size_t k = 0; k < col.rows.size(); ++k) {
+    const std::uint32_t row = col.rows[k];
+    const double coeff = col.coefficients[k];
+    for (std::size_t r = 0; r < rows_; ++r) w[r] += binv_[r][row] * coeff;
+  }
+}
+
+void Solver::refactorize() {
+  // Rebuild B^-1 from the basis columns by Gauss-Jordan with partial
+  // pivoting; called only when incremental updates have drifted.
+  std::vector<std::vector<double>> mat(rows_, std::vector<double>(rows_, 0.0));
+  for (std::size_t slot = 0; slot < rows_; ++slot) {
+    const Column& col = columns_[basis_[slot]];
+    for (std::size_t k = 0; k < col.rows.size(); ++k) {
+      mat[col.rows[k]][slot] = col.coefficients[k];
+    }
+  }
+  std::vector<std::vector<double>> inv(rows_, std::vector<double>(rows_, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) inv[r][r] = 1.0;
+  for (std::size_t c = 0; c < rows_; ++c) {
+    std::size_t pivot = c;
+    for (std::size_t r = c + 1; r < rows_; ++r) {
+      if (std::abs(mat[r][c]) > std::abs(mat[pivot][c])) pivot = r;
+    }
+    ensure(std::abs(mat[pivot][c]) > 1e-12, "simplex: singular basis");
+    std::swap(mat[c], mat[pivot]);
+    std::swap(inv[c], inv[pivot]);
+    const double scale = 1.0 / mat[c][c];
+    for (std::size_t k = 0; k < rows_; ++k) {
+      mat[c][k] *= scale;
+      inv[c][k] *= scale;
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == c) continue;
+      const double factor = mat[r][c];
+      if (factor == 0.0) continue;
+      for (std::size_t k = 0; k < rows_; ++k) {
+        mat[r][k] -= factor * mat[c][k];
+        inv[r][k] -= factor * inv[c][k];
+      }
+    }
+  }
+  binv_ = std::move(inv);
+  compute_basic_values();
+}
+
+void Solver::price(std::vector<double>& reduced) const {
+  // y^T = c_B^T B^-1, then d_j = c_j - y^T A_j for nonbasic j.
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double cb = cost_[basis_[r]];
+    if (cb == 0.0) continue;
+    for (std::size_t c = 0; c < rows_; ++c) y[c] += cb * binv_[r][c];
+  }
+  reduced.assign(total_, 0.0);
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (state_[j] == VarState::kBasic) continue;
+    if (lower_[j] == upper_[j]) continue;  // fixed: can never move
+    reduced[j] = cost_[j] - column_dot(j, y);
+  }
+}
+
+SolveStatus Solver::iterate(bool phase_one) {
+  std::vector<double> reduced;
+  std::vector<double> w;
+  std::uint32_t since_refactor = 0;
+
+  while (iterations_ < options_.max_iterations) {
+    ++iterations_;
+    if (options_.trace && iterations_ % 5000 == 0) {
+      double objective = 0.0;
+      for (std::size_t j = 0; j < total_; ++j) objective += cost_[j] * value_[j];
+      std::cerr << "[simplex] iter=" << iterations_ << " phase=" << (phase_one ? 1 : 2)
+                << " obj=" << objective << " stalled=" << stalled_
+                << " bland=" << use_bland_ << '\n';
+    }
+    price(reduced);
+
+    // --- entering variable ---
+    const double opt_tol = options_.optimality_tolerance;
+    std::size_t entering = total_;
+    double best_violation = opt_tol;
+    int direction = +1;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (state_[j] == VarState::kBasic || lower_[j] == upper_[j]) continue;
+      const double d = reduced[j];
+      double violation = 0.0;
+      int dir = 0;
+      const bool is_free = lower_[j] == -kInfinity && upper_[j] == kInfinity;
+      if (state_[j] == VarState::kAtLower && d < -opt_tol) {
+        violation = -d;
+        dir = +1;
+      } else if (state_[j] == VarState::kAtUpper && d > opt_tol) {
+        violation = d;
+        dir = -1;
+      } else if (is_free && std::abs(d) > opt_tol) {
+        violation = std::abs(d);
+        dir = d < 0 ? +1 : -1;
+      }
+      if (dir == 0) continue;
+      if (use_bland_) {  // Bland: first eligible index
+        entering = j;
+        direction = dir;
+        break;
+      }
+      if (violation > best_violation) {
+        best_violation = violation;
+        entering = j;
+        direction = dir;
+      }
+    }
+    if (entering == total_) return SolveStatus::kOptimal;
+
+    // --- ratio test ---
+    ftran(entering, w);
+    double t_limit = kInfinity;
+    std::size_t leaving_slot = rows_;  // rows_ => bound flip
+    double leaving_target = 0.0;
+    bool leaving_to_upper = false;
+    // Entering variable's own opposite bound.
+    if (lower_[entering] > -kInfinity && upper_[entering] < kInfinity) {
+      t_limit = upper_[entering] - lower_[entering];
+    }
+    const double pivot_tol = options_.pivot_tolerance;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double rate = direction * w[r];  // x_B[r] decreases at `rate`
+      const std::size_t b = basis_[r];
+      if (rate > pivot_tol) {
+        if (lower_[b] == -kInfinity) continue;
+        const double t = (value_[b] - lower_[b]) / rate;
+        if (t < t_limit - 1e-12 ||
+            (t < t_limit + 1e-12 && leaving_slot < rows_ &&
+             (use_bland_ ? b < basis_[leaving_slot]
+                         : std::abs(w[r]) > std::abs(w[leaving_slot])))) {
+          t_limit = std::max(0.0, t);
+          leaving_slot = r;
+          leaving_target = lower_[b];
+          leaving_to_upper = false;
+        }
+      } else if (rate < -pivot_tol) {
+        if (upper_[b] == kInfinity) continue;
+        const double t = (value_[b] - upper_[b]) / rate;
+        if (t < t_limit - 1e-12 ||
+            (t < t_limit + 1e-12 && leaving_slot < rows_ &&
+             (use_bland_ ? b < basis_[leaving_slot]
+                         : std::abs(w[r]) > std::abs(w[leaving_slot])))) {
+          t_limit = std::max(0.0, t);
+          leaving_slot = r;
+          leaving_target = upper_[b];
+          leaving_to_upper = true;
+        }
+      }
+    }
+
+    if (t_limit == kInfinity) {
+      return phase_one ? SolveStatus::kInfeasible  // phase-1 is bounded below by 0
+                       : SolveStatus::kUnbounded;
+    }
+
+    // Stall detection for anti-cycling.
+    if (t_limit <= 1e-12) {
+      if (++stalled_ >= options_.stall_threshold) use_bland_ = true;
+    } else {
+      stalled_ = 0;
+      if (!conservative_) use_bland_ = false;
+    }
+
+    // --- update values ---
+    for (std::size_t r = 0; r < rows_; ++r) {
+      value_[basis_[r]] -= t_limit * direction * w[r];
+    }
+    value_[entering] += direction * t_limit;
+
+    if (leaving_slot == rows_) {
+      // Bound flip: entering moves across its box; basis unchanged.
+      state_[entering] =
+          state_[entering] == VarState::kAtLower ? VarState::kAtUpper : VarState::kAtLower;
+      continue;
+    }
+
+    const std::size_t leaving = basis_[leaving_slot];
+    value_[leaving] = leaving_target;
+    state_[leaving] = leaving_to_upper ? VarState::kAtUpper : VarState::kAtLower;
+    state_[entering] = VarState::kBasic;
+    basis_[leaving_slot] = static_cast<std::uint32_t>(entering);
+
+    // --- eta update of the dense inverse ---
+    const double pivot = w[leaving_slot];
+    ensure(std::abs(pivot) > pivot_tol, "simplex: zero pivot escaped ratio test");
+    std::vector<double>& pivot_row = binv_[leaving_slot];
+    const double inv_pivot = 1.0 / pivot;
+    for (std::size_t c = 0; c < rows_; ++c) pivot_row[c] *= inv_pivot;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == leaving_slot) continue;
+      const double factor = w[r];
+      if (factor == 0.0) continue;
+      std::vector<double>& row = binv_[r];
+      for (std::size_t c = 0; c < rows_; ++c) row[c] -= factor * pivot_row[c];
+    }
+
+    if (++since_refactor >= (conservative_ ? 64u : 256u)) {
+      refactorize();
+      since_refactor = 0;
+    }
+  }
+  return SolveStatus::kIterationLimit;
+}
+
+double Solver::bound_infeasibility() const {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (lower_[j] > -kInfinity) worst = std::max(worst, lower_[j] - value_[j]);
+    if (upper_[j] < kInfinity) worst = std::max(worst, value_[j] - upper_[j]);
+  }
+  return worst;
+}
+
+Solution Solver::run() {
+  build_columns();
+  install_artificial_basis();
+
+  Solution result;
+
+  // Phase 1: minimize sum of artificials.
+  SolveStatus status = iterate(/*phase_one=*/true);
+  if (status == SolveStatus::kIterationLimit) {
+    result.status = status;
+    result.iterations = iterations_;
+    return result;
+  }
+  double infeasibility = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::size_t a = structural_ + rows_ + r;
+    infeasibility += value_[a];
+  }
+  if (status == SolveStatus::kInfeasible ||
+      infeasibility > options_.feasibility_tolerance * (1.0 + std::abs(infeasibility))) {
+    result.status = SolveStatus::kInfeasible;
+    result.iterations = iterations_;
+    return result;
+  }
+
+  // Phase 2: pin artificials to zero, restore the real objective.
+  //
+  // The §3 steady-state programs are massively degenerate (thousands of
+  // structurally symmetric sigma columns), which can trap the simplex on
+  // a plateau at the optimum without a certificate. Break the ties with a
+  // deterministic, strictly positive cost perturbation: it cannot create
+  // new unbounded directions (costs only increase in the minimization
+  // sense) and shifts the optimum by at most sum(eps * x), far below the
+  // reporting tolerances. The reported objective is evaluated with the
+  // true costs.
+  double cost_scale = 1.0;
+  for (std::size_t j = 0; j < structural_; ++j) {
+    cost_scale = std::max(cost_scale, std::abs(real_cost_[j]));
+  }
+  std::uint64_t mix = 0x9E3779B97F4A7C15ULL;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::size_t a = structural_ + rows_ + r;
+    lower_[a] = upper_[a] = 0.0;
+    cost_[a] = 0.0;
+  }
+  for (std::size_t j = 0; j < structural_ + rows_; ++j) {
+    mix = mix * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double jitter = 0.5 + static_cast<double>(mix >> 40) * 0x1.0p-25;
+    // Perturb toward the variable's finite bound so no new unbounded
+    // direction can appear; leave free variables untouched.
+    double sign = 0.0;
+    if (lower_[j] > -kInfinity) {
+      sign = 1.0;
+    } else if (upper_[j] < kInfinity) {
+      sign = -1.0;
+    }
+    cost_[j] = real_cost_[j] + sign * 1e-9 * cost_scale * jitter;
+  }
+  stalled_ = 0;
+  use_bland_ = conservative_;
+
+  status = iterate(/*phase_one=*/false);
+  result.status = status;
+  result.iterations = iterations_;
+  if (status != SolveStatus::kOptimal) return result;
+
+  refactorize();  // tighten values before extraction
+  // Guard against numerical drift having led pivoting astray: the final
+  // basis must respect every bound. A violation triggers the caller's
+  // conservative retry.
+  ensure(bound_infeasibility() <= 1e-6, "simplex: drifted to an infeasible basis");
+  result.values.assign(structural_, 0.0);
+  for (std::size_t v = 0; v < structural_; ++v) result.values[v] = value_[v];
+  result.objective = model_.objective_value(result.values);
+  return result;
+}
+
+}  // namespace
+
+Solution solve(const LpModel& model, const SimplexOptions& options) {
+  require(model.variable_count() > 0, "simplex: model has no variables");
+  try {
+    Solver solver(model, options, /*conservative=*/false);
+    return solver.run();
+  } catch (const InvariantError&) {
+    // Numerical trouble (singular basis or drifted values): retry slowly
+    // but safely — Bland's rule throughout and frequent refactorization.
+  }
+  try {
+    Solver solver(model, options, /*conservative=*/true);
+    return solver.run();
+  } catch (const InvariantError&) {
+    Solution failed;
+    failed.status = SolveStatus::kIterationLimit;
+    return failed;
+  }
+}
+
+}  // namespace poq::lp

@@ -1,0 +1,49 @@
+// Bounded-variable two-phase revised simplex.
+//
+// Self-contained dense solver sized for the paper's steady-state programs:
+// for |N| nodes the sigma/g/c formulation has Theta(|N|^3) variables and
+// Theta(|N|^2) constraints, which a dense-inverse revised simplex handles
+// comfortably up to |N| ~ 30 on one core. Box bounds on variables are
+// handled natively (no bound rows), equality/inequality rows get logical
+// slacks, and feasibility is found with explicit artificials (phase 1).
+// Anti-cycling: Dantzig pricing with an automatic fallback to Bland's rule
+// during degenerate stalls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace poq::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+[[nodiscard]] std::string status_name(SolveStatus status);
+
+struct SimplexOptions {
+  std::uint32_t max_iterations = 200000;
+  double feasibility_tolerance = 1e-7;
+  double optimality_tolerance = 1e-7;
+  double pivot_tolerance = 1e-8;
+  /// Degenerate iterations tolerated before switching to Bland's rule.
+  std::uint32_t stall_threshold = 64;
+  /// Emit phase transitions and periodic progress to stderr (debugging).
+  bool trace = false;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective in the model's own sense (max problems are not negated).
+  double objective = 0.0;
+  /// One value per structural (model) variable; empty unless kOptimal.
+  std::vector<double> values;
+  std::uint64_t iterations = 0;
+};
+
+/// Solve `model`; never throws for solvable/unsolvable inputs (status
+/// reports the outcome), throws PreconditionError for malformed models.
+[[nodiscard]] Solution solve(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace poq::lp

@@ -1,0 +1,66 @@
+#include "net/fabric.hpp"
+
+#include "util/error.hpp"
+
+namespace poq::net {
+
+namespace {
+constexpr std::size_t kTypeCount = 9;  // tags 1..8 plus slot 0 unused
+
+std::size_t type_slot(MessageType type) {
+  const auto slot = static_cast<std::size_t>(type);
+  ensure(slot >= 1 && slot < kTypeCount, "ClassicalFabric: bad message type");
+  return slot;
+}
+}  // namespace
+
+ClassicalFabric::ClassicalFabric(LatencyFn latency)
+    : latency_(std::move(latency)), per_type_(kTypeCount) {
+  require(static_cast<bool>(latency_), "ClassicalFabric: latency function required");
+}
+
+SimTime ClassicalFabric::send(NodeId src, NodeId dst, SimTime now, Message message) {
+  const SimTime delay = latency_(src, dst);
+  require(delay >= 0.0, "ClassicalFabric: negative latency");
+  Envelope envelope;
+  envelope.src = src;
+  envelope.dst = dst;
+  envelope.send_time = now;
+  envelope.deliver_time = now + delay;
+
+  TrafficStats& stats = per_type_[type_slot(message_type(message))];
+  ++stats.messages;
+  stats.bytes += encoded_size(message);
+
+  const SimTime deliver_time = envelope.deliver_time;
+  envelope.message = std::move(message);
+  queue_.emplace(sequence_++, std::move(envelope));
+  return deliver_time;
+}
+
+std::optional<Envelope> ClassicalFabric::poll(SimTime now) {
+  if (queue_.empty() || queue_.top().second.deliver_time > now) return std::nullopt;
+  Envelope envelope = queue_.top().second;
+  queue_.pop();
+  return envelope;
+}
+
+std::optional<SimTime> ClassicalFabric::next_delivery() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().second.deliver_time;
+}
+
+const TrafficStats& ClassicalFabric::stats(MessageType type) const {
+  return per_type_[type_slot(type)];
+}
+
+TrafficStats ClassicalFabric::total_stats() const {
+  TrafficStats total;
+  for (const TrafficStats& stats : per_type_) {
+    total.messages += stats.messages;
+    total.bytes += stats.bytes;
+  }
+  return total;
+}
+
+}  // namespace poq::net

@@ -1,0 +1,84 @@
+// In-memory classical network fabric with latency and accounting.
+//
+// Both protocol families need a classical control plane: planned-path for
+// reservations and swap notifications, path-oblivious for count
+// dissemination (§2 "Classical overheads"). The fabric delivers encoded
+// messages after a caller-supplied latency and keeps byte/message
+// counters per message type so benches can report classical overhead per
+// satisfied consumption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace poq::net {
+
+/// Simulation time in arbitrary units (the simulators use rounds or
+/// seconds consistently within one experiment).
+using SimTime = double;
+
+/// Latency oracle: transfer delay from src to dst (e.g. per-hop delay
+/// times hop distance). Must be non-negative.
+using LatencyFn = std::function<SimTime(NodeId src, NodeId dst)>;
+
+/// A message in flight or delivered.
+struct Envelope {
+  NodeId src = 0;
+  NodeId dst = 0;
+  SimTime send_time = 0.0;
+  SimTime deliver_time = 0.0;
+  Message message;
+};
+
+/// Per-type traffic counters.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Deterministic store-and-forward fabric. Not thread-safe (the
+/// simulators are single-threaded by design; determinism is a feature).
+class ClassicalFabric {
+ public:
+  explicit ClassicalFabric(LatencyFn latency);
+
+  /// Queue a message from src to dst at `now`; returns its delivery time.
+  SimTime send(NodeId src, NodeId dst, SimTime now, Message message);
+
+  /// Pop the next message with deliver_time <= `now` (FIFO among equal
+  /// times by send order); nullopt when none is due.
+  std::optional<Envelope> poll(SimTime now);
+
+  /// Earliest pending delivery time; nullopt when idle.
+  [[nodiscard]] std::optional<SimTime> next_delivery() const;
+
+  [[nodiscard]] std::size_t in_flight() const { return queue_.size(); }
+
+  [[nodiscard]] const TrafficStats& stats(MessageType type) const;
+  [[nodiscard]] TrafficStats total_stats() const;
+
+ private:
+  struct Ordering {
+    bool operator()(const std::pair<std::uint64_t, Envelope>& lhs,
+                    const std::pair<std::uint64_t, Envelope>& rhs) const {
+      if (lhs.second.deliver_time != rhs.second.deliver_time) {
+        return lhs.second.deliver_time > rhs.second.deliver_time;
+      }
+      return lhs.first > rhs.first;  // FIFO tie-break by sequence
+    }
+  };
+
+  LatencyFn latency_;
+  std::uint64_t sequence_ = 0;
+  std::priority_queue<std::pair<std::uint64_t, Envelope>,
+                      std::vector<std::pair<std::uint64_t, Envelope>>, Ordering>
+      queue_;
+  std::vector<TrafficStats> per_type_;
+};
+
+}  // namespace poq::net

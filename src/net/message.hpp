@@ -1,0 +1,119 @@
+// Classical control-plane messages.
+//
+// The paper's protocols exchange: the 2 bits completing each swap
+// (Fig. 2), buffer-count state for the balancer (§4 assumes global
+// knowledge; §6 relaxes it to gossip), and reservation traffic for the
+// planned-path baselines (RSVP-like, cf. [33]). Each message encodes to a
+// deterministic byte string so classical overhead is measured, not
+// estimated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace poq::net {
+
+using NodeId = std::uint32_t;
+
+/// Completion notice for swap left <- repeater -> right: carries the two
+/// Bell-measurement bits the far end needs for its Pauli repair.
+struct SwapNotify {
+  NodeId repeater = 0;
+  NodeId left = 0;
+  NodeId right = 0;
+  bool z_bit = false;
+  bool x_bit = false;
+};
+
+/// One node's current Bell-pair counts toward a set of peers.
+struct CountUpdate {
+  NodeId reporter = 0;
+  std::uint64_t version = 0;  // monotonically increasing per reporter
+  struct Entry {
+    NodeId peer = 0;
+    std::uint32_t count = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Reserve swap capacity along an explicit path (planned-path baseline).
+struct PathReserve {
+  std::uint64_t request_id = 0;
+  std::vector<NodeId> path;
+};
+
+/// Release a reservation after completion or failure.
+struct PathRelease {
+  std::uint64_t request_id = 0;
+  bool completed = false;
+};
+
+/// BitTorrent-style neighbour management for partial-knowledge gossip
+/// (§6): a node offers its counts to a rotating subset and chokes others.
+struct GossipControl {
+  NodeId from = 0;
+  NodeId to = 0;
+  bool unchoke = false;  // true: start exchanging counts; false: stop
+};
+
+/// Repointing notice after a remote swap (distributed protocol): "your
+/// qubit `qubit` is now entangled with `new_partner_qubit` held at
+/// `new_partner`". Carries the Bell-measurement bits for the Pauli frame.
+struct PairUpdate {
+  NodeId to = 0;
+  NodeId new_partner = 0;
+  std::uint64_t qubit = 0;
+  std::uint64_t new_partner_qubit = 0;
+  bool z_bit = false;
+  bool x_bit = false;
+};
+
+/// Consumption handshake, initiator side: "let us consume the pair formed
+/// by my `initiator_qubit` and your `responder_qubit`".
+struct ConsumeOffer {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t initiator_qubit = 0;
+  std::uint64_t responder_qubit = 0;
+};
+
+/// Consumption handshake, responder side.
+struct ConsumeReply {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t request_id = 0;
+  bool accept = false;
+};
+
+using Message = std::variant<SwapNotify, CountUpdate, PathReserve, PathRelease,
+                             GossipControl, PairUpdate, ConsumeOffer, ConsumeReply>;
+
+/// Stable wire tags (first byte of every encoded message).
+enum class MessageType : std::uint8_t {
+  kSwapNotify = 1,
+  kCountUpdate = 2,
+  kPathReserve = 3,
+  kPathRelease = 4,
+  kGossipControl = 5,
+  kPairUpdate = 6,
+  kConsumeOffer = 7,
+  kConsumeReply = 8,
+};
+
+[[nodiscard]] MessageType message_type(const Message& message);
+
+/// Serialize with a leading type tag.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& message);
+
+/// Parse a message; throws PreconditionError on malformed input.
+[[nodiscard]] Message decode(std::span<const std::uint8_t> bytes);
+
+/// Encoded size in bytes without materializing the buffer twice.
+[[nodiscard]] std::size_t encoded_size(const Message& message);
+
+}  // namespace poq::net

@@ -1,0 +1,91 @@
+#include "quantum/circuits.hpp"
+
+#include "quantum/gates.hpp"
+#include "util/error.hpp"
+
+namespace poq::quantum {
+
+BellMeasurement bell_measure(Statevector& state, unsigned a, unsigned b,
+                             util::Rng& rng) {
+  state.apply_cnot(a, b);
+  state.apply(gates::hadamard(), a);
+  BellMeasurement bits;
+  bits.z_bit = state.measure(a, rng);
+  bits.x_bit = state.measure(b, rng);
+  return bits;
+}
+
+BellMeasurement teleport(Statevector& state, unsigned source, unsigned bell_near,
+                         unsigned bell_far, util::Rng& rng) {
+  // Fig. 1(b)-(c): origin local operations and measurement.
+  const BellMeasurement bits = bell_measure(state, source, bell_near, rng);
+  // Fig. 1(d): destination repair using the 2 classical bits.
+  if (bits.x_bit) state.apply(gates::pauli_x(), bell_far);
+  if (bits.z_bit) state.apply(gates::pauli_z(), bell_far);
+  return bits;
+}
+
+BellMeasurement entanglement_swap(Statevector& state, unsigned mid_a, unsigned mid_b,
+                                  unsigned right, util::Rng& rng) {
+  // Swapping is teleportation of mid_a's half through the (mid_b, right)
+  // channel; afterwards mid_a's old partner is entangled with `right`.
+  return teleport(state, mid_a, mid_b, right, rng);
+}
+
+Statevector swap_chain(unsigned hops, const std::vector<unsigned>& swap_order,
+                       util::Rng& rng) {
+  require(hops >= 1 && hops <= 11, "swap_chain: hops must be in [1, 11]");
+  require(swap_order.size() + 1 == hops,
+          "swap_chain: need exactly hops-1 repeater swaps");
+
+  // Pair k spans nodes (k, k+1) on qubits (2k, 2k+1); repeater j in
+  // 1..hops-1 holds qubits (2j-1, 2j).
+  Statevector state(2 * hops);
+  std::vector<unsigned> partner(2 * hops);
+  for (unsigned k = 0; k < hops; ++k) {
+    state.prepare_bell_phi_plus(2 * k, 2 * k + 1);
+    partner[2 * k] = 2 * k + 1;
+    partner[2 * k + 1] = 2 * k;
+  }
+
+  std::vector<bool> swapped(hops, false);
+  for (unsigned repeater : swap_order) {
+    require(repeater >= 1 && repeater < hops, "swap_chain: repeater out of range");
+    require(!swapped[repeater], "swap_chain: repeater listed twice");
+    swapped[repeater] = true;
+    const unsigned left_half = 2 * repeater - 1;
+    const unsigned right_half = 2 * repeater;
+    const unsigned left_end = partner[left_half];
+    const unsigned right_end = partner[right_half];
+    entanglement_swap(state, left_half, right_half, right_end, rng);
+    partner[left_end] = right_end;
+    partner[right_end] = left_end;
+  }
+
+  const unsigned origin = 0;
+  const unsigned destination = partner[origin];
+  ensure(destination == 2 * hops - 1, "swap_chain: endpoints failed to connect");
+
+  // All repeater qubits are measured out, so the register factorizes as
+  // (definite bits) x (origin, destination); marginalize onto a fresh
+  // 2-qubit register.
+  Statevector result(2);
+  std::vector<Amplitude> out(4, Amplitude{0.0, 0.0});
+  const auto amps = state.amplitudes();
+  for (std::size_t index = 0; index < amps.size(); ++index) {
+    if (amps[index] == Amplitude{0.0, 0.0}) continue;
+    const std::size_t bit0 = (index >> origin) & 1U;
+    const std::size_t bit1 = (index >> destination) & 1U;
+    out[bit0 + 2 * bit1] += amps[index];
+  }
+  result = Statevector::from_amplitudes(std::move(out));
+  return result;
+}
+
+Statevector phi_plus_reference() {
+  Statevector state(2);
+  state.prepare_bell_phi_plus(0, 1);
+  return state;
+}
+
+}  // namespace poq::quantum

@@ -1,0 +1,57 @@
+// The paper's mechanism circuits (Figs. 1-3) on exact state.
+//
+// Teleportation (Fig. 1): origin applies CNOT+H to (psi, bell half),
+// measures both, sends 2 classical bits; destination repairs with X/Z.
+// Entanglement swapping (Fig. 2) is teleportation where psi is itself half
+// of another Bell pair: the repeater Bell-measures its two halves and the
+// far ends become directly entangled. A swap chain (Fig. 3) iterates this
+// along a repeater path — in any order, which tests verify.
+#pragma once
+
+#include <vector>
+
+#include "quantum/statevector.hpp"
+#include "util/rng.hpp"
+
+namespace poq::quantum {
+
+/// Result of a Bell-basis measurement: the two classical bits the paper's
+/// Fig. 1(d)/Fig. 2(b) transmit.
+struct BellMeasurement {
+  bool z_bit = false;  // from measuring the H-transformed qubit
+  bool x_bit = false;  // from measuring the CNOT target qubit
+};
+
+/// Bell-measure qubits (a, b): CNOT(a->b), H(a), measure both.
+BellMeasurement bell_measure(Statevector& state, unsigned a, unsigned b,
+                             util::Rng& rng);
+
+/// Teleport the state of `source` onto `bell_far`, where (bell_near,
+/// bell_far) hold a Phi+ pair. Performs the origin-side operations and
+/// measurement, then the destination repair (X if x_bit, Z if z_bit).
+/// After the call `bell_far` carries the source state; `source` and
+/// `bell_near` are collapsed.
+BellMeasurement teleport(Statevector& state, unsigned source, unsigned bell_near,
+                         unsigned bell_far, util::Rng& rng);
+
+/// Entanglement swap at a repeater (Fig. 2): pairs (left, mid_a) and
+/// (mid_b, right) are each Phi+; after the call (left, right) are Phi+ and
+/// the repeater qubits are measured out. Returns the 2 classical bits that
+/// were "sent" to `right` for the repair.
+BellMeasurement entanglement_swap(Statevector& state, unsigned mid_a, unsigned mid_b,
+                                  unsigned right, util::Rng& rng);
+
+/// Builds a repeater chain of `hops` elementary Phi+ pairs
+/// (Fig. 3: origin R1 ... R_{hops-1} destination), performs all swaps in
+/// `swap_order` (a permutation of the repeater indices 1..hops-1), and
+/// returns the final 2-qubit state of (origin, destination) as qubits
+/// (0, 1) of a fresh 2-qubit register for fidelity checks.
+///
+/// The register uses 2*hops qubits; hops is limited to 11.
+Statevector swap_chain(unsigned hops, const std::vector<unsigned>& swap_order,
+                       util::Rng& rng);
+
+/// Reference Phi+ two-qubit state.
+[[nodiscard]] Statevector phi_plus_reference();
+
+}  // namespace poq::quantum

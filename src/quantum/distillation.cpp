@@ -1,0 +1,105 @@
+#include "quantum/distillation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace poq::quantum {
+
+DistillationStep bbpssw(double f1, double f2) {
+  require(f1 >= 0.0 && f1 <= 1.0 && f2 >= 0.0 && f2 <= 1.0,
+          "bbpssw: fidelities must lie in [0,1]");
+  const double g1 = (1.0 - f1) / 3.0;  // weight of each non-target Bell state
+  const double g2 = (1.0 - f2) / 3.0;
+  const double success =
+      f1 * f2 + f1 * g2 + g1 * f2 + 5.0 * g1 * g2;
+  const double numerator = f1 * f2 + g1 * g2;
+  DistillationStep step;
+  step.success_probability = success;
+  step.output_fidelity = success > 0.0 ? numerator / success : 0.0;
+  return step;
+}
+
+DejmpsResult dejmps(const BellDiagonal& s1, const BellDiagonal& s2) {
+  // DEJMPS recurrence for two Bell-diagonal states with weights
+  // (a, b, c, d) on (Phi+, Psi+, Psi-, Phi-), after the standard local
+  // rotations. Success keeps both target-correlated branches.
+  const double n = (s1.a + s1.d) * (s2.a + s2.d) + (s1.b + s1.c) * (s2.b + s2.c);
+  DejmpsResult result;
+  result.success_probability = n;
+  if (n <= 0.0) return result;
+  result.output.a = (s1.a * s2.a + s1.d * s2.d) / n;
+  result.output.b = (s1.b * s2.b + s1.c * s2.c) / n;
+  result.output.c = (s1.b * s2.c + s1.c * s2.b) / n;
+  result.output.d = (s1.a * s2.d + s1.d * s2.a) / n;
+  return result;
+}
+
+DistillationCost nested_distillation_cost(double raw_fidelity, double target_fidelity,
+                                          unsigned max_rounds) {
+  require(raw_fidelity > 0.0 && raw_fidelity <= 1.0,
+          "nested_distillation_cost: raw fidelity in (0,1]");
+  require(target_fidelity > 0.0 && target_fidelity <= 1.0,
+          "nested_distillation_cost: target fidelity in (0,1]");
+  DistillationCost cost;
+  double fidelity = raw_fidelity;
+  double expected = 1.0;
+  unsigned round = 0;
+  while (fidelity + 1e-12 < target_fidelity && round < max_rounds) {
+    const DistillationStep step = bbpssw(fidelity, fidelity);
+    if (step.output_fidelity <= fidelity + 1e-12) {
+      return cost;  // fixed point below target: unreachable
+    }
+    expected = 2.0 * expected / step.success_probability;
+    fidelity = step.output_fidelity;
+    ++round;
+  }
+  if (fidelity + 1e-12 < target_fidelity) return cost;  // ran out of rounds
+  cost.reachable = true;
+  cost.rounds = round;
+  cost.expected_raw_pairs = expected;
+  cost.output_fidelity = fidelity;
+  return cost;
+}
+
+DistillationCost pumping_cost(double raw_fidelity, double target_fidelity,
+                              unsigned max_rounds) {
+  require(raw_fidelity > 0.0 && raw_fidelity <= 1.0,
+          "pumping_cost: raw fidelity in (0,1]");
+  require(target_fidelity > 0.0 && target_fidelity <= 1.0,
+          "pumping_cost: target fidelity in (0,1]");
+  DistillationCost cost;
+  // Expected raw pairs E_k to hold a buffered pair at pump level k:
+  // success at level k consumes E_{k-1} buffered cost + 1 fresh pair and
+  // happens with probability p_k; on failure everything restarts. For a
+  // sequential pump the standard recursion is
+  //   E_k = (E_{k-1} + 1) / p_k
+  // (fresh pair costs 1 raw pair; failures discard both).
+  double fidelity = raw_fidelity;
+  double expected = 1.0;
+  unsigned round = 0;
+  while (fidelity + 1e-12 < target_fidelity && round < max_rounds) {
+    const DistillationStep step = bbpssw(fidelity, raw_fidelity);
+    if (step.output_fidelity <= fidelity + 1e-12) return cost;
+    expected = (expected + 1.0) / step.success_probability;
+    fidelity = step.output_fidelity;
+    ++round;
+  }
+  if (fidelity + 1e-12 < target_fidelity) return cost;
+  cost.reachable = true;
+  cost.rounds = round;
+  cost.expected_raw_pairs = expected;
+  cost.output_fidelity = fidelity;
+  return cost;
+}
+
+double distillation_overhead(double raw_fidelity, double target_fidelity) {
+  const DistillationCost cost = nested_distillation_cost(raw_fidelity, target_fidelity);
+  require(cost.reachable,
+          util::str_cat("distillation_overhead: target fidelity ", target_fidelity,
+                        " unreachable from raw fidelity ", raw_fidelity));
+  return cost.expected_raw_pairs;
+}
+
+}  // namespace poq::quantum

@@ -1,0 +1,60 @@
+// Entanglement distillation (a.k.a. purification) models.
+//
+// §2 of the paper: "a predictive process that uses (and destroys) one Bell
+// pair to assess the correctness of another", and §3.2 folds its expected
+// cost into a per-pair scalar D_{x,y}. This module implements the two
+// canonical recurrence protocols the paper cites ([6] BBPSSW; DEJMPS) and
+// derives D: the expected number of raw pairs consumed to produce one
+// pair at target fidelity, via nested distillation or pumping.
+#pragma once
+
+#include "quantum/werner.hpp"
+
+namespace poq::quantum {
+
+/// Outcome of one probabilistic distillation round on two input pairs.
+struct DistillationStep {
+  double success_probability = 0.0;
+  double output_fidelity = 0.0;  // conditioned on success
+};
+
+/// BBPSSW round on two Werner pairs (twirled back to Werner afterwards).
+[[nodiscard]] DistillationStep bbpssw(double f1, double f2);
+
+/// DEJMPS round on two Bell-diagonal states (no twirl; keeps the full
+/// diagonal). Output state is Bell-diagonal again.
+struct DejmpsResult {
+  double success_probability = 0.0;
+  BellDiagonal output;  // conditioned on success
+};
+[[nodiscard]] DejmpsResult dejmps(const BellDiagonal& s1, const BellDiagonal& s2);
+
+/// Cost of reaching `target_fidelity` from raw Werner pairs of fidelity
+/// `raw_fidelity`.
+struct DistillationCost {
+  bool reachable = false;
+  unsigned rounds = 0;              // nesting depth (0 if raw already suffices)
+  double expected_raw_pairs = 1.0;  // E[# raw pairs] per output pair
+  double output_fidelity = 0.0;
+};
+
+/// Symmetric nested BBPSSW: level-k pairs are distilled from two level-
+/// (k-1) pairs; expected raw cost E_k = 2 E_{k-1} / p_k. `max_rounds`
+/// bounds the search (fidelity converges to a fixed point < 1, so some
+/// targets are unreachable).
+[[nodiscard]] DistillationCost nested_distillation_cost(double raw_fidelity,
+                                                        double target_fidelity,
+                                                        unsigned max_rounds = 32);
+
+/// Entanglement pumping: keep one buffered pair, repeatedly distill it
+/// with fresh raw pairs (restarting from raw on failure). Cheaper in
+/// memory than nesting but converges to a lower fixed point.
+[[nodiscard]] DistillationCost pumping_cost(double raw_fidelity, double target_fidelity,
+                                            unsigned max_rounds = 64);
+
+/// The paper's D_{x,y}: expected Bell pairs consumed per usable pair,
+/// derived from nested BBPSSW. Returns 1.0 when raw fidelity already
+/// meets the target (no distillation needed). Throws if unreachable.
+[[nodiscard]] double distillation_overhead(double raw_fidelity, double target_fidelity);
+
+}  // namespace poq::quantum

@@ -1,0 +1,139 @@
+#include "quantum/statevector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace poq::quantum {
+
+Statevector::Statevector(unsigned qubit_count)
+    : qubit_count_(qubit_count), amplitudes_(std::size_t{1} << qubit_count) {
+  require(qubit_count >= 1 && qubit_count <= 24,
+          "Statevector: qubit count must be in [1, 24]");
+  amplitudes_[0] = Amplitude{1.0, 0.0};
+}
+
+Statevector Statevector::from_amplitudes(std::vector<Amplitude> amplitudes) {
+  unsigned qubits = 0;
+  while ((std::size_t{1} << qubits) < amplitudes.size()) ++qubits;
+  require((std::size_t{1} << qubits) == amplitudes.size() && !amplitudes.empty(),
+          "Statevector::from_amplitudes: size must be a power of two");
+  Statevector state(qubits);
+  double norm = 0.0;
+  for (const Amplitude& a : amplitudes) norm += std::norm(a);
+  require(norm > 1e-12, "Statevector::from_amplitudes: zero vector");
+  const double scale = 1.0 / std::sqrt(norm);
+  for (Amplitude& a : amplitudes) a *= scale;
+  state.amplitudes_ = std::move(amplitudes);
+  return state;
+}
+
+void Statevector::check_qubit(unsigned qubit) const {
+  require(qubit < qubit_count_, "Statevector: qubit index out of range");
+}
+
+double Statevector::norm_squared() const {
+  double total = 0.0;
+  for (const Amplitude& a : amplitudes_) total += std::norm(a);
+  return total;
+}
+
+double Statevector::fidelity_with(const Statevector& other) const {
+  require(other.qubit_count_ == qubit_count_,
+          "Statevector::fidelity_with: qubit count mismatch");
+  Amplitude overlap{0.0, 0.0};
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    overlap += std::conj(other.amplitudes_[i]) * amplitudes_[i];
+  }
+  return std::norm(overlap);
+}
+
+void Statevector::apply(const Gate1& gate, unsigned qubit) {
+  check_qubit(qubit);
+  const std::size_t step = stride(qubit);
+  for (std::size_t base = 0; base < amplitudes_.size(); base += 2 * step) {
+    for (std::size_t offset = 0; offset < step; ++offset) {
+      Amplitude& a0 = amplitudes_[base + offset];
+      Amplitude& a1 = amplitudes_[base + offset + step];
+      const Amplitude new0 = gate.m[0] * a0 + gate.m[1] * a1;
+      const Amplitude new1 = gate.m[2] * a0 + gate.m[3] * a1;
+      a0 = new0;
+      a1 = new1;
+    }
+  }
+}
+
+void Statevector::apply_cnot(unsigned control, unsigned target) {
+  check_qubit(control);
+  check_qubit(target);
+  require(control != target, "apply_cnot: control must differ from target");
+  const std::size_t cbit = stride(control);
+  const std::size_t tbit = stride(target);
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    // Swap amplitude with its target-flipped partner once per pair.
+    if ((i & cbit) != 0 && (i & tbit) == 0) {
+      std::swap(amplitudes_[i], amplitudes_[i | tbit]);
+    }
+  }
+}
+
+void Statevector::apply_cz(unsigned a, unsigned b) {
+  check_qubit(a);
+  check_qubit(b);
+  require(a != b, "apply_cz: qubits must differ");
+  const std::size_t abit = stride(a);
+  const std::size_t bbit = stride(b);
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    if ((i & abit) != 0 && (i & bbit) != 0) amplitudes_[i] = -amplitudes_[i];
+  }
+}
+
+double Statevector::probability_one(unsigned qubit) const {
+  check_qubit(qubit);
+  const std::size_t bit = stride(qubit);
+  double total = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    if ((i & bit) != 0) total += std::norm(amplitudes_[i]);
+  }
+  return total;
+}
+
+bool Statevector::measure(unsigned qubit, util::Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const bool outcome = rng.uniform_double() < p1;
+  project(qubit, outcome);
+  return outcome;
+}
+
+double Statevector::project(unsigned qubit, bool outcome) {
+  check_qubit(qubit);
+  const double p1 = probability_one(qubit);
+  const double p = outcome ? p1 : 1.0 - p1;
+  require(p > 1e-12, "Statevector::project: branch has zero probability");
+  const std::size_t bit = stride(qubit);
+  const double scale = 1.0 / std::sqrt(p);
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    const bool is_one = (i & bit) != 0;
+    if (is_one == outcome) {
+      amplitudes_[i] *= scale;
+    } else {
+      amplitudes_[i] = Amplitude{0.0, 0.0};
+    }
+  }
+  return p;
+}
+
+void Statevector::prepare_bell_phi_plus(unsigned a, unsigned b) {
+  check_qubit(a);
+  check_qubit(b);
+  require(a != b, "prepare_bell_phi_plus: qubits must differ");
+  // H on a, then CNOT a->b. Correct only if (a, b) start in |00>; callers
+  // use fresh qubits so we do not pay for a full verification here.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  const Gate1 hadamard{{Amplitude{inv_sqrt2, 0}, Amplitude{inv_sqrt2, 0},
+                        Amplitude{inv_sqrt2, 0}, Amplitude{-inv_sqrt2, 0}}};
+  apply(hadamard, a);
+  apply_cnot(a, b);
+}
+
+}  // namespace poq::quantum

@@ -1,0 +1,82 @@
+// Dense n-qubit statevector simulator.
+//
+// poqnet's protocol layers reason about Bell pairs abstractly (counts and
+// fidelities); this module grounds those abstractions by executing the
+// actual circuits of the paper's Figs. 1-3 — teleportation, entanglement
+// swapping, and swap chains — on exact quantum state. It is sized for
+// mechanism validation (tens of qubits), not large-scale simulation.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace poq::quantum {
+
+using Amplitude = std::complex<double>;
+
+/// 2x2 single-qubit gate, row-major: {m00, m01, m10, m11}.
+struct Gate1 {
+  Amplitude m[4];
+};
+
+/// Exact state of `qubit_count` qubits; qubit 0 is the least significant
+/// bit of the basis index. Initialized to |0...0>.
+class Statevector {
+ public:
+  explicit Statevector(unsigned qubit_count);
+
+  /// Build a state directly from amplitudes (size must be a power of two);
+  /// the vector is renormalized. Used when marginalizing a product state
+  /// onto a subregister.
+  [[nodiscard]] static Statevector from_amplitudes(std::vector<Amplitude> amplitudes);
+
+  [[nodiscard]] unsigned qubit_count() const { return qubit_count_; }
+  [[nodiscard]] std::size_t dimension() const { return amplitudes_.size(); }
+
+  [[nodiscard]] std::span<const Amplitude> amplitudes() const { return amplitudes_; }
+
+  /// Squared norm (should stay 1 up to rounding).
+  [[nodiscard]] double norm_squared() const;
+
+  /// |<other|this>|^2; requires equal qubit counts.
+  [[nodiscard]] double fidelity_with(const Statevector& other) const;
+
+  /// Apply a single-qubit gate to `qubit`.
+  void apply(const Gate1& gate, unsigned qubit);
+
+  /// Controlled-NOT with the given control and target qubits.
+  void apply_cnot(unsigned control, unsigned target);
+
+  /// Controlled-Z (symmetric in its arguments).
+  void apply_cz(unsigned a, unsigned b);
+
+  /// Probability that measuring `qubit` yields 1.
+  [[nodiscard]] double probability_one(unsigned qubit) const;
+
+  /// Projective measurement of `qubit` in the computational basis;
+  /// collapses and renormalizes the state. Returns the outcome bit.
+  bool measure(unsigned qubit, util::Rng& rng);
+
+  /// Force a measurement outcome (for exhaustively testing all branches);
+  /// returns the probability the outcome had. The state collapses to the
+  /// chosen branch (renormalized). Requires the branch probability > 0.
+  double project(unsigned qubit, bool outcome);
+
+  /// Prepare the Phi+ Bell state (|00>+|11>)/sqrt(2) on qubits (a, b),
+  /// which must currently be in |0> and unentangled with the rest
+  /// (callers typically use fresh qubits).
+  void prepare_bell_phi_plus(unsigned a, unsigned b);
+
+ private:
+  [[nodiscard]] std::size_t stride(unsigned qubit) const { return std::size_t{1} << qubit; }
+  void check_qubit(unsigned qubit) const;
+
+  unsigned qubit_count_;
+  std::vector<Amplitude> amplitudes_;
+};
+
+}  // namespace poq::quantum

@@ -1,0 +1,49 @@
+#include "quantum/werner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace poq::quantum {
+
+double werner_parameter(double fidelity) {
+  require(fidelity >= 0.0 && fidelity <= 1.0, "werner_parameter: F in [0,1]");
+  return (4.0 * fidelity - 1.0) / 3.0;
+}
+
+double werner_fidelity(double parameter) {
+  require(parameter >= -1.0 / 3.0 && parameter <= 1.0,
+          "werner_fidelity: p in [-1/3, 1]");
+  return parameter + (1.0 - parameter) / 4.0;
+}
+
+double swap_fidelity(double f1, double f2) {
+  return werner_fidelity(werner_parameter(f1) * werner_parameter(f2));
+}
+
+double chain_fidelity(double f, unsigned segments) {
+  require(segments >= 1, "chain_fidelity: need >= 1 segment");
+  // p multiplies under swapping, so an n-segment chain has p^n.
+  return werner_fidelity(std::pow(werner_parameter(f), segments));
+}
+
+double decohered_fidelity(double f0, double elapsed, double time_constant) {
+  require(elapsed >= 0.0, "decohered_fidelity: negative time");
+  require(time_constant > 0.0, "decohered_fidelity: non-positive time constant");
+  return kMixedFidelity + (f0 - kMixedFidelity) * std::exp(-elapsed / time_constant);
+}
+
+double time_to_fidelity(double f0, double f_min, double time_constant) {
+  require(time_constant > 0.0, "time_to_fidelity: non-positive time constant");
+  if (f_min <= kMixedFidelity) return std::numeric_limits<double>::infinity();
+  if (f0 <= f_min) return 0.0;
+  return time_constant * std::log((f0 - kMixedFidelity) / (f_min - kMixedFidelity));
+}
+
+BellDiagonal BellDiagonal::werner(double fidelity) {
+  const double rest = (1.0 - fidelity) / 3.0;
+  return BellDiagonal{fidelity, rest, rest, rest};
+}
+
+}  // namespace poq::quantum

@@ -1,0 +1,54 @@
+// Werner / Bell-diagonal state algebra.
+//
+// Protocol-level simulations cannot afford statevectors per Bell pair, so
+// poqnet tracks each stored pair as a Werner (or Bell-diagonal) state:
+// fidelity F to Phi+ plus white noise. This module provides the standard
+// closed forms: fidelity composition under entanglement swapping,
+// depolarizing decoherence over storage time, and conversions. These are
+// the quantities §2/§3.2 of the paper abstracts into D_{x,y} and L_{x,y}.
+#pragma once
+
+namespace poq::quantum {
+
+/// Fidelity below which a Werner pair is no better than a classically
+/// correlated pair (F = 1/2) — distillation only works above this.
+inline constexpr double kDistillableThreshold = 0.5;
+
+/// Fidelity of the maximally mixed two-qubit state.
+inline constexpr double kMixedFidelity = 0.25;
+
+/// Werner parameter p in rho = p |Phi+><Phi+| + (1-p) I/4 for fidelity F.
+[[nodiscard]] double werner_parameter(double fidelity);
+
+/// Fidelity for Werner parameter p.
+[[nodiscard]] double werner_fidelity(double parameter);
+
+/// Fidelity after a perfect-operation entanglement swap of two Werner
+/// pairs with fidelities f1 and f2: F' = 1/4 + (3/4) p1 p2.
+[[nodiscard]] double swap_fidelity(double f1, double f2);
+
+/// Fidelity of an n-segment chain of identical Werner pairs (fidelity f)
+/// after n-1 swaps; order-independent.
+[[nodiscard]] double chain_fidelity(double f, unsigned segments);
+
+/// Depolarizing decoherence in storage: F(t) = 1/4 + (F0 - 1/4) e^{-t/T}.
+[[nodiscard]] double decohered_fidelity(double f0, double elapsed, double time_constant);
+
+/// Time until fidelity decays from f0 to f_min under the same model;
+/// +infinity if f_min <= 1/4, 0 if already below.
+[[nodiscard]] double time_to_fidelity(double f0, double f_min, double time_constant);
+
+/// Bell-diagonal state: weights on (Phi+, Psi+, Psi-, Phi-); a Werner
+/// state has b = c = d = (1-a)/3.
+struct BellDiagonal {
+  double a = 1.0;  // fidelity to Phi+
+  double b = 0.0;
+  double c = 0.0;
+  double d = 0.0;
+
+  [[nodiscard]] static BellDiagonal werner(double fidelity);
+  [[nodiscard]] double fidelity() const { return a; }
+  [[nodiscard]] double weight_sum() const { return a + b + c + d; }
+};
+
+}  // namespace poq::quantum

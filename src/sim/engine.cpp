@@ -1,0 +1,63 @@
+#include "sim/engine.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace poq::sim {
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+EventId Engine::at(SimTime time, std::function<void()> action) {
+  require(time >= now_, "Engine::at: cannot schedule in the past");
+  return queue_.schedule(time, std::move(action));
+}
+
+EventId Engine::after(SimTime delay, std::function<void()> action) {
+  require(delay >= 0.0, "Engine::after: negative delay");
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+void Engine::every(SimTime period, std::function<bool()> action) {
+  require(period > 0.0, "Engine::every: period must be positive");
+  // Self-rescheduling closure; shared_ptr breaks the lambda/self cycle.
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, period, action = std::move(action), step]() {
+    if (action()) after(period, *step);
+  };
+  after(period, *step);
+}
+
+void Engine::poisson_process(double rate, std::function<bool()> action) {
+  require(rate > 0.0, "Engine::poisson_process: rate must be positive");
+  auto stream = std::make_shared<util::Rng>(rng_.fork(0xB0550000 + poisson_streams_++));
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, rate, stream, action = std::move(action), step]() {
+    if (action()) after(stream->exponential(rate), *step);
+  };
+  after(stream->exponential(rate), *step);
+}
+
+std::uint64_t Engine::run(SimTime until, std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  stopping_ = false;
+  while (executed < max_events && !stopping_) {
+    const auto next_time = queue_.peek_time();
+    if (!next_time) return executed;  // drained; clock stays at last event
+    if (*next_time > until) {
+      // Advance the clock to `until` so repeated run(t1), run(t2) calls
+      // behave like one continuous run.
+      now_ = until;
+      return executed;
+    }
+    auto event = queue_.pop();
+    ensure(event.has_value(), "Engine::run: queue raced");
+    ensure(event->time >= now_, "Engine::run: time went backwards");
+    now_ = event->time;
+    event->action();
+    ++executed;
+  }
+  return executed;  // stopped early (max_events or stop()); clock unchanged
+}
+
+}  // namespace poq::sim

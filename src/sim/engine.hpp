@@ -1,0 +1,59 @@
+// Discrete-event simulation engine.
+//
+// Drives an EventQueue with a monotone clock, periodic processes, and
+// stop conditions. The fidelity-aware simulations (decoherence timers,
+// Poisson generation, classical-latency delivery) run on this engine; the
+// paper's round-based evaluation (§5) uses the simpler lockstep driver in
+// core/balancing_sim, which needs no event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace poq::sim {
+
+/// Single-threaded deterministic event loop.
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+
+  /// Schedule at absolute time (must be >= now).
+  EventId at(SimTime time, std::function<void()> action);
+
+  /// Schedule after a delay (must be >= 0).
+  EventId after(SimTime delay, std::function<void()> action);
+
+  /// Recurring process with a fixed period, first firing after one period.
+  /// The process stops when `action` returns false.
+  void every(SimTime period, std::function<bool()> action);
+
+  /// Poisson process: exponential gaps at `rate`; stops when action
+  /// returns false. Draws from a forked stream so other randomness is
+  /// unaffected by how long the process runs.
+  void poisson_process(double rate, std::function<bool()> action);
+
+  /// Run until the queue drains, `until` is reached, or `max_events` have
+  /// executed. Returns the number of events executed.
+  std::uint64_t run(SimTime until = kForever, std::uint64_t max_events = UINT64_MAX);
+
+  /// Request an early stop from inside an event handler.
+  void stop() { stopping_ = true; }
+
+  static constexpr SimTime kForever = 1e300;
+
+ private:
+  SimTime now_ = 0.0;
+  bool stopping_ = false;
+  EventQueue queue_;
+  util::Rng rng_;
+  std::uint64_t poisson_streams_ = 0;
+};
+
+}  // namespace poq::sim

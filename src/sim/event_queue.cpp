@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace poq::sim {
+
+EventId EventQueue::schedule(SimTime time, std::function<void()> action) {
+  require(static_cast<bool>(action), "EventQueue::schedule: empty action");
+  const EventId id = next_id_++;
+  cancelled_.push_back(false);
+  heap_.push(Event{time, id, std::move(action)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id]) return false;
+  cancelled_[id] = true;
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+std::optional<SimTime> EventQueue::peek_time() const {
+  // const_cast-free lazy skip: we cannot mutate here, so scan via copy of
+  // top; cancelled tops are rare and popped by the next pop() call.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+std::optional<Event> EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) return std::nullopt;
+  // priority_queue::top() is const; move via const_cast is safe after pop
+  // pattern, but keep it simple and copy the small struct + move handler.
+  Event event = heap_.top();
+  heap_.pop();
+  cancelled_[event.id] = true;  // mark consumed so cancel() reports false
+  if (live_count_ > 0) --live_count_;
+  return event;
+}
+
+}  // namespace poq::sim

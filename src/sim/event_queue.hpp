@@ -1,0 +1,61 @@
+// Time-ordered event queue with stable FIFO tie-breaking.
+//
+// Determinism matters more than raw speed here: two events at the same
+// timestamp must always execute in schedule order, or simulation results
+// would depend on heap internals and seeds would not reproduce.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace poq::sim {
+
+using SimTime = double;
+using EventId = std::uint64_t;
+
+/// A scheduled callback.
+struct Event {
+  SimTime time = 0.0;
+  EventId id = 0;  // schedule order; also used to cancel
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, schedule order). Supports lazy
+/// cancellation.
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `time`; returns a cancellation id.
+  EventId schedule(SimTime time, std::function<void()> action);
+
+  /// Cancel a pending event; returns false if it already ran/was cancelled.
+  bool cancel(EventId id);
+
+  /// Time of the next pending event.
+  [[nodiscard]] std::optional<SimTime> peek_time() const;
+
+  /// Pop and return the next event (skipping cancelled ones).
+  [[nodiscard]] std::optional<Event> pop();
+
+  [[nodiscard]] std::size_t pending() const { return live_count_; }
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+
+ private:
+  struct Ordering {
+    bool operator()(const Event& lhs, const Event& rhs) const {
+      if (lhs.time != rhs.time) return lhs.time > rhs.time;
+      return lhs.id > rhs.id;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Event, std::vector<Event>, Ordering> heap_;
+  std::vector<bool> cancelled_;  // indexed by EventId
+  EventId next_id_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace poq::sim

@@ -1,0 +1,87 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace poq::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!starts_with(token, "--")) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    require(!body.empty(), "ArgParser: bare '--' is not a valid option");
+    const std::size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      options_[body.substr(0, equals)] = body.substr(equals + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself an option.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  touched_[name] = true;
+  return options_.contains(name);
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  touched_[name] = true;
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name, std::int64_t fallback) const {
+  touched_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          str_cat("ArgParser: --", name, " expects an integer, got '", it->second,
+                  "'"));
+  return value;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  touched_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          str_cat("ArgParser: --", name, " expects a number, got '", it->second,
+                  "'"));
+  return value;
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  touched_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw PreconditionError(
+      str_cat("ArgParser: --", name, " expects a boolean, got '", it->second, "'"));
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [name, value] : options_) {
+    if (!touched_.contains(name)) result.push_back(name);
+  }
+  return result;
+}
+
+}  // namespace poq::util

@@ -1,0 +1,47 @@
+// Minimal command-line argument parsing for the poqnet tools.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` syntax with
+// typed accessors and defaults; unknown options are an error so typos
+// fail loudly rather than silently running a default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace poq::util {
+
+class ArgParser {
+ public:
+  /// Parse argv; positional arguments (no leading --) are collected in
+  /// order. Throws PreconditionError on malformed input.
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// True if `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  /// A bare `--flag` or `--flag true|1` reads as true.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Names that were provided but never read by any accessor; callers use
+  /// this to reject typos after reading everything they understand.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> options_;  // name -> raw value ("" = bare)
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace poq::util

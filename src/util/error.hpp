@@ -1,0 +1,36 @@
+// Error-handling helpers shared by all poqnet modules.
+//
+// The library reports contract violations and unrecoverable runtime
+// conditions with exceptions (Core Guidelines E.2): callers that can
+// recover catch them, everything else unwinds through RAII cleanly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace poq {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a poqnet bug, not a caller bug).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Verify a documented precondition; throws PreconditionError on failure.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw PreconditionError(std::string(message));
+}
+
+/// Verify an internal invariant; throws InvariantError on failure.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) throw InvariantError(std::string(message));
+}
+
+}  // namespace poq

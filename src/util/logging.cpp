@@ -1,0 +1,40 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace poq::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::cerr << "[poq:" << level_name(level) << "] " << message << '\n';
+}
+
+void log(LogLevel level, const std::function<std::string()>& make_message) {
+  if (level < log_level()) return;
+  log(level, std::string_view(make_message()));
+}
+
+}  // namespace poq::util

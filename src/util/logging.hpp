@@ -1,0 +1,32 @@
+// Minimal leveled logging to stderr.
+//
+// Simulation libraries need a way to trace rare decisions (a swap choice, a
+// reservation rejection) without paying for string construction when the
+// level is off; the lambda-taking overloads below evaluate the message
+// lazily.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace poq::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global threshold; messages below it are discarded. Default: kWarn.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit `message` at `level` if the threshold allows.
+void log(LogLevel level, std::string_view message);
+
+/// Lazy variant: `make_message` runs only when the level is enabled.
+void log(LogLevel level, const std::function<std::string()>& make_message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+
+}  // namespace poq::util

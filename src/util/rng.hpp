@@ -1,0 +1,93 @@
+// Deterministic, forkable pseudo-random number generation.
+//
+// Simulation experiments must be exactly reproducible from a single seed,
+// and independent subsystems (generation, consumption, per-node swap
+// scheduling) must draw from statistically independent streams so that
+// adding draws in one subsystem does not perturb another.  `Rng` wraps a
+// xoshiro256** engine seeded via splitmix64 (the initialization the xoshiro
+// authors recommend) and supports cheap stream forking.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace poq::util {
+
+/// splitmix64 step; used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 engine wrapped as a C++ UniformRandomBitGenerator.
+///
+/// Satisfies `std::uniform_random_bit_generator`, so it can drive any
+/// standard <random> distribution, but the convenience members below are
+/// preferred inside poqnet for clarity and cross-platform determinism
+/// (libstdc++/libc++ distributions differ; ours do not).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the engine from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Derive an independent stream for subsystem `stream_id`.
+  ///
+  /// Forking is stable: fork(k) of an `Rng` in a given state always yields
+  /// the same child stream, and consuming the child does not advance the
+  /// parent.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n); requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (>= 0).
+  std::uint64_t poisson(double mean);
+
+  /// Standard normal variate (Box-Muller, no cached spare for determinism).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample `k` distinct indices from [0, n) without replacement.
+  ///
+  /// Uses a partial Fisher-Yates over an index vector: O(n) memory, O(n)
+  /// time, exact uniformity. Requires k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace poq::util

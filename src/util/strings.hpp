@@ -1,0 +1,38 @@
+// Small string utilities (libstdc++ 12 lacks std::format; these cover the
+// formatting poqnet needs without a third-party dependency).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace poq::util {
+
+/// Concatenate any streamable values into one string.
+template <typename... Args>
+std::string str_cat(const Args&... args) {
+  std::ostringstream out;
+  ((out << args), ...);
+  return out.str();
+}
+
+/// Fixed-precision decimal rendering (printf %.*f semantics).
+std::string format_double(double value, int precision);
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Left-pad with spaces to at least `width` characters.
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pad with spaces to at least `width` characters.
+std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace poq::util

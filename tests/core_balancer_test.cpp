@@ -1,0 +1,262 @@
+#include "core/maxmin_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ledger.hpp"
+#include "graph/shortest_path.hpp"
+#include "graph/topology.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace poq::core {
+namespace {
+
+MaxMinBalancer unit_balancer(double distillation = 1.0) {
+  return MaxMinBalancer(DistillationMatrix(distillation));
+}
+
+// §4's rule, literal reading: swap y' <- x -> y is preferable iff
+// C_y(y') + 1 <= min(C_x(y) - D_xy, C_x(y') - D_xy').
+TEST(Preferable, BasicCase) {
+  PairLedger ledger(4);
+  const MaxMinBalancer balancer = unit_balancer();
+  ledger.add(0, 1, 3);  // C_x(y') with x=0, y'=1
+  ledger.add(0, 2, 3);  // C_x(y) with y=2
+  // beneficiary (1,2) at 0: 0 + 1 <= min(3-1, 3-1) = 2 -> preferable.
+  EXPECT_TRUE(balancer.is_preferable(ledger, 0, 1, 2));
+}
+
+TEST(Preferable, ExactBoundaryIsPreferable) {
+  PairLedger ledger(4);
+  const MaxMinBalancer balancer = unit_balancer();
+  ledger.add(0, 1, 3);
+  ledger.add(0, 2, 3);
+  ledger.add(1, 2, 1);  // 1 + 1 = 2 <= min(2, 2) -> still preferable
+  EXPECT_TRUE(balancer.is_preferable(ledger, 0, 1, 2));
+}
+
+TEST(Preferable, BeneficiaryTooRichBlocksSwap) {
+  PairLedger ledger(4);
+  const MaxMinBalancer balancer = unit_balancer();
+  ledger.add(0, 1, 3);
+  ledger.add(0, 2, 3);
+  ledger.add(1, 2, 2);  // 2 + 1 = 3 > 2 -> not preferable
+  EXPECT_FALSE(balancer.is_preferable(ledger, 0, 1, 2));
+}
+
+TEST(Preferable, DonorTooPoorBlocksSwap) {
+  PairLedger ledger(4);
+  const MaxMinBalancer balancer = unit_balancer();
+  ledger.add(0, 1, 1);  // cap = 1 - 1 = 0 < 1
+  ledger.add(0, 2, 5);
+  EXPECT_FALSE(balancer.is_preferable(ledger, 0, 1, 2));
+}
+
+TEST(Preferable, DistillationRaisesBar) {
+  PairLedger ledger(4);
+  const MaxMinBalancer d2 = unit_balancer(2.0);
+  ledger.add(0, 1, 3);
+  ledger.add(0, 2, 3);
+  // caps = 3 - 2 = 1; beneficiary 0 + 1 <= 1 -> exactly preferable.
+  EXPECT_TRUE(d2.is_preferable(ledger, 0, 1, 2));
+  const MaxMinBalancer d3 = unit_balancer(3.0);
+  // caps = 0 -> not preferable.
+  EXPECT_FALSE(d3.is_preferable(ledger, 0, 1, 2));
+}
+
+TEST(Preferable, RejectsDegenerateTriples) {
+  PairLedger ledger(4);
+  const MaxMinBalancer balancer = unit_balancer();
+  EXPECT_THROW((void)balancer.is_preferable(ledger, 0, 0, 1), PreconditionError);
+  EXPECT_THROW((void)balancer.is_preferable(ledger, 0, 1, 1), PreconditionError);
+}
+
+TEST(BestSwap, NoneWhenNoPairs) {
+  PairLedger ledger(4);
+  const MaxMinBalancer balancer = unit_balancer();
+  EXPECT_FALSE(balancer.best_swap(ledger, 0).has_value());
+}
+
+TEST(BestSwap, PicksMinimalBeneficiary) {
+  PairLedger ledger(5);
+  const MaxMinBalancer balancer = unit_balancer();
+  ledger.add(0, 1, 10);
+  ledger.add(0, 2, 10);
+  ledger.add(0, 3, 10);
+  ledger.add(1, 2, 4);  // candidate (1,2) beneficiary 4
+  ledger.add(1, 3, 2);  // candidate (1,3) beneficiary 2  <- minimal
+  ledger.add(2, 3, 6);  // candidate (2,3) beneficiary 6
+  const auto best = balancer.best_swap(ledger, 0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(NodePair(best->left, best->right), NodePair(1, 3));
+  EXPECT_EQ(best->beneficiary_count, 2u);
+}
+
+TEST(BestSwap, ZeroBeneficiaryShortCircuits) {
+  PairLedger ledger(5);
+  const MaxMinBalancer balancer = unit_balancer();
+  ledger.add(0, 1, 5);
+  ledger.add(0, 2, 5);
+  const auto best = balancer.best_swap(ledger, 0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->beneficiary_count, 0u);
+}
+
+TEST(ExecuteSwap, MovesCounts) {
+  PairLedger ledger(4);
+  const MaxMinBalancer balancer = unit_balancer();
+  util::Rng rng(1);
+  ledger.add(0, 1, 3);
+  ledger.add(0, 2, 3);
+  const auto execution = balancer.execute_swap(ledger, 0, 1, 2, rng);
+  EXPECT_EQ(execution.consumed_left, 1u);
+  EXPECT_EQ(execution.consumed_right, 1u);
+  EXPECT_EQ(ledger.count(0, 1), 2u);
+  EXPECT_EQ(ledger.count(0, 2), 2u);
+  EXPECT_EQ(ledger.count(1, 2), 1u);
+}
+
+TEST(ExecuteSwap, IntegerDistillationConsumesD) {
+  PairLedger ledger(4);
+  const MaxMinBalancer balancer = unit_balancer(3.0);
+  util::Rng rng(1);
+  ledger.add(0, 1, 5);
+  ledger.add(0, 2, 7);
+  balancer.execute_swap(ledger, 0, 1, 2, rng);
+  EXPECT_EQ(ledger.count(0, 1), 2u);
+  EXPECT_EQ(ledger.count(0, 2), 4u);
+  EXPECT_EQ(ledger.count(1, 2), 1u);
+}
+
+TEST(ExecuteSwap, FractionalDistillationAveragesD) {
+  util::Rng rng(5);
+  const MaxMinBalancer balancer = unit_balancer(1.5);
+  std::uint64_t consumed = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    PairLedger ledger(4);
+    ledger.add(0, 1, 5);
+    ledger.add(0, 2, 5);
+    const auto execution = balancer.execute_swap(ledger, 0, 1, 2, rng);
+    consumed += execution.consumed_left + execution.consumed_right;
+  }
+  EXPECT_NEAR(static_cast<double>(consumed) / trials, 3.0, 0.05);
+}
+
+// A preferable swap never lowers the global minimum pair count.
+TEST(MaxMinProperty, GlobalMinimumNeverDecreases) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    PairLedger ledger(6);
+    const MaxMinBalancer balancer = unit_balancer();
+    for (NodeId x = 0; x < 6; ++x) {
+      for (NodeId y = x + 1; y < 6; ++y) {
+        ledger.add(x, y, static_cast<std::uint32_t>(rng.uniform_index(6)));
+      }
+    }
+    for (int step = 0; step < 200; ++step) {
+      const NodeId x = static_cast<NodeId>(rng.uniform_index(6));
+      const auto candidate = balancer.best_swap(ledger, x);
+      if (!candidate) continue;
+      const std::uint32_t before = ledger.minimum_pair_count();
+      balancer.execute_swap(ledger, x, candidate->left, candidate->right, rng);
+      EXPECT_GE(ledger.minimum_pair_count(), before);
+    }
+  }
+}
+
+// With generation and consumption frozen, sweeps reach a fixed point where
+// no node has a preferable swap (the max-min allocation of §4).
+TEST(MaxMinProperty, FrozenSystemReachesFixedPoint) {
+  util::Rng rng(23);
+  PairLedger ledger(8);
+  const MaxMinBalancer balancer = unit_balancer();
+  for (NodeId x = 0; x < 8; ++x) {
+    for (NodeId y = x + 1; y < 8; ++y) {
+      ledger.add(x, y, static_cast<std::uint32_t>(rng.uniform_index(10)));
+    }
+  }
+  bool converged = false;
+  for (int sweep = 0; sweep < 10000 && !converged; ++sweep) {
+    const SweepStats stats = run_swap_sweep(balancer, ledger, 0, 1, rng);
+    converged = stats.swaps == 0;
+  }
+  ASSERT_TRUE(converged) << "balancing did not reach a fixed point";
+  for (NodeId x = 0; x < 8; ++x) {
+    EXPECT_FALSE(balancer.best_swap(ledger, x).has_value());
+  }
+}
+
+// Parameterized over distillation levels: the fixed point always exists.
+class FrozenConvergenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrozenConvergenceSweep, TerminatesForAllDistillation) {
+  util::Rng rng(29);
+  PairLedger ledger(6);
+  const MaxMinBalancer balancer = unit_balancer(GetParam());
+  for (NodeId x = 0; x < 6; ++x) {
+    for (NodeId y = x + 1; y < 6; ++y) {
+      ledger.add(x, y, static_cast<std::uint32_t>(rng.uniform_index(12)));
+    }
+  }
+  int sweeps = 0;
+  while (run_swap_sweep(balancer, ledger, 0, 1, rng).swaps > 0) {
+    ASSERT_LT(++sweeps, 20000);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distillation, FrozenConvergenceSweep,
+                         ::testing::Values(1.0, 2.0, 3.0, 4.0));
+
+TEST(DetourPolicy, RestrictsFarSwaps) {
+  // Cycle of 6; node 3 holds pairs with 2 and 4 whose direct distance is
+  // 2 via node 3. With slack 0 the swap is on-geodesic and allowed; for
+  // nodes far off the geodesic it must be rejected.
+  const graph::Graph graph = graph::make_cycle(6);
+  const auto distances = graph::all_pairs_distances(graph);
+  BalancerPolicy policy;
+  policy.detour_slack = 0;
+  const MaxMinBalancer balancer(DistillationMatrix(1.0), policy, &distances);
+
+  PairLedger on_path(6);
+  on_path.add(3, 2, 4);
+  on_path.add(3, 4, 4);
+  EXPECT_TRUE(balancer.is_preferable(on_path, 3, 2, 4));
+
+  PairLedger detour(6);
+  detour.add(0, 2, 4);  // dist(2,0)=2, dist(0,4)=2; direct dist(2,4)=2
+  detour.add(0, 4, 4);  // through-0 distance 4 > 2 + 0 -> rejected
+  EXPECT_FALSE(balancer.is_preferable(detour, 0, 2, 4));
+
+  // Positive slack re-allows it.
+  BalancerPolicy loose;
+  loose.detour_slack = 2;
+  const MaxMinBalancer relaxed(DistillationMatrix(1.0), loose, &distances);
+  EXPECT_TRUE(relaxed.is_preferable(detour, 0, 2, 4));
+}
+
+TEST(DetourPolicy, RequiresDistances) {
+  BalancerPolicy policy;
+  policy.detour_slack = 1;
+  EXPECT_THROW(MaxMinBalancer(DistillationMatrix(1.0), policy, nullptr),
+               PreconditionError);
+}
+
+TEST(SweepStats, AccountsConservation) {
+  util::Rng rng(31);
+  PairLedger ledger(5);
+  const MaxMinBalancer balancer = unit_balancer(2.0);
+  for (NodeId x = 0; x < 5; ++x) {
+    for (NodeId y = x + 1; y < 5; ++y) ledger.add(x, y, 8);
+  }
+  const std::uint64_t before = ledger.total_pairs();
+  const SweepStats stats = run_swap_sweep(balancer, ledger, 0, 3, rng);
+  EXPECT_EQ(ledger.total_pairs(),
+            before - stats.pairs_consumed + stats.pairs_produced);
+  EXPECT_EQ(stats.pairs_produced, stats.swaps);
+}
+
+}  // namespace
+}  // namespace poq::core

@@ -1,0 +1,145 @@
+#include "core/fidelity_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "graph/topology.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace poq::core {
+namespace {
+
+Workload near_and_far_workload() {
+  Workload workload;
+  workload.pairs = {NodePair(0, 1), NodePair(0, 3), NodePair(2, 5)};
+  for (int i = 0; i < 60; ++i) {
+    workload.sequence.push_back(static_cast<std::uint32_t>(i % 3));
+  }
+  return workload;
+}
+
+FidelitySimConfig base_config() {
+  FidelitySimConfig config;
+  config.seed = 11;
+  config.duration = 300.0;
+  config.raw_fidelity = 0.92;
+  config.memory_time_constant = 60.0;
+  return config;
+}
+
+TEST(FidelitySim, SatisfiesRequestsOnCycle) {
+  const graph::Graph graph = graph::make_cycle(8);
+  const FidelitySimResult result =
+      run_fidelity_sim(graph, near_and_far_workload(), base_config());
+  EXPECT_GT(result.requests_satisfied, 0u);
+  EXPECT_GT(result.pairs_generated, 0u);
+  EXPECT_GT(result.swaps, 0u);
+}
+
+TEST(FidelitySim, ConsumedFidelityRespectsThreshold) {
+  const graph::Graph graph = graph::make_cycle(8);
+  const FidelitySimConfig config = base_config();
+  const FidelitySimResult result =
+      run_fidelity_sim(graph, near_and_far_workload(), config);
+  ASSERT_GT(result.requests_satisfied, 0u);
+  EXPECT_GE(result.consumed_fidelity.min(), config.app_fidelity - 1e-9);
+  EXPECT_LE(result.consumed_fidelity.max(), 1.0);
+}
+
+TEST(FidelitySim, DeterministicForFixedSeed) {
+  const graph::Graph graph = graph::make_cycle(8);
+  const FidelitySimResult a =
+      run_fidelity_sim(graph, near_and_far_workload(), base_config());
+  const FidelitySimResult b =
+      run_fidelity_sim(graph, near_and_far_workload(), base_config());
+  EXPECT_EQ(a.requests_satisfied, b.requests_satisfied);
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.pairs_decayed, b.pairs_decayed);
+  EXPECT_EQ(a.distillations, b.distillations);
+}
+
+TEST(FidelitySim, ShortMemoryLosesMorePairs) {
+  const graph::Graph graph = graph::make_cycle(8);
+  FidelitySimConfig short_memory = base_config();
+  short_memory.memory_time_constant = 8.0;
+  FidelitySimConfig long_memory = base_config();
+  long_memory.memory_time_constant = 200.0;
+  const FidelitySimResult fragile =
+      run_fidelity_sim(graph, near_and_far_workload(), short_memory);
+  const FidelitySimResult robust =
+      run_fidelity_sim(graph, near_and_far_workload(), long_memory);
+  EXPECT_LT(fragile.realized_survival(), robust.realized_survival());
+  EXPECT_LE(fragile.requests_satisfied, robust.requests_satisfied);
+}
+
+TEST(FidelitySim, SurvivalWithinUnitRange) {
+  const graph::Graph graph = graph::make_cycle(8);
+  const FidelitySimResult result =
+      run_fidelity_sim(graph, near_and_far_workload(), base_config());
+  EXPECT_GE(result.realized_survival(), 0.0);
+  EXPECT_LE(result.realized_survival(), 1.0);
+}
+
+TEST(FidelitySim, DistillationRunsWhenEnabled) {
+  const graph::Graph graph = graph::make_cycle(6);
+  FidelitySimConfig config = base_config();
+  config.app_fidelity = 0.93;  // above raw fidelity: forces distillation
+  config.raw_fidelity = 0.90;
+  const FidelitySimResult result =
+      run_fidelity_sim(graph, near_and_far_workload(), config);
+  EXPECT_GT(result.distillations + result.distillation_failures, 0u);
+}
+
+TEST(FidelitySim, DistillationDisabledMeansNone) {
+  const graph::Graph graph = graph::make_cycle(6);
+  FidelitySimConfig config = base_config();
+  config.distillation_enabled = false;
+  const FidelitySimResult result =
+      run_fidelity_sim(graph, near_and_far_workload(), config);
+  EXPECT_EQ(result.distillations, 0u);
+  EXPECT_EQ(result.distillation_failures, 0u);
+}
+
+TEST(FidelitySim, FreshestPolicyBeatsOldestOnFarRequests) {
+  // With aggressive decoherence, pairing the freshest pairs should deliver
+  // at least as many far-request completions as draining stale pairs.
+  const graph::Graph graph = graph::make_cycle(10);
+  Workload far;
+  far.pairs = {NodePair(0, 5)};
+  far.sequence.assign(40, 0);
+  FidelitySimConfig fresh = base_config();
+  fresh.memory_time_constant = 25.0;
+  fresh.policy = PairingPolicy::kFreshest;
+  FidelitySimConfig old_first = fresh;
+  old_first.policy = PairingPolicy::kOldest;
+  const FidelitySimResult a = run_fidelity_sim(graph, far, fresh);
+  const FidelitySimResult b = run_fidelity_sim(graph, far, old_first);
+  EXPECT_GE(a.requests_satisfied + 2, b.requests_satisfied);  // allow noise
+}
+
+TEST(FidelitySim, RealizedOverheadAtLeastTwo) {
+  // Every swap or distillation consumes two pairs for at most one output.
+  const graph::Graph graph = graph::make_cycle(8);
+  const FidelitySimResult result =
+      run_fidelity_sim(graph, near_and_far_workload(), base_config());
+  if (result.swaps + result.distillations > 0) {
+    EXPECT_GE(result.realized_distillation_overhead(), 2.0);
+  }
+}
+
+TEST(FidelitySim, RejectsBadConfig) {
+  const graph::Graph graph = graph::make_cycle(6);
+  FidelitySimConfig config = base_config();
+  config.raw_fidelity = 0.5;
+  config.usable_fidelity = 0.7;
+  EXPECT_THROW(run_fidelity_sim(graph, near_and_far_workload(), config),
+               PreconditionError);
+  FidelitySimConfig zero = base_config();
+  zero.duration = 0.0;
+  EXPECT_THROW(run_fidelity_sim(graph, near_and_far_workload(), zero),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace poq::core

@@ -1,0 +1,97 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+
+namespace poq::core {
+namespace {
+
+Workload workload_for(std::size_t nodes, std::size_t requests, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return make_uniform_workload(nodes, std::min<std::size_t>(8, nodes), requests, rng);
+}
+
+TEST(Hybrid, CompletesOnCycle) {
+  const graph::Graph graph = graph::make_cycle(10);
+  const Workload workload = workload_for(10, 30, 1);
+  HybridConfig config;
+  config.base.seed = 5;
+  const HybridResult result = run_hybrid(graph, workload, config);
+  EXPECT_TRUE(result.base.completed);
+  EXPECT_EQ(result.base.requests_satisfied, 30u);
+}
+
+TEST(Hybrid, AssistsBlockedRequests) {
+  // On a sparse cycle with far consumer pairs the head request is usually
+  // blocked at least once, so assists should trigger.
+  const graph::Graph graph = graph::make_cycle(12);
+  Workload workload;
+  workload.pairs = {NodePair(0, 6), NodePair(2, 8), NodePair(4, 10)};
+  workload.sequence = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  HybridConfig config;
+  config.base.seed = 9;
+  const HybridResult result = run_hybrid(graph, workload, config);
+  EXPECT_TRUE(result.base.completed);
+  EXPECT_GT(result.assists_attempted, 0u);
+}
+
+TEST(Hybrid, NeverSlowerThanPureBalancingByMuch) {
+  // Hybrid adds an extra way to satisfy the head request; round counts
+  // should not regress beyond noise.
+  const graph::Graph graph = graph::make_cycle(12);
+  const Workload workload = workload_for(12, 40, 2);
+  BalancingConfig base;
+  base.seed = 11;
+  const BalancingResult pure = run_balancing(graph, workload, base);
+  HybridConfig config;
+  config.base = base;
+  const HybridResult hybrid = run_hybrid(graph, workload, config);
+  ASSERT_TRUE(pure.completed);
+  ASSERT_TRUE(hybrid.base.completed);
+  EXPECT_LE(hybrid.base.rounds, pure.rounds + pure.rounds / 2 + 8);
+}
+
+TEST(Hybrid, AssistSwapsCountedInOverhead) {
+  const graph::Graph graph = graph::make_cycle(12);
+  Workload workload;
+  workload.pairs = {NodePair(0, 6)};
+  workload.sequence = {0, 0, 0, 0};
+  HybridConfig config;
+  config.base.seed = 13;
+  const HybridResult result = run_hybrid(graph, workload, config);
+  ASSERT_TRUE(result.base.completed);
+  if (result.assists_succeeded > 0) {
+    EXPECT_GT(result.assist_swaps, 0.0);
+    // swaps_performed includes the assist swaps.
+    EXPECT_GE(result.base.swaps_performed,
+              static_cast<std::uint64_t>(result.assist_swaps));
+  }
+}
+
+TEST(Hybrid, MaxAssistHopsZeroDisablesAssists) {
+  const graph::Graph graph = graph::make_cycle(10);
+  const Workload workload = workload_for(10, 20, 3);
+  HybridConfig config;
+  config.base.seed = 17;
+  config.max_assist_hops = 0;
+  const HybridResult result = run_hybrid(graph, workload, config);
+  EXPECT_TRUE(result.base.completed);
+  EXPECT_EQ(result.assists_succeeded, 0u);
+}
+
+TEST(Hybrid, WithDistillation) {
+  const graph::Graph graph = graph::make_cycle(9);
+  const Workload workload = workload_for(9, 15, 4);
+  HybridConfig config;
+  config.base.seed = 19;
+  config.base.distillation = 2.0;
+  config.base.max_rounds = 200000;
+  const HybridResult result = run_hybrid(graph, workload, config);
+  EXPECT_TRUE(result.base.completed);
+}
+
+}  // namespace
+}  // namespace poq::core

@@ -1,0 +1,113 @@
+#include "core/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace poq::core {
+namespace {
+
+TEST(PairLedger, StartsEmpty) {
+  PairLedger ledger(4);
+  EXPECT_EQ(ledger.total_pairs(), 0u);
+  EXPECT_EQ(ledger.count(0, 1), 0u);
+  EXPECT_TRUE(ledger.partners(0).empty());
+  EXPECT_EQ(ledger.minimum_pair_count(), 0u);
+}
+
+TEST(PairLedger, CountsAreSymmetric) {
+  PairLedger ledger(4);
+  ledger.add(2, 0, 3);
+  EXPECT_EQ(ledger.count(0, 2), 3u);
+  EXPECT_EQ(ledger.count(2, 0), 3u);
+  EXPECT_EQ(ledger.total_pairs(), 3u);
+}
+
+TEST(PairLedger, PartnersTrackNonzeroCounts) {
+  PairLedger ledger(5);
+  ledger.add(1, 3);
+  ledger.add(1, 0);
+  ledger.add(1, 4);
+  const auto partners = ledger.partners(1);
+  ASSERT_EQ(partners.size(), 3u);
+  EXPECT_EQ(partners[0], 0u);
+  EXPECT_EQ(partners[1], 3u);
+  EXPECT_EQ(partners[2], 4u);
+  EXPECT_EQ(ledger.partners(3).size(), 1u);
+  EXPECT_EQ(ledger.partners(2).size(), 0u);
+}
+
+TEST(PairLedger, RemoveUpdatesPartners) {
+  PairLedger ledger(4);
+  ledger.add(0, 1, 2);
+  ledger.remove(0, 1, 1);
+  EXPECT_EQ(ledger.count(0, 1), 1u);
+  EXPECT_EQ(ledger.partners(0).size(), 1u);
+  ledger.remove(1, 0, 1);
+  EXPECT_EQ(ledger.count(0, 1), 0u);
+  EXPECT_TRUE(ledger.partners(0).empty());
+  EXPECT_TRUE(ledger.partners(1).empty());
+  EXPECT_EQ(ledger.total_pairs(), 0u);
+}
+
+TEST(PairLedger, RemoveUnderflowThrows) {
+  PairLedger ledger(3);
+  ledger.add(0, 1, 1);
+  EXPECT_THROW(ledger.remove(0, 1, 2), PreconditionError);
+}
+
+TEST(PairLedger, RejectsSelfPairs) {
+  PairLedger ledger(3);
+  EXPECT_THROW(ledger.add(1, 1), PreconditionError);
+  EXPECT_THROW((void)ledger.count(2, 2), PreconditionError);
+}
+
+TEST(PairLedger, RejectsOutOfRange) {
+  PairLedger ledger(3);
+  EXPECT_THROW(ledger.add(0, 3), PreconditionError);
+  EXPECT_THROW((void)ledger.partners(5), PreconditionError);
+}
+
+TEST(PairLedger, ZeroAmountIsNoop) {
+  PairLedger ledger(3);
+  ledger.add(0, 1, 0);
+  EXPECT_EQ(ledger.count(0, 1), 0u);
+  EXPECT_TRUE(ledger.partners(0).empty());
+  ledger.add(0, 1, 2);
+  ledger.remove(0, 1, 0);
+  EXPECT_EQ(ledger.count(0, 1), 2u);
+}
+
+TEST(PairLedger, MinimumPairCount) {
+  PairLedger ledger(3);
+  ledger.add(0, 1, 2);
+  ledger.add(0, 2, 3);
+  EXPECT_EQ(ledger.minimum_pair_count(), 0u);  // (1,2) still empty
+  ledger.add(1, 2, 1);
+  EXPECT_EQ(ledger.minimum_pair_count(), 1u);
+}
+
+TEST(PairLedger, EntanglementGraphThreshold) {
+  PairLedger ledger(4);
+  ledger.add(0, 1, 1);
+  ledger.add(1, 2, 3);
+  ledger.add(2, 3, 5);
+  const auto any = ledger.entanglement_graph(1);
+  EXPECT_EQ(any.edge_count(), 3u);
+  const auto strong = ledger.entanglement_graph(3);
+  EXPECT_EQ(strong.edge_count(), 2u);
+  EXPECT_TRUE(strong.has_edge(1, 2));
+  EXPECT_TRUE(strong.has_edge(2, 3));
+  EXPECT_FALSE(strong.has_edge(0, 1));
+}
+
+TEST(PairLedger, TotalPairsAccumulates) {
+  PairLedger ledger(5);
+  ledger.add(0, 1, 10);
+  ledger.add(2, 3, 5);
+  ledger.remove(0, 1, 4);
+  EXPECT_EQ(ledger.total_pairs(), 11u);
+}
+
+}  // namespace
+}  // namespace poq::core

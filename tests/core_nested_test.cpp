@@ -1,0 +1,98 @@
+#include "core/nested.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace poq::core {
+namespace {
+
+TEST(NestedCost, PaperBaseCases) {
+  // s(1) = 0, s(2) = D.
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(1, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(2, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(2, 3.0), 3.0);
+}
+
+TEST(NestedCost, PaperRecurrenceValues) {
+  // s(n) = D(s(floor(n/2)) + s(ceil(n/2))).
+  // D=1: s(3) = s(1)+s(2) = 1; s(4) = 2; s(5) = s(2)+s(3) = 2; s(8) = 4.
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(3, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(4, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(5, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(8, 1.0), 4.0);
+  // D=2: s(2)=2, s(3)=2*(0+2)=4, s(4)=2*(2+2)=8, s(8)=2*(8+8)=32.
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(3, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(4, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(nested_swap_cost_paper(8, 2.0), 32.0);
+}
+
+TEST(NestedCost, ExactCountsEverySwap) {
+  // With D=1 the recursive protocol performs exactly hops-1 swaps.
+  for (std::uint32_t hops = 1; hops <= 32; ++hops) {
+    EXPECT_DOUBLE_EQ(nested_swap_cost_exact(hops, 1.0),
+                     static_cast<double>(hops - 1))
+        << "hops=" << hops;
+  }
+}
+
+TEST(NestedCost, ExactBaseCases) {
+  EXPECT_DOUBLE_EQ(nested_swap_cost_exact(1, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(nested_swap_cost_exact(2, 5.0), 5.0);
+  // D=2, n=4: 2*(1 + 2 + 2) = 10.
+  EXPECT_DOUBLE_EQ(nested_swap_cost_exact(4, 2.0), 10.0);
+}
+
+TEST(NestedCost, ExactDominatesPaperFormula) {
+  for (std::uint32_t hops = 1; hops <= 20; ++hops) {
+    for (double d : {1.0, 1.5, 2.0, 3.0}) {
+      EXPECT_GE(nested_swap_cost_exact(hops, d),
+                nested_swap_cost_paper(hops, d))
+          << "hops=" << hops << " D=" << d;
+    }
+  }
+}
+
+TEST(NestedCost, GrowsExponentiallyInDistillation) {
+  // For fixed hops, doubling D should much more than double the cost
+  // (the paper's Fig. 4 behaviour).
+  const double d1 = nested_swap_cost_paper(8, 1.0);
+  const double d2 = nested_swap_cost_paper(8, 2.0);
+  const double d4 = nested_swap_cost_paper(8, 4.0);
+  EXPECT_GT(d2 / d1, 4.0);
+  EXPECT_GT(d4 / d2, 4.0);
+}
+
+TEST(NestedCost, MonotoneInHops) {
+  for (double d : {1.0, 2.0, 3.0}) {
+    double previous = 0.0;
+    for (std::uint32_t hops = 1; hops <= 32; ++hops) {
+      const double cost = nested_swap_cost_paper(hops, d);
+      EXPECT_GE(cost, previous) << "hops=" << hops << " D=" << d;
+      previous = cost;
+    }
+  }
+}
+
+TEST(NestedCost, RawPairCost) {
+  // One usable elementary pair costs D raw pairs.
+  EXPECT_DOUBLE_EQ(nested_raw_pair_cost(1, 3.0), 3.0);
+  // Two hops: D swaps each consuming one usable pair per side, each of
+  // which costs D raw: 2 D^2.
+  EXPECT_DOUBLE_EQ(nested_raw_pair_cost(2, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(nested_raw_pair_cost(2, 1.0), 2.0);
+  // D=1: raw pairs = hops (one per edge).
+  for (std::uint32_t hops = 1; hops <= 16; ++hops) {
+    EXPECT_DOUBLE_EQ(nested_raw_pair_cost(hops, 1.0), static_cast<double>(hops));
+  }
+}
+
+TEST(NestedCost, ZeroHopsRejected) {
+  EXPECT_THROW((void)nested_swap_cost_paper(0, 1.0), PreconditionError);
+  EXPECT_THROW((void)nested_swap_cost_exact(0, 1.0), PreconditionError);
+  EXPECT_THROW((void)nested_raw_pair_cost(0, 1.0), PreconditionError);
+  EXPECT_THROW((void)nested_swap_cost_paper(4, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace poq::core

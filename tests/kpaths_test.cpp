@@ -1,0 +1,80 @@
+#include "graph/kpaths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/topology.hpp"
+
+namespace poq::graph {
+namespace {
+
+TEST(KShortestPaths, CycleHasExactlyTwoSimpleRoutes) {
+  const Graph graph = make_cycle(6);
+  const auto paths = k_shortest_paths(graph, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].size(), 4u);  // both directions are 3 hops
+  EXPECT_EQ(paths[1].size(), 4u);
+  EXPECT_NE(paths[0], paths[1]);
+}
+
+TEST(KShortestPaths, AscendingLengths) {
+  const Graph graph = make_torus_grid(16);
+  const auto paths = k_shortest_paths(graph, 0, 5, 6);
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].size(), paths[i - 1].size());
+  }
+}
+
+TEST(KShortestPaths, AllPathsSimpleAndValid) {
+  const Graph graph = make_torus_grid(16);
+  const auto paths = k_shortest_paths(graph, 0, 10, 8);
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 10u);
+    std::set<NodeId> seen(path.begin(), path.end());
+    EXPECT_EQ(seen.size(), path.size()) << "path revisits a node";
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(graph.has_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(KShortestPaths, DistinctPaths) {
+  const Graph graph = make_torus_grid(16);
+  const auto paths = k_shortest_paths(graph, 0, 10, 8);
+  std::set<std::vector<NodeId>> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(KShortestPaths, DisconnectedReturnsEmpty) {
+  Graph graph(4);
+  graph.add_edge(0, 1);
+  EXPECT_TRUE(k_shortest_paths(graph, 0, 3, 3).empty());
+}
+
+TEST(EdgeDisjointPaths, TorusOffersFourDisjointRoutes) {
+  const Graph graph = make_torus_grid(25);
+  const auto paths = edge_disjoint_paths(graph, 0, 12, 8);
+  // A 4-regular graph cannot have more than 4 edge-disjoint paths.
+  EXPECT_GE(paths.size(), 2u);
+  EXPECT_LE(paths.size(), 4u);
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (const auto& path : paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto key = std::minmax(path[i], path[i + 1]);
+      EXPECT_TRUE(used.emplace(key.first, key.second).second)
+          << "edge reused across paths";
+    }
+  }
+}
+
+TEST(EdgeDisjointPaths, CycleHasExactlyTwo) {
+  const Graph graph = make_cycle(8);
+  const auto paths = edge_disjoint_paths(graph, 0, 4, 8);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+}  // namespace
+}  // namespace poq::graph

@@ -1,0 +1,93 @@
+#include "lp/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace poq::lp {
+namespace {
+
+// Two flows share one unit of capacity: max-min splits it evenly.
+TEST(MaxMin, EvenSplitOnSharedLink) {
+  LpModel model;
+  const VarId a = model.add_nonnegative("a");
+  const VarId b = model.add_nonnegative("b");
+  model.add_constraint({{a, 1.0}, {b, 1.0}}, Relation::kLessEqual, 1.0);
+  const MaxMinResult result = maximize_minimum(model, {{{a, 1.0}}, {{b, 1.0}}});
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.bottleneck_level, 0.5, 1e-6);
+}
+
+// Asymmetric capacities: the bottleneck is the tight shared link.
+TEST(MaxMin, BottleneckSetsLevel) {
+  LpModel model;
+  const VarId a = model.add_variable(0.0, 0.2, "a");
+  const VarId b = model.add_nonnegative("b");
+  model.add_constraint({{b, 1.0}}, Relation::kLessEqual, 5.0);
+  const MaxMinResult result = maximize_minimum(model, {{{a, 1.0}}, {{b, 1.0}}});
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.bottleneck_level, 0.2, 1e-6);
+}
+
+TEST(MaxMin, SingleExpression) {
+  LpModel model;
+  const VarId a = model.add_variable(0.0, 3.0, "a");
+  const MaxMinResult result = maximize_minimum(model, {{{a, 1.0}}});
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.bottleneck_level, 3.0, 1e-6);
+}
+
+TEST(MaxMin, InfeasibleBasePropagates) {
+  LpModel model;
+  const VarId a = model.add_variable(0.0, 1.0, "a");
+  model.add_constraint({{a, 1.0}}, Relation::kGreaterEqual, 2.0);
+  const MaxMinResult result = maximize_minimum(model, {{{a, 1.0}}});
+  EXPECT_EQ(result.status, SolveStatus::kInfeasible);
+}
+
+// Classic water-filling instance: flows f0 (link 1), f1 (links 1+2),
+// f2 (link 2). Capacities: link1 = 1, link2 = 2.
+// Level 1: all rise to 0.5 (link1 saturates f0, f1).
+// Level 2: f2 rises alone to 1.5 on link2.
+TEST(LexicographicMaxMin, WaterFillingLevels) {
+  LpModel model;
+  const VarId f0 = model.add_nonnegative("f0");
+  const VarId f1 = model.add_nonnegative("f1");
+  const VarId f2 = model.add_nonnegative("f2");
+  model.add_constraint({{f0, 1.0}, {f1, 1.0}}, Relation::kLessEqual, 1.0);
+  model.add_constraint({{f1, 1.0}, {f2, 1.0}}, Relation::kLessEqual, 2.0);
+  const MaxMinResult result =
+      lexicographic_max_min(model, {{{f0, 1.0}}, {{f1, 1.0}}, {{f2, 1.0}}});
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  ASSERT_EQ(result.expression_values.size(), 3u);
+  EXPECT_NEAR(result.expression_values[0], 0.5, 1e-5);
+  EXPECT_NEAR(result.expression_values[1], 0.5, 1e-5);
+  EXPECT_NEAR(result.expression_values[2], 1.5, 1e-5);
+  EXPECT_NEAR(result.bottleneck_level, 0.5, 1e-5);
+}
+
+// Lexicographic max-min must weakly dominate the single-level solve on the
+// sorted-ascending comparison; here just check the first level agrees.
+TEST(LexicographicMaxMin, FirstLevelMatchesSingleLevel) {
+  LpModel model;
+  const VarId a = model.add_nonnegative("a");
+  const VarId b = model.add_nonnegative("b");
+  const VarId c = model.add_nonnegative("c");
+  model.add_constraint({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Relation::kLessEqual, 3.0);
+  model.add_constraint({{a, 1.0}}, Relation::kLessEqual, 0.4);
+  const std::vector<LinearExpr> exprs{{{a, 1.0}}, {{b, 1.0}}, {{c, 1.0}}};
+  const MaxMinResult single = maximize_minimum(model, exprs);
+  const MaxMinResult lexi = lexicographic_max_min(model, exprs);
+  ASSERT_EQ(single.status, SolveStatus::kOptimal);
+  ASSERT_EQ(lexi.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(single.bottleneck_level, 0.4, 1e-6);
+  EXPECT_NEAR(lexi.bottleneck_level, single.bottleneck_level, 1e-5);
+  // Remaining capacity goes to b and c evenly: (3 - 0.4) / 2 = 1.3.
+  auto sorted = lexi.expression_values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(sorted[1], 1.3, 1e-4);
+  EXPECT_NEAR(sorted[2], 1.3, 1e-4);
+}
+
+}  // namespace
+}  // namespace poq::lp

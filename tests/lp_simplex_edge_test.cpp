@@ -1,0 +1,164 @@
+// Edge cases and stress for the bounded-variable simplex — the most
+// numerically subtle substrate in poqnet.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace poq::lp {
+namespace {
+
+TEST(SimplexEdge, FixedVariableIsRespected) {
+  LpModel model;
+  const VarId x = model.add_variable(2.0, 2.0, "x");  // pinned
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 5.0);
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(y, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(solution.values[y], 3.0, 1e-6);
+}
+
+TEST(SimplexEdge, AllVariablesFixed) {
+  LpModel model;
+  const VarId x = model.add_variable(1.0, 1.0, "x");
+  const VarId y = model.add_variable(-2.0, -2.0, "y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 0.0);
+  model.set_objective_coefficient(x, 3.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-9);
+}
+
+TEST(SimplexEdge, FixedVariablesCanBeInfeasible) {
+  LpModel model;
+  const VarId x = model.add_variable(1.0, 1.0, "x");
+  model.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexEdge, NegativeCostsWithNegativeBounds) {
+  // min -x - 2y with x in [-3, -1], y in [-2, 2], x + y >= -4.
+  LpModel model;
+  const VarId x = model.add_variable(-3.0, -1.0, "x");
+  const VarId y = model.add_variable(-2.0, 2.0, "y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, -4.0);
+  model.set_objective_coefficient(x, -1.0);
+  model.set_objective_coefficient(y, -2.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  // Best: x = -1, y = 2 -> objective -(-1) - 2(2) = 1 - 4 = -3.
+  EXPECT_NEAR(solution.objective, -3.0, 1e-7);
+}
+
+TEST(SimplexEdge, RedundantEqualityRows) {
+  // Duplicated equality rows must not confuse phase 1 (dependent basis).
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 4.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 4.0);
+  model.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kEqual, 8.0);
+  model.set_objective_coefficient(x, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.0, 1e-7);
+  EXPECT_NEAR(solution.values[y], 4.0, 1e-6);
+}
+
+TEST(SimplexEdge, ZeroRhsEqualities) {
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEqual, 0.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 6.0);
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], solution.values[y], 1e-6);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-6);
+}
+
+TEST(SimplexEdge, DuplicateTermsInExpression) {
+  // The column builder must accumulate repeated terms for one variable.
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  model.add_constraint({{x, 1.0}, {x, 1.0}, {x, 1.0}}, Relation::kLessEqual, 6.0);
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 2.0, 1e-7);
+}
+
+TEST(SimplexEdge, EmptyConstraintListJustBounds) {
+  LpModel model;
+  const VarId x = model.add_variable(-1.0, 4.0, "x");
+  model.set_objective_coefficient(x, -2.0);  // min -2x -> x = 4
+  // No constraints at all: phase 1 is trivial.
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 4.0, 1e-9);
+}
+
+TEST(SimplexEdge, TinyCoefficientsSurvive) {
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  model.add_constraint({{x, 1e-6}}, Relation::kLessEqual, 1e-6);
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 1.0, 1e-4);
+}
+
+TEST(SimplexEdge, LargeScaleDifferencesSurvive) {
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1e6}, {y, 1.0}}, Relation::kLessEqual, 1e6);
+  model.add_constraint({{x, 1.0}, {y, 1e-3}}, Relation::kLessEqual, 2.0);
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 1.0);
+  model.set_objective_coefficient(y, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_LT(model.max_violation(solution.values), 1e-4);
+}
+
+// Deterministic: solving the same model twice yields identical solutions
+// (the anti-degeneracy perturbations are seeded, not random).
+TEST(SimplexEdge, SolveIsDeterministic) {
+  util::Rng rng(5);
+  LpModel model;
+  std::vector<VarId> vars;
+  for (int v = 0; v < 20; ++v) {
+    vars.push_back(model.add_variable(0.0, rng.uniform_double(0.5, 2.0)));
+    model.set_objective_coefficient(vars.back(), rng.uniform_double(-1.0, 1.0));
+  }
+  for (int r = 0; r < 10; ++r) {
+    LinearExpr expr;
+    for (int v = 0; v < 20; ++v) {
+      expr.push_back({vars[v], rng.uniform_double(0.0, 1.0)});
+    }
+    model.add_constraint(expr, Relation::kLessEqual, rng.uniform_double(1.0, 5.0));
+  }
+  model.set_objective_sense(Sense::kMaximize);
+  const Solution a = solve(model);
+  const Solution b = solve(model);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (std::size_t v = 0; v < a.values.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.values[v], b.values[v]);
+  }
+}
+
+}  // namespace
+}  // namespace poq::lp

@@ -1,0 +1,277 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.hpp"
+#include "util/rng.hpp"
+
+namespace poq::lp {
+namespace {
+
+TEST(Simplex, TrivialBoundedMaximum) {
+  LpModel model;
+  const VarId x = model.add_variable(0.0, 5.0, "x");
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 3.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 15.0, 1e-7);
+  EXPECT_NEAR(solution.values[x], 5.0, 1e-9);
+}
+
+TEST(Simplex, TextbookTwoVariable) {
+  // max 3x + 5y st x <= 4; 2y <= 12; 3x + 2y <= 18  ->  (2, 6), obj 36.
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  model.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  model.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 3.0);
+  model.set_objective_coefficient(y, 5.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 36.0, 1e-7);
+  EXPECT_NEAR(solution.values[x], 2.0, 1e-7);
+  EXPECT_NEAR(solution.values[y], 6.0, 1e-7);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+  // min 2x + 3y st x + y >= 4; x >= 1  ->  (4, 0)? check: obj(4,0)=8,
+  // obj(1,3)=11, so optimum x=4,y=0.
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 4.0);
+  model.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 1.0);
+  model.set_objective_coefficient(x, 2.0);
+  model.set_objective_coefficient(y, 3.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 8.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y st x + 2y = 6, x,y >= 0  ->  y=3,x=0, obj 3.
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kEqual, 6.0);
+  model.set_objective_coefficient(x, 1.0);
+  model.set_objective_coefficient(y, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-7);
+  EXPECT_NEAR(solution.values[y], 3.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpModel model;
+  const VarId x = model.add_variable(0.0, 1.0, "x");
+  model.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  const Solution solution = solve(model);
+  EXPECT_EQ(solution.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualitySystem) {
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 2.0);
+  EXPECT_EQ(solve(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 1.0);
+  model.add_constraint({{x, -1.0}}, Relation::kLessEqual, 0.0);  // no upper limit
+  EXPECT_EQ(solve(model).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, BoundedVariableNotUnbounded) {
+  // Same shape but box bounds save it.
+  LpModel model;
+  const VarId x = model.add_variable(0.0, 7.0, "x");
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 7.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x st x >= -3 with x in [-5, 5]  ->  -3 ... constraint beats bound.
+  LpModel model;
+  const VarId x = model.add_variable(-5.0, 5.0, "x");
+  model.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, -3.0);
+  model.set_objective_coefficient(x, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -3.0, 1e-7);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x + y st x + y >= 2, x free, y in [0, 1]: pick y = 1... any split
+  // with x + y = 2 gives objective 2.
+  LpModel model;
+  const VarId x = model.add_variable(-kInf, kInf, "x");
+  const VarId y = model.add_variable(0.0, 1.0, "y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 2.0);
+  model.set_objective_coefficient(x, 1.0);
+  model.set_objective_coefficient(y, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateVertexStillSolves) {
+  // Redundant constraints meeting at the optimum (classic degeneracy).
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 1.0);
+  model.add_constraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  model.add_constraint({{y, 1.0}}, Relation::kLessEqual, 1.0);
+  model.add_constraint({{x, 2.0}, {y, 1.0}}, Relation::kLessEqual, 2.0);
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 1.0);
+  model.set_objective_coefficient(y, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 1.0, 1e-7);
+}
+
+TEST(Simplex, SolutionSatisfiesAllConstraints) {
+  LpModel model;
+  const VarId x = model.add_nonnegative("x");
+  const VarId y = model.add_nonnegative("y");
+  const VarId z = model.add_variable(0.0, 2.0, "z");
+  model.add_constraint({{x, 1.0}, {y, 2.0}, {z, 1.0}}, Relation::kLessEqual, 10.0);
+  model.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kGreaterEqual, 1.0);
+  model.add_constraint({{y, 1.0}, {z, 1.0}}, Relation::kEqual, 2.0);
+  model.set_objective_sense(Sense::kMaximize);
+  model.set_objective_coefficient(x, 1.0);
+  model.set_objective_coefficient(y, 1.0);
+  model.set_objective_coefficient(z, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_LT(model.max_violation(solution.values), 1e-7);
+}
+
+// Property sweep: transportation-style problems with known optimal value.
+// Ship from supplies to demands over all (i,j) lanes with unit costs
+// c_ij = |i - j| + 1; with equal total supply and demand the LP is
+// feasible, and the optimum is computable by the greedy matching of
+// sorted supplies to demands when costs are Monge (|i-j| is).
+class TransportSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportSweep, FeasibleAndTight) {
+  const int size = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(size) * 977);
+  std::vector<double> supply(size);
+  std::vector<double> demand(size);
+  double total = 0.0;
+  for (int i = 0; i < size; ++i) {
+    supply[i] = static_cast<double>(rng.uniform_int(1, 9));
+    total += supply[i];
+  }
+  double remaining = total;
+  for (int j = 0; j < size - 1; ++j) {
+    demand[j] = std::floor(remaining / 2.0);
+    remaining -= demand[j];
+  }
+  demand[size - 1] = remaining;
+
+  LpModel model;
+  std::vector<std::vector<VarId>> ship(size, std::vector<VarId>(size));
+  for (int i = 0; i < size; ++i) {
+    for (int j = 0; j < size; ++j) {
+      ship[i][j] = model.add_nonnegative();
+      model.set_objective_coefficient(ship[i][j], std::abs(i - j) + 1.0);
+    }
+  }
+  for (int i = 0; i < size; ++i) {
+    LinearExpr row;
+    for (int j = 0; j < size; ++j) row.push_back({ship[i][j], 1.0});
+    model.add_constraint(row, Relation::kEqual, supply[i]);
+  }
+  for (int j = 0; j < size; ++j) {
+    LinearExpr column;
+    for (int i = 0; i < size; ++i) column.push_back({ship[i][j], 1.0});
+    model.add_constraint(column, Relation::kEqual, demand[j]);
+  }
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_LT(model.max_violation(solution.values), 1e-6);
+  // Cost at least total (every unit pays >= 1) and no more than the
+  // worst lane cost times volume.
+  EXPECT_GE(solution.objective, total - 1e-6);
+  EXPECT_LE(solution.objective, total * static_cast<double>(size));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransportSweep, ::testing::Values(2, 3, 5, 8, 12));
+
+// Property: the simplex optimum of max c^T x over random box+knapsack
+// problems must dominate any random feasible point.
+class RandomLpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpSweep, OptimumDominatesRandomFeasiblePoints) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 5);
+  const int variables = 3 + GetParam() % 6;
+  const int constraints = 2 + GetParam() % 4;
+
+  LpModel model;
+  std::vector<VarId> vars;
+  for (int v = 0; v < variables; ++v) {
+    vars.push_back(model.add_variable(0.0, rng.uniform_double(0.5, 3.0)));
+  }
+  std::vector<std::vector<double>> coeffs(constraints,
+                                          std::vector<double>(variables));
+  std::vector<double> rhs(constraints);
+  for (int r = 0; r < constraints; ++r) {
+    LinearExpr expr;
+    for (int v = 0; v < variables; ++v) {
+      coeffs[r][v] = rng.uniform_double(0.0, 1.0);
+      expr.push_back({vars[v], coeffs[r][v]});
+    }
+    rhs[r] = rng.uniform_double(0.5, 2.0);
+    model.add_constraint(expr, Relation::kLessEqual, rhs[r]);
+  }
+  model.set_objective_sense(Sense::kMaximize);
+  std::vector<double> objective(variables);
+  for (int v = 0; v < variables; ++v) {
+    objective[v] = rng.uniform_double(0.0, 2.0);
+    model.set_objective_coefficient(vars[v], objective[v]);
+  }
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);  // x = 0 is feasible
+  EXPECT_LT(model.max_violation(solution.values), 1e-7);
+
+  // Sample feasible points by scaled rejection; none may beat the optimum.
+  for (int sample = 0; sample < 200; ++sample) {
+    std::vector<double> point(variables);
+    for (int v = 0; v < variables; ++v) {
+      point[v] = rng.uniform_double(0.0, model.upper_bound(vars[v]));
+    }
+    double worst = 1.0;
+    for (int r = 0; r < constraints; ++r) {
+      double lhs = 0.0;
+      for (int v = 0; v < variables; ++v) lhs += coeffs[r][v] * point[v];
+      if (lhs > rhs[r]) worst = std::max(worst, lhs / rhs[r]);
+    }
+    double value = 0.0;
+    for (int v = 0; v < variables; ++v) value += objective[v] * point[v] / worst;
+    EXPECT_LE(value, solution.objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace poq::lp

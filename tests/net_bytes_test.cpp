@@ -1,0 +1,125 @@
+#include "net/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace poq::net {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter writer;
+  writer.write_u8(0xAB);
+  writer.write_u16(0xBEEF);
+  writer.write_u32(0xDEADBEEF);
+  writer.write_u64(0x0123456789ABCDEFULL);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_u8(), 0xAB);
+  EXPECT_EQ(reader.read_u16(), 0xBEEF);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.write_u32(0x01020304);
+  ASSERT_EQ(writer.size(), 4u);
+  EXPECT_EQ(writer.bytes()[0], 0x04);
+  EXPECT_EQ(writer.bytes()[3], 0x01);
+}
+
+TEST(Bytes, VarintSmallValuesOneByte) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL}) {
+    ByteWriter writer;
+    writer.write_varint(v);
+    EXPECT_EQ(writer.size(), 1u) << v;
+    ByteReader reader(writer.bytes());
+    EXPECT_EQ(reader.read_varint(), v);
+  }
+}
+
+TEST(Bytes, VarintBoundaries) {
+  for (std::uint64_t v : {std::uint64_t{128}, std::uint64_t{16383},
+                          std::uint64_t{16384}, std::uint64_t{1} << 32,
+                          std::numeric_limits<std::uint64_t>::max()}) {
+    ByteWriter writer;
+    writer.write_varint(v);
+    ByteReader reader(writer.bytes());
+    EXPECT_EQ(reader.read_varint(), v);
+  }
+}
+
+TEST(Bytes, VarintRandomRoundTrip) {
+  util::Rng rng(3);
+  ByteWriter writer;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    const int bits = static_cast<int>(rng.uniform_index(64)) + 1;
+    const std::uint64_t v = rng() >> (64 - bits);
+    values.push_back(v);
+    writer.write_varint(v);
+  }
+  ByteReader reader(writer.bytes());
+  for (std::uint64_t v : values) EXPECT_EQ(reader.read_varint(), v);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Bytes, DoubleRoundTrip) {
+  ByteWriter writer;
+  for (double v : {0.0, -1.5, 3.14159, 1e300, -1e-300}) writer.write_double(v);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_double(), 0.0);
+  EXPECT_EQ(reader.read_double(), -1.5);
+  EXPECT_EQ(reader.read_double(), 3.14159);
+  EXPECT_EQ(reader.read_double(), 1e300);
+  EXPECT_EQ(reader.read_double(), -1e-300);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter writer;
+  writer.write_string("hello");
+  writer.write_string("");
+  writer.write_string(std::string(300, 'x'));
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_string(), "hello");
+  EXPECT_EQ(reader.read_string(), "");
+  EXPECT_EQ(reader.read_string(), std::string(300, 'x'));
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+  ByteWriter writer;
+  writer.write_u32(42);
+  ByteReader reader(
+      std::span<const std::uint8_t>(writer.bytes().data(), 2));
+  EXPECT_THROW((void)reader.read_u32(), PreconditionError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter writer;
+  writer.write_varint(100);  // length prefix promising 100 bytes
+  ByteReader reader(writer.bytes());
+  EXPECT_THROW((void)reader.read_string(), PreconditionError);
+}
+
+TEST(Bytes, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates within 64 bits
+  ByteReader reader(bad);
+  EXPECT_THROW((void)reader.read_varint(), PreconditionError);
+}
+
+TEST(Bytes, RemainingTracksCursor) {
+  ByteWriter writer;
+  writer.write_u16(7);
+  writer.write_u8(1);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.remaining(), 3u);
+  (void)reader.read_u16();
+  EXPECT_EQ(reader.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace poq::net

@@ -1,0 +1,97 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace poq::net {
+namespace {
+
+ClassicalFabric unit_latency_fabric() {
+  return ClassicalFabric([](NodeId, NodeId) { return 1.0; });
+}
+
+TEST(Fabric, DeliversAfterLatency) {
+  ClassicalFabric fabric([](NodeId src, NodeId dst) {
+    return static_cast<SimTime>(dst > src ? dst - src : src - dst);
+  });
+  const SimTime due = fabric.send(0, 3, 10.0, SwapNotify{});
+  EXPECT_DOUBLE_EQ(due, 13.0);
+  EXPECT_FALSE(fabric.poll(12.9).has_value());
+  const auto envelope = fabric.poll(13.0);
+  ASSERT_TRUE(envelope.has_value());
+  EXPECT_EQ(envelope->src, 0u);
+  EXPECT_EQ(envelope->dst, 3u);
+  EXPECT_DOUBLE_EQ(envelope->send_time, 10.0);
+}
+
+TEST(Fabric, DeliveryOrderedByTime) {
+  ClassicalFabric fabric([](NodeId src, NodeId) {
+    return src == 0 ? 5.0 : 1.0;
+  });
+  fabric.send(0, 1, 0.0, PathRelease{1, false});  // due t=5
+  fabric.send(2, 1, 0.0, PathRelease{2, false});  // due t=1
+  const auto first = fabric.poll(10.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(std::get<PathRelease>(first->message).request_id, 2u);
+  const auto second = fabric.poll(10.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(std::get<PathRelease>(second->message).request_id, 1u);
+}
+
+TEST(Fabric, FifoAmongEqualDeliveryTimes) {
+  ClassicalFabric fabric = unit_latency_fabric();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    fabric.send(0, 1, 0.0, PathRelease{i, false});
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto envelope = fabric.poll(1.0);
+    ASSERT_TRUE(envelope.has_value());
+    EXPECT_EQ(std::get<PathRelease>(envelope->message).request_id, i);
+  }
+}
+
+TEST(Fabric, NextDeliveryPeek) {
+  ClassicalFabric fabric = unit_latency_fabric();
+  EXPECT_FALSE(fabric.next_delivery().has_value());
+  fabric.send(0, 1, 2.5, SwapNotify{});
+  ASSERT_TRUE(fabric.next_delivery().has_value());
+  EXPECT_DOUBLE_EQ(*fabric.next_delivery(), 3.5);
+}
+
+TEST(Fabric, TracksPerTypeTraffic) {
+  ClassicalFabric fabric = unit_latency_fabric();
+  fabric.send(0, 1, 0.0, SwapNotify{});
+  fabric.send(0, 1, 0.0, SwapNotify{});
+  CountUpdate update;
+  update.entries = {{1, 5}, {2, 6}};
+  fabric.send(1, 0, 0.0, update);
+  EXPECT_EQ(fabric.stats(MessageType::kSwapNotify).messages, 2u);
+  EXPECT_EQ(fabric.stats(MessageType::kCountUpdate).messages, 1u);
+  EXPECT_GT(fabric.stats(MessageType::kSwapNotify).bytes, 0u);
+  const TrafficStats total = fabric.total_stats();
+  EXPECT_EQ(total.messages, 3u);
+  EXPECT_EQ(total.bytes, fabric.stats(MessageType::kSwapNotify).bytes +
+                             fabric.stats(MessageType::kCountUpdate).bytes);
+}
+
+TEST(Fabric, InFlightCount) {
+  ClassicalFabric fabric = unit_latency_fabric();
+  fabric.send(0, 1, 0.0, SwapNotify{});
+  fabric.send(0, 1, 0.0, SwapNotify{});
+  EXPECT_EQ(fabric.in_flight(), 2u);
+  (void)fabric.poll(1.0);
+  EXPECT_EQ(fabric.in_flight(), 1u);
+}
+
+TEST(Fabric, RejectsNegativeLatency) {
+  ClassicalFabric fabric([](NodeId, NodeId) { return -1.0; });
+  EXPECT_THROW(fabric.send(0, 1, 0.0, SwapNotify{}), PreconditionError);
+}
+
+TEST(Fabric, RequiresLatencyFunction) {
+  EXPECT_THROW(ClassicalFabric(nullptr), PreconditionError);
+}
+
+}  // namespace
+}  // namespace poq::net

@@ -1,0 +1,176 @@
+#include "quantum/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/gates.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace poq::quantum {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Statevector, InitializesToAllZeros) {
+  Statevector state(3);
+  EXPECT_EQ(state.qubit_count(), 3u);
+  EXPECT_EQ(state.dimension(), 8u);
+  EXPECT_NEAR(std::norm(state.amplitudes()[0]), 1.0, kTol);
+  EXPECT_NEAR(state.norm_squared(), 1.0, kTol);
+}
+
+TEST(Statevector, PauliXFlipsQubit) {
+  Statevector state(2);
+  state.apply(gates::pauli_x(), 0);
+  EXPECT_NEAR(std::norm(state.amplitudes()[1]), 1.0, kTol);  // |01> (qubit0=1)
+  state.apply(gates::pauli_x(), 1);
+  EXPECT_NEAR(std::norm(state.amplitudes()[3]), 1.0, kTol);  // |11>
+}
+
+TEST(Statevector, HadamardCreatesUniformSuperposition) {
+  Statevector state(1);
+  state.apply(gates::hadamard(), 0);
+  EXPECT_NEAR(state.probability_one(0), 0.5, kTol);
+  // H is self-inverse.
+  state.apply(gates::hadamard(), 0);
+  EXPECT_NEAR(state.probability_one(0), 0.0, kTol);
+}
+
+TEST(Statevector, GatesPreserveNorm) {
+  util::Rng rng(3);
+  Statevector state(4);
+  for (int step = 0; step < 50; ++step) {
+    const unsigned q = static_cast<unsigned>(rng.uniform_index(4));
+    switch (rng.uniform_index(5)) {
+      case 0: state.apply(gates::hadamard(), q); break;
+      case 1: state.apply(gates::phase_t(), q); break;
+      case 2: state.apply(gates::rotation_y(rng.uniform_double(0, 3.1)), q); break;
+      case 3: state.apply_cnot(q, (q + 1) % 4); break;
+      case 4: state.apply_cz(q, (q + 2) % 4); break;
+    }
+    ASSERT_NEAR(state.norm_squared(), 1.0, 1e-9);
+  }
+}
+
+TEST(Statevector, PauliAlgebra) {
+  // XZ = -iY on |psi>: check via fidelity of XZ|0> against Y|0> (global
+  // phase invisible to fidelity).
+  Statevector a(1);
+  a.apply(gates::pauli_z(), 0);
+  a.apply(gates::pauli_x(), 0);
+  Statevector b(1);
+  b.apply(gates::pauli_y(), 0);
+  EXPECT_NEAR(a.fidelity_with(b), 1.0, 1e-12);
+}
+
+TEST(Statevector, CnotEntangles) {
+  Statevector state(2);
+  state.apply(gates::hadamard(), 0);
+  state.apply_cnot(0, 1);
+  // (|00> + |11>)/sqrt(2)
+  EXPECT_NEAR(std::norm(state.amplitudes()[0]), 0.5, kTol);
+  EXPECT_NEAR(std::norm(state.amplitudes()[3]), 0.5, kTol);
+  EXPECT_NEAR(std::norm(state.amplitudes()[1]), 0.0, kTol);
+  EXPECT_NEAR(std::norm(state.amplitudes()[2]), 0.0, kTol);
+}
+
+TEST(Statevector, PrepareBellPhiPlus) {
+  Statevector state(4);
+  state.prepare_bell_phi_plus(1, 3);
+  EXPECT_NEAR(state.probability_one(1), 0.5, kTol);
+  EXPECT_NEAR(state.probability_one(3), 0.5, kTol);
+  EXPECT_NEAR(state.probability_one(0), 0.0, kTol);
+  EXPECT_NEAR(state.norm_squared(), 1.0, kTol);
+}
+
+TEST(Statevector, MeasurementCollapsesAndIsConsistent) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Statevector state(2);
+    state.prepare_bell_phi_plus(0, 1);
+    const bool first = state.measure(0, rng);
+    // Phi+ correlations: the second measurement must match the first.
+    EXPECT_NEAR(state.probability_one(1), first ? 1.0 : 0.0, kTol);
+    const bool second = state.measure(1, rng);
+    EXPECT_EQ(first, second);
+  }
+}
+
+TEST(Statevector, MeasurementStatisticsMatchBornRule) {
+  util::Rng rng(11);
+  int ones = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    Statevector state(1);
+    state.apply(gates::rotation_y(2.0 * std::acos(std::sqrt(0.3))), 0);
+    // P(1) = 1 - 0.3 = 0.7 for this rotation angle.
+    if (state.measure(0, rng)) ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.7, 0.03);
+}
+
+TEST(Statevector, ProjectReturnsBranchProbability) {
+  Statevector state(1);
+  state.apply(gates::hadamard(), 0);
+  const double p = state.project(0, true);
+  EXPECT_NEAR(p, 0.5, kTol);
+  EXPECT_NEAR(state.probability_one(0), 1.0, kTol);
+  EXPECT_NEAR(state.norm_squared(), 1.0, kTol);
+}
+
+TEST(Statevector, ProjectRejectsImpossibleBranch) {
+  Statevector state(1);  // |0>
+  EXPECT_THROW(state.project(0, true), PreconditionError);
+}
+
+TEST(Statevector, FidelityWithSelfIsOne) {
+  Statevector state(3);
+  state.prepare_bell_phi_plus(0, 2);
+  state.apply(gates::phase_t(), 1);
+  EXPECT_NEAR(state.fidelity_with(state), 1.0, kTol);
+}
+
+TEST(Statevector, FidelityOrthogonalStates) {
+  Statevector a(1);
+  Statevector b(1);
+  b.apply(gates::pauli_x(), 0);
+  EXPECT_NEAR(a.fidelity_with(b), 0.0, kTol);
+}
+
+TEST(Statevector, FromAmplitudesNormalizes) {
+  const auto state = Statevector::from_amplitudes(
+      {Amplitude{3.0, 0.0}, Amplitude{0.0, 0.0}, Amplitude{0.0, 0.0},
+       Amplitude{4.0, 0.0}});
+  EXPECT_EQ(state.qubit_count(), 2u);
+  EXPECT_NEAR(state.norm_squared(), 1.0, kTol);
+  EXPECT_NEAR(std::norm(state.amplitudes()[0]), 0.36, kTol);
+  EXPECT_NEAR(std::norm(state.amplitudes()[3]), 0.64, kTol);
+}
+
+TEST(Statevector, FromAmplitudesRejectsBadSizes) {
+  EXPECT_THROW(Statevector::from_amplitudes({Amplitude{1, 0}, Amplitude{0, 0},
+                                             Amplitude{0, 0}}),
+               PreconditionError);
+  EXPECT_THROW(Statevector::from_amplitudes({}), PreconditionError);
+}
+
+TEST(Statevector, RejectsOutOfRangeQubit) {
+  Statevector state(2);
+  EXPECT_THROW(state.apply(gates::pauli_x(), 2), PreconditionError);
+  EXPECT_THROW(state.apply_cnot(0, 0), PreconditionError);
+  EXPECT_THROW((void)state.probability_one(5), PreconditionError);
+}
+
+TEST(Statevector, RotationGatesComposeToIdentity) {
+  Statevector state(1);
+  state.apply(gates::hadamard(), 0);
+  Statevector reference = state;
+  state.apply(gates::rotation_z(1.1), 0);
+  state.apply(gates::rotation_z(-1.1), 0);
+  EXPECT_NEAR(state.fidelity_with(reference), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace poq::quantum

@@ -1,0 +1,116 @@
+#include "quantum/werner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace poq::quantum {
+namespace {
+
+TEST(Werner, ParameterFidelityRoundTrip) {
+  for (double f : {0.25, 0.3, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_NEAR(werner_fidelity(werner_parameter(f)), f, 1e-12);
+  }
+}
+
+TEST(Werner, PerfectPairHasUnitParameter) {
+  EXPECT_NEAR(werner_parameter(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(werner_parameter(0.25), 0.0, 1e-12);  // maximally mixed
+}
+
+TEST(Werner, SwapOfPerfectPairsIsPerfect) {
+  EXPECT_NEAR(swap_fidelity(1.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(Werner, SwapDegradesFidelity) {
+  const double f = 0.95;
+  const double swapped = swap_fidelity(f, f);
+  EXPECT_LT(swapped, f);
+  EXPECT_GT(swapped, 0.25);
+}
+
+TEST(Werner, SwapIsCommutative) {
+  EXPECT_NEAR(swap_fidelity(0.8, 0.95), swap_fidelity(0.95, 0.8), 1e-12);
+}
+
+TEST(Werner, SwapWithMixedGivesMixed) {
+  EXPECT_NEAR(swap_fidelity(0.9, 0.25), 0.25, 1e-12);
+}
+
+TEST(Werner, SwapMatchesClosedForm) {
+  // F' = 1/4 + (3/4) p1 p2.
+  const double f1 = 0.85;
+  const double f2 = 0.92;
+  const double expected =
+      0.25 + 0.75 * ((4 * f1 - 1) / 3) * ((4 * f2 - 1) / 3);
+  EXPECT_NEAR(swap_fidelity(f1, f2), expected, 1e-12);
+}
+
+TEST(Werner, ChainFidelityIsOrderFreeProduct) {
+  const double f = 0.93;
+  // Composing (f, f) then with f equals the 3-segment closed form.
+  const double two_then_one = swap_fidelity(swap_fidelity(f, f), f);
+  EXPECT_NEAR(chain_fidelity(f, 3), two_then_one, 1e-12);
+  EXPECT_NEAR(chain_fidelity(f, 1), f, 1e-12);
+}
+
+TEST(Werner, ChainFidelityDecaysExponentially) {
+  const double f = 0.95;
+  double previous = 1.0;
+  for (unsigned segments = 1; segments <= 16; segments *= 2) {
+    const double current = chain_fidelity(f, segments);
+    EXPECT_LT(current, previous);
+    previous = current;
+  }
+  EXPECT_NEAR(chain_fidelity(f, 64), 0.25, 0.02);  // long chains decohere
+}
+
+TEST(Decoherence, NoTimeNoDecay) {
+  EXPECT_NEAR(decohered_fidelity(0.9, 0.0, 5.0), 0.9, 1e-12);
+}
+
+TEST(Decoherence, DecaysTowardMixed) {
+  const double f0 = 0.95;
+  double previous = f0;
+  for (double t : {0.5, 1.0, 2.0, 5.0, 20.0}) {
+    const double f = decohered_fidelity(f0, t, 2.0);
+    EXPECT_LT(f, previous);
+    EXPECT_GT(f, kMixedFidelity - 1e-12);
+    previous = f;
+  }
+  EXPECT_NEAR(decohered_fidelity(f0, 1000.0, 2.0), kMixedFidelity, 1e-6);
+}
+
+TEST(Decoherence, TimeToFidelityInvertsDecay) {
+  const double f0 = 0.98;
+  const double target = 0.8;
+  const double t = time_to_fidelity(f0, target, 3.0);
+  EXPECT_NEAR(decohered_fidelity(f0, t, 3.0), target, 1e-9);
+}
+
+TEST(Decoherence, TimeToFidelityEdgeCases) {
+  EXPECT_EQ(time_to_fidelity(0.7, 0.8, 1.0), 0.0);  // already below target
+  EXPECT_TRUE(std::isinf(time_to_fidelity(0.9, 0.2, 1.0)));  // below mixed floor
+}
+
+TEST(BellDiagonal, WernerConstruction) {
+  const BellDiagonal state = BellDiagonal::werner(0.85);
+  EXPECT_NEAR(state.fidelity(), 0.85, 1e-12);
+  EXPECT_NEAR(state.b, 0.05, 1e-12);
+  EXPECT_NEAR(state.c, 0.05, 1e-12);
+  EXPECT_NEAR(state.d, 0.05, 1e-12);
+  EXPECT_NEAR(state.weight_sum(), 1.0, 1e-12);
+}
+
+TEST(Werner, RejectsOutOfRange) {
+  EXPECT_THROW((void)werner_parameter(1.5), PreconditionError);
+  EXPECT_THROW((void)werner_parameter(-0.1), PreconditionError);
+  EXPECT_THROW((void)decohered_fidelity(0.9, -1.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)decohered_fidelity(0.9, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW((void)chain_fidelity(0.9, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace poq::quantum

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "util/error.hpp"
+
+namespace poq::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  while (auto event = queue.pop()) event->action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (auto event = queue.pop()) event->action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  const EventId id = queue.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));  // double cancel reports false
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, PendingCountsLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.schedule(1.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.pending(), 1u);
+  (void)queue.pop();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, PeekSkipsCancelled) {
+  EventQueue queue;
+  const EventId a = queue.schedule(1.0, [] {});
+  queue.schedule(5.0, [] {});
+  queue.cancel(a);
+  ASSERT_TRUE(queue.peek_time().has_value());
+  EXPECT_DOUBLE_EQ(*queue.peek_time(), 5.0);
+}
+
+TEST(EventQueue, RejectsEmptyAction) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(1.0, {}), PreconditionError);
+}
+
+TEST(Engine, AdvancesClockMonotonically) {
+  Engine engine;
+  std::vector<SimTime> times;
+  engine.at(1.0, [&] { times.push_back(engine.now()); });
+  engine.at(4.0, [&] { times.push_back(engine.now()); });
+  engine.after(2.0, [&] { times.push_back(engine.now()); });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{1.0, 2.0, 4.0}));
+}
+
+TEST(Engine, NestedSchedulingFromHandlers) {
+  Engine engine;
+  int fired = 0;
+  engine.at(1.0, [&] {
+    engine.after(1.0, [&] { ++fired; });
+    engine.after(2.0, [&] { ++fired; });
+  });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, RunUntilStopsAtBound) {
+  Engine engine;
+  int fired = 0;
+  engine.every(1.0, [&] {
+    ++fired;
+    return true;
+  });
+  engine.run(5.5);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.5);
+  // Continuing picks up where we left off.
+  engine.run(7.0);
+  EXPECT_EQ(fired, 7);
+}
+
+TEST(Engine, EveryStopsWhenActionReturnsFalse) {
+  Engine engine;
+  int fired = 0;
+  engine.every(1.0, [&] {
+    ++fired;
+    return fired < 3;
+  });
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine engine;
+  int fired = 0;
+  engine.every(1.0, [&] {
+    if (++fired == 4) engine.stop();
+    return true;
+  });
+  engine.run(100.0);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Engine, CannotScheduleInThePast) {
+  Engine engine;
+  engine.at(5.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.at(1.0, [] {}), PreconditionError);
+  EXPECT_THROW(engine.after(-1.0, [] {}), PreconditionError);
+}
+
+TEST(Engine, PoissonProcessHitsTargetRate) {
+  Engine engine(42);
+  int arrivals = 0;
+  engine.poisson_process(2.0, [&] {
+    ++arrivals;
+    return true;
+  });
+  engine.run(1000.0);
+  // Rate 2.0 over 1000 time units: ~2000 arrivals, allow 10%.
+  EXPECT_NEAR(arrivals, 2000, 200);
+}
+
+TEST(Engine, PoissonProcessesAreIndependentStreams) {
+  Engine a(7);
+  Engine b(7);
+  std::vector<SimTime> times_a;
+  std::vector<SimTime> times_b;
+  a.poisson_process(1.0, [&] {
+    times_a.push_back(a.now());
+    return times_a.size() < 50;
+  });
+  b.poisson_process(1.0, [&] {
+    times_b.push_back(b.now());
+    return times_b.size() < 50;
+  });
+  a.run();
+  b.run();
+  EXPECT_EQ(times_a, times_b);  // same seed => identical trajectories
+}
+
+TEST(Engine, MaxEventsBound) {
+  Engine engine;
+  int fired = 0;
+  engine.every(1.0, [&] {
+    ++fired;
+    return true;
+  });
+  engine.run(Engine::kForever, 10);
+  EXPECT_EQ(fired, 10);
+}
+
+}  // namespace
+}  // namespace poq::sim

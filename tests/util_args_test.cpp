@@ -1,0 +1,86 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace poq::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  const ArgParser args = parse({"--nodes", "25", "--seed", "7"});
+  EXPECT_EQ(args.get_int("nodes", 0), 25);
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  const ArgParser args = parse({"--rate=0.5", "--name=grid"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(args.get_string("name", ""), "grid");
+}
+
+TEST(Args, BareFlagsAreTrue) {
+  const ArgParser args = parse({"--csv", "--verbose"});
+  EXPECT_TRUE(args.get_bool("csv", false));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("absent", false));
+}
+
+TEST(Args, ExplicitBooleans) {
+  const ArgParser args = parse({"--a", "true", "--b", "false", "--c=1", "--d=0"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const ArgParser args = parse({});
+  EXPECT_EQ(args.get_int("nodes", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("name", "x"), "x");
+}
+
+TEST(Args, PositionalCollected) {
+  const ArgParser args = parse({"balance", "--nodes", "9", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "balance");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Args, NegativeNumbersAreValues) {
+  const ArgParser args = parse({"--offset", "-3"});
+  EXPECT_EQ(args.get_int("offset", 0), -3);
+}
+
+TEST(Args, RejectsMalformedNumbers) {
+  const ArgParser args = parse({"--nodes", "abc"});
+  EXPECT_THROW((void)args.get_int("nodes", 0), PreconditionError);
+  const ArgParser args2 = parse({"--rate", "1.2.3"});
+  EXPECT_THROW((void)args2.get_double("rate", 0.0), PreconditionError);
+  const ArgParser args3 = parse({"--flag", "maybe"});
+  EXPECT_THROW((void)args3.get_bool("flag", false), PreconditionError);
+}
+
+TEST(Args, UnusedDetectsTypos) {
+  const ArgParser args = parse({"--nodes", "9", "--distilation", "2"});
+  (void)args.get_int("nodes", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "distilation");
+}
+
+TEST(Args, HasMarksTouched) {
+  const ArgParser args = parse({"--x", "1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_TRUE(args.unused().empty());
+}
+
+}  // namespace
+}  // namespace poq::util

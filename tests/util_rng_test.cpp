@@ -1,0 +1,212 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace poq::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, ForkIsStable) {
+  Rng parent(7);
+  Rng child1 = parent.fork(3);
+  Rng child2 = parent.fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(7);
+  Rng b(7);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DistinctStreamIdsGiveDistinctStreams) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1() != c2()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(2, 1), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(17);
+  std::array<int, 10> buckets{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.uniform_index(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, draws / 10, draws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(draws), 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(31);
+  double total = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) total += rng.exponential(2.0);
+  EXPECT_NEAR(total / draws, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, PoissonMatchesMeanSmall) {
+  Rng rng(37);
+  double total = 0.0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) total += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(total / draws, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMatchesMeanLarge) {
+  Rng rng(41);
+  double total = 0.0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) total += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(total / draws, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(43);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / draws;
+  const double variance = sum_sq / draws - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(variance, 4.0, 0.15);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(47);
+  std::vector<int> data{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> copy = data;
+  rng.shuffle(std::span<int>(data));
+  std::sort(data.begin(), data.end());
+  EXPECT_EQ(data, copy);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(53);
+  const auto sample = rng.sample_indices(100, 35);
+  EXPECT_EQ(sample.size(), 35u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 35u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng rng(59);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_indices(5, 6), PreconditionError);
+}
+
+// Every element should be roughly equally likely to be sampled.
+TEST(Rng, SampleIndicesUnbiased) {
+  Rng rng(61);
+  std::array<int, 20> hits{};
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t v : rng.sample_indices(20, 5)) ++hits[v];
+  }
+  const double expected = trials * 5.0 / 20.0;
+  for (int count : hits) EXPECT_NEAR(count, expected, expected * 0.1);
+}
+
+}  // namespace
+}  // namespace poq::util

@@ -1,0 +1,305 @@
+// poqsim — command-line driver for the poqnet simulators.
+//
+// Subcommands:
+//   balance      round-based §4/§5 max-min balancing
+//   planned      connection-oriented / connectionless baselines
+//   hybrid       §6 hybrid oblivious + minimal planning
+//   gossip       §6 rotating partial knowledge
+//   distributed  belief-based §4 with classical latency
+//   fidelity     fidelity-aware event simulation (explicit decay/BBPSSW)
+//   lp           §3 steady-state LP
+//
+// Common options: --topology cycle|random-grid|full-grid|erdos-renyi|
+// watts-strogatz|barabasi-albert, --nodes N, --seed S, --pairs P,
+// --requests R. Run `poqsim <subcommand> --help` for the full list.
+#include <iostream>
+#include <string>
+
+#include "core/balancing_sim.hpp"
+#include "core/distributed.hpp"
+#include "core/fidelity_sim.hpp"
+#include "core/gossip.hpp"
+#include "core/hybrid.hpp"
+#include "core/lp_formulation.hpp"
+#include "core/planned_path.hpp"
+#include "core/workload.hpp"
+#include "graph/topology.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace poq;
+
+graph::TopologyFamily parse_family(const std::string& name) {
+  if (name == "cycle") return graph::TopologyFamily::kCycle;
+  if (name == "random-grid") return graph::TopologyFamily::kRandomGrid;
+  if (name == "full-grid") return graph::TopologyFamily::kFullGrid;
+  if (name == "erdos-renyi") return graph::TopologyFamily::kErdosRenyi;
+  if (name == "watts-strogatz") return graph::TopologyFamily::kWattsStrogatz;
+  if (name == "barabasi-albert") return graph::TopologyFamily::kBarabasiAlbert;
+  throw PreconditionError("unknown --topology '" + name + "'");
+}
+
+struct CommonSetup {
+  graph::Graph graph{0};
+  core::Workload workload;
+  std::uint64_t seed = 1;
+};
+
+CommonSetup common_setup(const util::ArgParser& args) {
+  CommonSetup setup;
+  setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 25));
+  const auto family = parse_family(args.get_string("topology", "random-grid"));
+  util::Rng rng(setup.seed);
+  setup.graph = graph::make_topology(family, nodes, rng);
+  const std::size_t max_pairs = nodes * (nodes - 1) / 2;
+  const auto pairs = std::min<std::size_t>(
+      static_cast<std::size_t>(args.get_int("pairs", 35)), max_pairs);
+  const auto requests = static_cast<std::size_t>(args.get_int("requests", 200));
+  util::Rng workload_rng = rng.fork(42);
+  setup.workload = core::make_uniform_workload(nodes, pairs, requests, workload_rng);
+  return setup;
+}
+
+void check_unused(const util::ArgParser& args) {
+  const auto unused = args.unused();
+  if (!unused.empty()) {
+    throw PreconditionError("unknown option --" + unused.front());
+  }
+}
+
+int cmd_balance(const util::ArgParser& args) {
+  const CommonSetup setup = common_setup(args);
+  core::BalancingConfig config;
+  config.distillation = args.get_double("distillation", 1.0);
+  config.seed = setup.seed;
+  config.max_rounds = static_cast<std::uint32_t>(args.get_int("max-rounds", 50000));
+  config.swaps_per_node_per_round =
+      static_cast<std::uint32_t>(args.get_int("swap-rate", 1));
+  config.generation_per_edge_per_round = args.get_double("generation-rate", 1.0);
+  if (args.has("detour-slack")) {
+    config.policy.detour_slack =
+        static_cast<std::uint32_t>(args.get_int("detour-slack", 0));
+  }
+  check_unused(args);
+  const core::BalancingResult result =
+      core::run_balancing(setup.graph, setup.workload, config);
+  std::cout << "completed="            << (result.completed ? "yes" : "no")
+            << " rounds="              << result.rounds
+            << " satisfied="           << result.requests_satisfied
+            << " swaps="               << result.swaps_performed
+            << "\noverhead_paper="     << util::format_double(result.swap_overhead_paper(), 3)
+            << " overhead_exact="      << util::format_double(result.swap_overhead_exact(), 3)
+            << " mean_head_wait="      << util::format_double(result.head_wait_rounds.mean(), 2)
+            << '\n';
+  return 0;
+}
+
+int cmd_planned(const util::ArgParser& args) {
+  const CommonSetup setup = common_setup(args);
+  core::PlannedPathConfig config;
+  config.distillation = args.get_double("distillation", 1.0);
+  config.seed = setup.seed;
+  config.window = static_cast<std::uint32_t>(args.get_int("window", 4));
+  const std::string mode = args.get_string("mode", "oriented");
+  if (mode == "connectionless") {
+    config.mode = core::PlannedPathMode::kConnectionless;
+  } else if (mode != "oriented") {
+    throw PreconditionError("--mode must be oriented or connectionless");
+  }
+  check_unused(args);
+  const core::PlannedPathResult result =
+      core::run_planned_path(setup.graph, setup.workload, config);
+  std::cout << "completed="        << (result.completed ? "yes" : "no")
+            << " rounds="          << result.rounds
+            << " satisfied="       << result.requests_satisfied
+            << " swaps="           << util::format_double(result.swaps_performed, 1)
+            << "\noverhead_paper=" << util::format_double(result.swap_overhead_paper(), 3)
+            << " overhead_exact="  << util::format_double(result.swap_overhead_exact(), 3)
+            << " mean_service="    << util::format_double(result.service_rounds.mean(), 2)
+            << '\n';
+  return 0;
+}
+
+int cmd_hybrid(const util::ArgParser& args) {
+  const CommonSetup setup = common_setup(args);
+  core::HybridConfig config;
+  config.base.distillation = args.get_double("distillation", 1.0);
+  config.base.seed = setup.seed;
+  config.base.max_rounds =
+      static_cast<std::uint32_t>(args.get_int("max-rounds", 50000));
+  config.max_assist_hops =
+      static_cast<std::uint32_t>(args.get_int("max-assist-hops", 8));
+  check_unused(args);
+  const core::HybridResult result =
+      core::run_hybrid(setup.graph, setup.workload, config);
+  std::cout << "completed="        << (result.base.completed ? "yes" : "no")
+            << " rounds="          << result.base.rounds
+            << " satisfied="       << result.base.requests_satisfied
+            << "\noverhead_paper=" << util::format_double(result.base.swap_overhead_paper(), 3)
+            << " assists="         << result.assists_succeeded << "/" << result.assists_attempted
+            << " assist_swaps="    << util::format_double(result.assist_swaps, 0)
+            << '\n';
+  return 0;
+}
+
+int cmd_gossip(const util::ArgParser& args) {
+  const CommonSetup setup = common_setup(args);
+  core::GossipConfig config;
+  config.base.distillation = args.get_double("distillation", 1.0);
+  config.base.seed = setup.seed;
+  config.base.max_rounds =
+      static_cast<std::uint32_t>(args.get_int("max-rounds", 50000));
+  config.fanout = static_cast<std::uint32_t>(args.get_int("fanout", 2));
+  config.optimistic_peer = args.get_bool("optimistic-peer", true);
+  config.latency_per_hop = args.get_double("latency", 1.0);
+  check_unused(args);
+  const core::GossipResult result =
+      core::run_gossip(setup.graph, setup.workload, config);
+  std::cout << "completed="        << (result.base.completed ? "yes" : "no")
+            << " rounds="          << result.base.rounds
+            << " satisfied="       << result.base.requests_satisfied
+            << "\noverhead_paper=" << util::format_double(result.base.swap_overhead_paper(), 3)
+            << " view_age="        << util::format_double(result.mean_view_age, 2)
+            << " control_bytes="   << result.control_bytes
+            << '\n';
+  return 0;
+}
+
+int cmd_distributed(const util::ArgParser& args) {
+  const CommonSetup setup = common_setup(args);
+  core::DistributedConfig config;
+  config.seed = setup.seed;
+  config.latency_per_hop = args.get_double("latency", 0.1);
+  config.duration = args.get_double("duration", 400.0);
+  config.report_rate = args.get_double("report-rate", 1.0);
+  check_unused(args);
+  const core::DistributedResult result =
+      core::run_distributed(setup.graph, setup.workload, config);
+  std::cout << "satisfied="     << result.requests_satisfied
+            << " swaps="        << result.swaps
+            << " stale_swaps="  << util::format_double(100.0 * result.stale_swap_fraction(), 1) << "%"
+            << " conflicts="    << util::format_double(100.0 * result.conflict_fraction(), 1) << "%"
+            << "\nview_age="    << util::format_double(result.decision_view_age.mean(), 2)
+            << " control_bytes=" << result.control_bytes
+            << '\n';
+  return 0;
+}
+
+int cmd_fidelity(const util::ArgParser& args) {
+  const CommonSetup setup = common_setup(args);
+  core::FidelitySimConfig config;
+  config.seed = setup.seed;
+  config.raw_fidelity = args.get_double("raw-fidelity", 0.97);
+  config.app_fidelity = args.get_double("app-fidelity", 0.80);
+  config.usable_fidelity = args.get_double("usable-fidelity", 0.70);
+  config.memory_time_constant = args.get_double("memory-T", 100.0);
+  config.duration = args.get_double("duration", 500.0);
+  config.distillation_enabled = args.get_bool("distill", true);
+  config.policy = args.get_string("pairing", "freshest") == "oldest"
+                      ? core::PairingPolicy::kOldest
+                      : core::PairingPolicy::kFreshest;
+  check_unused(args);
+  const core::FidelitySimResult result =
+      core::run_fidelity_sim(setup.graph, setup.workload, config);
+  std::cout << "satisfied="   << result.requests_satisfied
+            << " swaps="      << result.swaps
+            << " distills="   << result.distillations
+            << "\nL_realized=" << util::format_double(result.realized_survival(), 3)
+            << " D_realized=" << util::format_double(result.realized_distillation_overhead(), 2)
+            << " mean_consumed_F="
+            << (result.consumed_fidelity.count()
+                    ? util::format_double(result.consumed_fidelity.mean(), 4)
+                    : std::string("-"))
+            << '\n';
+  return 0;
+}
+
+int cmd_lp(const util::ArgParser& args) {
+  const CommonSetup setup = common_setup(args);
+  core::SteadyStateSpec spec;
+  spec.node_count = setup.graph.node_count();
+  const double gamma = args.get_double("gamma", 1.0);
+  for (const graph::Edge& edge : setup.graph.edges()) {
+    spec.generation_capacity.push_back(
+        core::RatedPair{core::NodePair(edge.a(), edge.b()), gamma});
+  }
+  const double kappa = args.get_double("kappa", 0.1);
+  for (const core::NodePair& pair : setup.workload.pairs) {
+    spec.demand.push_back(core::RatedPair{pair, kappa});
+  }
+  spec.distillation = core::PairMatrix(args.get_double("distillation", 1.0));
+  spec.survival = core::PairMatrix(args.get_double("survival", 1.0));
+  spec.qec_overhead = args.get_double("qec", 1.0);
+  const std::string objective_name = args.get_string("objective", "min-generation");
+  check_unused(args);
+
+  core::SteadyStateObjective objective;
+  if (objective_name == "min-generation") {
+    objective = core::SteadyStateObjective::kMinTotalGeneration;
+  } else if (objective_name == "min-max-generation") {
+    objective = core::SteadyStateObjective::kMinMaxGeneration;
+  } else if (objective_name == "max-consumption") {
+    objective = core::SteadyStateObjective::kMaxTotalConsumption;
+  } else if (objective_name == "max-min-consumption") {
+    objective = core::SteadyStateObjective::kMaxMinConsumption;
+  } else if (objective_name == "max-scale") {
+    objective = core::SteadyStateObjective::kMaxConcurrentScale;
+  } else {
+    throw PreconditionError("unknown --objective '" + objective_name + "'");
+  }
+  const core::SteadyStateLp lp(std::move(spec));
+  const core::SteadyStateSolution solution = lp.solve(objective);
+  std::cout << "status="        << lp::status_name(solution.status)
+            << " objective="    << util::format_double(solution.objective, 4)
+            << "\ntotal_generation=" << util::format_double(solution.total_generation, 3)
+            << " total_consumption=" << util::format_double(solution.total_consumption, 3)
+            << " total_swap_rate="   << util::format_double(solution.total_swap_rate, 3)
+            << " active_swap_rules=" << solution.swap_rates.size()
+            << '\n';
+  return 0;
+}
+
+void print_usage() {
+  std::cout <<
+      "usage: poqsim <subcommand> [options]\n"
+      "subcommands:\n"
+      "  balance      round-based max-min balancing (paper Sections 4-5)\n"
+      "  planned      planned-path baselines (--mode oriented|connectionless)\n"
+      "  hybrid       balancing + entanglement-path assist (Section 6)\n"
+      "  gossip       partial-knowledge balancing (Section 6)\n"
+      "  distributed  belief-based protocol with classical latency (Section 2)\n"
+      "  fidelity     fidelity-aware event simulation (Section 3.2)\n"
+      "  lp           steady-state linear program (Section 3)\n"
+      "common options: --topology <family> --nodes N --pairs P --requests R --seed S\n"
+      "families: cycle random-grid full-grid erdos-renyi watts-strogatz barabasi-albert\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "--help") {
+    print_usage();
+    return argc < 2 ? 1 : 0;
+  }
+  try {
+    const util::ArgParser args(argc - 1, argv + 1);
+    const std::string command = argv[1];
+    if (command == "balance") return cmd_balance(args);
+    if (command == "planned") return cmd_planned(args);
+    if (command == "hybrid") return cmd_hybrid(args);
+    if (command == "gossip") return cmd_gossip(args);
+    if (command == "distributed") return cmd_distributed(args);
+    if (command == "fidelity") return cmd_fidelity(args);
+    if (command == "lp") return cmd_lp(args);
+    std::cerr << "unknown subcommand '" << command << "'\n";
+    print_usage();
+    return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
