@@ -189,6 +189,20 @@ std::string family_name(TopologyFamily family) {
   return "?";
 }
 
+std::size_t min_topology_nodes(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::kCycle: return 3;
+    case TopologyFamily::kRandomGrid: return 9;
+    case TopologyFamily::kFullGrid: return 9;
+    case TopologyFamily::kErdosRenyi: return 2;
+    // Defaults below must track make_topology: WS k=2 needs n > 2k,
+    // BA m=2 needs n > m.
+    case TopologyFamily::kWattsStrogatz: return 5;
+    case TopologyFamily::kBarabasiAlbert: return 3;
+  }
+  throw PreconditionError("min_topology_nodes: unknown family");
+}
+
 Graph make_topology(TopologyFamily family, std::size_t n, util::Rng& rng) {
   switch (family) {
     case TopologyFamily::kCycle:

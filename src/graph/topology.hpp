@@ -66,6 +66,11 @@ enum class TopologyFamily {
 
 [[nodiscard]] std::string family_name(TopologyFamily family);
 
+/// Smallest node count make_topology accepts for `family` with its default
+/// parameters. Grid families additionally require n to be a perfect square;
+/// callers validating user input should check that separately.
+[[nodiscard]] std::size_t min_topology_nodes(TopologyFamily family);
+
 /// Build a topology of `family` over n nodes with default family
 /// parameters (ER: p = 2 ln n / n, connected; WS: k=2, beta=0.2; BA: m=2).
 [[nodiscard]] Graph make_topology(TopologyFamily family, std::size_t n,

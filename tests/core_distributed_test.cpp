@@ -107,11 +107,13 @@ TEST(Distributed, RejectsBadInputs) {
   Workload workload;
   workload.pairs = {NodePair(0, 1)};
   workload.sequence = {0};
-  EXPECT_THROW(run_distributed(tiny, workload, base_config()), PreconditionError);
+  EXPECT_THROW([&] { (void)run_distributed(tiny, workload, base_config()); }(),
+               PreconditionError);
   const graph::Graph graph = graph::make_cycle(6);
   DistributedConfig negative = base_config();
   negative.latency_per_hop = -1.0;
-  EXPECT_THROW(run_distributed(graph, workload, negative), PreconditionError);
+  EXPECT_THROW([&] { (void)run_distributed(graph, workload, negative); }(),
+               PreconditionError);
 }
 
 }  // namespace

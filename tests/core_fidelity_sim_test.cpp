@@ -133,12 +133,14 @@ TEST(FidelitySim, RejectsBadConfig) {
   FidelitySimConfig config = base_config();
   config.raw_fidelity = 0.5;
   config.usable_fidelity = 0.7;
-  EXPECT_THROW(run_fidelity_sim(graph, near_and_far_workload(), config),
-               PreconditionError);
+  EXPECT_THROW(
+      [&] { (void)run_fidelity_sim(graph, near_and_far_workload(), config); }(),
+      PreconditionError);
   FidelitySimConfig zero = base_config();
   zero.duration = 0.0;
-  EXPECT_THROW(run_fidelity_sim(graph, near_and_far_workload(), zero),
-               PreconditionError);
+  EXPECT_THROW(
+      [&] { (void)run_fidelity_sim(graph, near_and_far_workload(), zero); }(),
+      PreconditionError);
 }
 
 }  // namespace

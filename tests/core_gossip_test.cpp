@@ -102,7 +102,8 @@ TEST(Gossip, RejectsZeroFanout) {
   const Workload workload = workload_for(8, 5, 7);
   GossipConfig config;
   config.fanout = 0;
-  EXPECT_THROW(run_gossip(graph, workload, config), PreconditionError);
+  EXPECT_THROW([&] { (void)run_gossip(graph, workload, config); }(),
+               PreconditionError);
 }
 
 }  // namespace

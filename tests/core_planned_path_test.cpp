@@ -172,7 +172,8 @@ TEST(PlannedPath, RejectsBadConfig) {
   const Workload workload = cycle_workload(6, 5, 9);
   PlannedPathConfig config;
   config.window = 0;
-  EXPECT_THROW(run_planned_path(graph, workload, config), PreconditionError);
+  EXPECT_THROW([&] { (void)run_planned_path(graph, workload, config); }(),
+               PreconditionError);
 }
 
 }  // namespace

@@ -12,7 +12,9 @@
 // Common options: --topology cycle|random-grid|full-grid|erdos-renyi|
 // watts-strogatz|barabasi-albert, --nodes N, --seed S, --pairs P,
 // --requests R. Run `poqsim <subcommand> --help` for the full list.
+#include <cmath>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "core/balancing_sim.hpp"
@@ -48,11 +50,58 @@ struct CommonSetup {
   std::uint64_t seed = 1;
 };
 
+std::size_t nearest_perfect_square(std::size_t n) {
+  if (n <= 9) return 9;
+  const auto side =
+      static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  const std::size_t below = std::max<std::size_t>(side * side, 9);
+  const std::size_t above = (side + 1) * (side + 1);
+  return (n - below <= above - n) ? below : above;
+}
+
+/// Reject node counts the selected family cannot build, naming the flag
+/// combination and the nearest valid count rather than letting the
+/// generator die on its internal precondition. Minimums come from the
+/// graph layer so they track the make_topology default parameters.
+void validate_node_count(graph::TopologyFamily family,
+                         const std::string& topology_name, std::size_t nodes) {
+  const auto fail = [&](const std::string& requirement, std::size_t nearest) {
+    throw PreconditionError(
+        "--topology " + topology_name + " requires --nodes to be " +
+        requirement + " (got " + std::to_string(nodes) +
+        "; nearest valid count: " + std::to_string(nearest) + ")");
+  };
+  const std::size_t min_nodes = graph::min_topology_nodes(family);
+  const bool grid = family == graph::TopologyFamily::kRandomGrid ||
+                    family == graph::TopologyFamily::kFullGrid;
+  if (grid) {
+    const bool square_ok = [&] {
+      if (nodes < min_nodes) return false;
+      const auto side =
+          static_cast<std::size_t>(std::sqrt(static_cast<double>(nodes)) + 0.5);
+      return side * side == nodes;
+    }();
+    if (!square_ok) {
+      fail("a perfect square >= " + std::to_string(min_nodes),
+           nearest_perfect_square(nodes));
+    }
+  } else if (nodes < min_nodes) {
+    fail("at least " + std::to_string(min_nodes), min_nodes);
+  }
+}
+
 CommonSetup common_setup(const util::ArgParser& args) {
   CommonSetup setup;
   setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 25));
-  const auto family = parse_family(args.get_string("topology", "random-grid"));
+  const std::int64_t nodes_raw = args.get_int("nodes", 25);
+  if (nodes_raw < 1) {
+    throw PreconditionError("--nodes must be positive (got " +
+                            std::to_string(nodes_raw) + ")");
+  }
+  const auto nodes = static_cast<std::size_t>(nodes_raw);
+  const std::string topology_name = args.get_string("topology", "random-grid");
+  const auto family = parse_family(topology_name);
+  validate_node_count(family, topology_name, nodes);
   util::Rng rng(setup.seed);
   setup.graph = graph::make_topology(family, nodes, rng);
   const std::size_t max_pairs = nodes * (nodes - 1) / 2;
@@ -68,6 +117,10 @@ void check_unused(const util::ArgParser& args) {
   const auto unused = args.unused();
   if (!unused.empty()) {
     throw PreconditionError("unknown option --" + unused.front());
+  }
+  if (!args.positional().empty()) {
+    throw PreconditionError("unexpected argument '" + args.positional().front() +
+                            "' (options are written --name value)");
   }
 }
 
@@ -263,6 +316,81 @@ int cmd_lp(const util::ArgParser& args) {
   return 0;
 }
 
+constexpr const char* kCommonOptionsHelp =
+    "common options:\n"
+    "  --topology F   cycle|random-grid|full-grid|erdos-renyi|\n"
+    "                 watts-strogatz|barabasi-albert (default random-grid)\n"
+    "  --nodes N      node count (default 25; grid families need a\n"
+    "                 perfect square >= 9)\n"
+    "  --pairs P      consumer pairs (default 35, clamped to C(N,2))\n"
+    "  --requests R   request backlog length (default 200)\n"
+    "  --seed S       RNG seed (default 1)\n";
+
+/// Per-subcommand option summary for `poqsim <subcommand> --help`.
+/// Returns false if the subcommand is unknown.
+bool print_subcommand_help(const std::string& command) {
+  static const std::map<std::string, const char*> help = {
+      {"balance",
+       "usage: poqsim balance [options]\n"
+       "Round-based max-min balancing (paper Sections 4-5).\n"
+       "  --distillation D     distillation overhead (default 1.0)\n"
+       "  --max-rounds R       round budget (default 50000)\n"
+       "  --swap-rate K        swaps per node per round (default 1)\n"
+       "  --generation-rate G  pairs per edge per round (default 1.0)\n"
+       "  --detour-slack H     extra hops tolerated by the swap policy\n"},
+      {"planned",
+       "usage: poqsim planned [options]\n"
+       "Planned-path baselines.\n"
+       "  --mode M         oriented|connectionless (default oriented)\n"
+       "  --distillation D distillation overhead (default 1.0)\n"
+       "  --window W       concurrent connections window (default 4)\n"},
+      {"hybrid",
+       "usage: poqsim hybrid [options]\n"
+       "Balancing plus entanglement-path assist (Section 6).\n"
+       "  --distillation D    distillation overhead (default 1.0)\n"
+       "  --max-rounds R      round budget (default 50000)\n"
+       "  --max-assist-hops H assist search radius (default 8)\n"},
+      {"gossip",
+       "usage: poqsim gossip [options]\n"
+       "Partial-knowledge balancing (Section 6).\n"
+       "  --distillation D   distillation overhead (default 1.0)\n"
+       "  --max-rounds R     round budget (default 50000)\n"
+       "  --fanout K         gossip fanout (default 2)\n"
+       "  --optimistic-peer B assume-fresh peer views (default true)\n"
+       "  --latency L        classical latency per hop (default 1.0)\n"},
+      {"distributed",
+       "usage: poqsim distributed [options]\n"
+       "Belief-based protocol with classical latency (Section 2).\n"
+       "  --latency L      classical latency per hop (default 0.1)\n"
+       "  --duration T     simulated duration (default 400.0)\n"
+       "  --report-rate R  belief report rate (default 1.0)\n"},
+      {"fidelity",
+       "usage: poqsim fidelity [options]\n"
+       "Fidelity-aware event simulation (Section 3.2).\n"
+       "  --raw-fidelity F     generated-pair fidelity (default 0.97)\n"
+       "  --app-fidelity F     application target (default 0.80)\n"
+       "  --usable-fidelity F  discard threshold (default 0.70)\n"
+       "  --memory-T T         memory decay constant (default 100.0)\n"
+       "  --duration T         simulated duration (default 500.0)\n"
+       "  --distill B          enable BBPSSW distillation (default true)\n"
+       "  --pairing P          freshest|oldest (default freshest)\n"},
+      {"lp",
+       "usage: poqsim lp [options]\n"
+       "Steady-state linear program (Section 3).\n"
+       "  --gamma G        generation capacity per edge (default 1.0)\n"
+       "  --kappa K        demand per consumer pair (default 0.1)\n"
+       "  --distillation D distillation matrix scalar (default 1.0)\n"
+       "  --survival S     survival matrix scalar (default 1.0)\n"
+       "  --qec Q          QEC overhead (default 1.0)\n"
+       "  --objective O    min-generation|min-max-generation|max-consumption|\n"
+       "                   max-min-consumption|max-scale (default min-generation)\n"},
+  };
+  const auto found = help.find(command);
+  if (found == help.end()) return false;
+  std::cout << found->second << kCommonOptionsHelp;
+  return true;
+}
+
 void print_usage() {
   std::cout <<
       "usage: poqsim <subcommand> [options]\n"
@@ -288,6 +416,12 @@ int main(int argc, char** argv) {
   try {
     const util::ArgParser args(argc - 1, argv + 1);
     const std::string command = argv[1];
+    if (args.has("help")) {
+      if (print_subcommand_help(command)) return 0;
+      std::cerr << "unknown subcommand '" << command << "'\n";
+      print_usage();
+      return 1;
+    }
     if (command == "balance") return cmd_balance(args);
     if (command == "planned") return cmd_planned(args);
     if (command == "hybrid") return cmd_hybrid(args);

@@ -1,0 +1,170 @@
+// run_benches — machine-readable driver for the figure benches.
+//
+// Runs the Fig. 4 (overhead vs distillation D) and Fig. 5 (overhead vs
+// network size |N|) sweeps through the same bench::run_balancing_cell
+// harness the table benches use, timing every cell, and writes one
+// BENCH_<name>.json per figure so CI and future perf PRs can diff
+// results without scraping table output.
+//
+// Usage: run_benches [--quick] [--out-dir DIR]
+//   --quick    smaller sweeps and one seed per cell (the `bench` target's
+//              default); omit for the full paper-scale grids
+//   --out-dir  where to write BENCH_*.json (default: current directory)
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace poq;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// JSON numbers must not be NaN/Inf; empty cells report null instead.
+std::string json_number(double value, int digits) {
+  if (!std::isfinite(value)) return "null";
+  return util::format_double(value, digits);
+}
+
+struct CellRecord {
+  std::string family;
+  std::size_t nodes = 0;
+  double distillation = 1.0;
+  bench::CellResult result;
+  double wall_ms = 0.0;
+};
+
+void append_cell(std::ostringstream& out, const CellRecord& record, bool last) {
+  const bench::CellResult& cell = record.result;
+  out << "    {\"family\": \"" << record.family << "\""
+      << ", \"nodes\": " << record.nodes
+      << ", \"distillation\": " << json_number(record.distillation, 2)
+      << ", \"overhead_paper_mean\": "
+      << (cell.overhead_paper.count()
+              ? json_number(cell.overhead_paper.mean(), 4)
+              : std::string("null"))
+      << ", \"overhead_exact_mean\": "
+      << (cell.overhead_exact.count()
+              ? json_number(cell.overhead_exact.mean(), 4)
+              : std::string("null"))
+      << ", \"satisfied_mean\": " << json_number(cell.satisfied.mean(), 1)
+      << ", \"starved_runs\": " << cell.starved_runs
+      << ", \"wall_ms\": " << json_number(record.wall_ms, 2) << "}"
+      << (last ? "\n" : ",\n");
+}
+
+void write_bench_json(const std::string& out_dir, const std::string& name,
+                      const bench::FigureSetup& setup,
+                      const std::vector<CellRecord>& cells, double total_ms) {
+  const std::string path = out_dir + "/BENCH_" + name + ".json";
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"" << name << "\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"config\": {\"consumer_pairs\": " << setup.consumer_pairs
+      << ", \"round_budget\": " << setup.round_budget
+      << ", \"seeds\": " << setup.seeds << "},\n"
+      << "  \"total_wall_ms\": " << json_number(total_ms, 2) << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    append_cell(out, cells[i], i + 1 == cells.size());
+  }
+  out << "  ]\n}\n";
+  std::ofstream file(path);
+  if (!file) throw PreconditionError("cannot write " + path);
+  file << out.str();
+  std::cout << "wrote " << path << " (" << cells.size() << " cells, "
+            << util::format_double(total_ms, 0) << " ms)\n";
+}
+
+const std::vector<graph::TopologyFamily> kFamilies = {
+    graph::TopologyFamily::kCycle, graph::TopologyFamily::kRandomGrid,
+    graph::TopologyFamily::kFullGrid};
+
+std::vector<CellRecord> sweep(const std::vector<std::size_t>& sizes,
+                              const std::vector<double>& distillations,
+                              const bench::FigureSetup& setup) {
+  std::vector<CellRecord> cells;
+  for (const std::size_t n : sizes) {
+    for (const double d : distillations) {
+      for (const auto family : kFamilies) {
+        CellRecord record;
+        record.family = graph::family_name(family);
+        record.nodes = n;
+        record.distillation = d;
+        const Clock::time_point start = Clock::now();
+        record.result = bench::run_balancing_cell(family, n, d, setup);
+        record.wall_ms = elapsed_ms(start);
+        cells.push_back(std::move(record));
+      }
+    }
+  }
+  return cells;
+}
+
+void run_fig4(const std::string& out_dir, bool quick) {
+  bench::FigureSetup setup;
+  setup.round_budget = quick ? 2000 : 6000;
+  setup.seeds = quick ? 1 : 3;
+  const std::vector<double> distillations =
+      quick ? std::vector<double>{1.0, 2.0, 3.0}
+            : std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Clock::time_point start = Clock::now();
+  const std::vector<CellRecord> cells = sweep({25}, distillations, setup);
+  write_bench_json(out_dir, "fig4_overhead_vs_distillation", setup, cells,
+                   elapsed_ms(start));
+}
+
+void run_fig5(const std::string& out_dir, bool quick) {
+  bench::FigureSetup setup;
+  setup.round_budget = quick ? 1000 : 3000;
+  setup.seeds = quick ? 1 : 3;
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{9, 16, 25}
+            : std::vector<std::size_t>{9, 16, 25, 36, 49, 64, 81, 100};
+  const Clock::time_point start = Clock::now();
+  const std::vector<CellRecord> cells = sweep(sizes, {1.0}, setup);
+  write_bench_json(out_dir, "fig5_overhead_vs_nodes", setup, cells,
+                   elapsed_ms(start));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParser args(argc, argv);  // skips argv[0] itself
+    if (args.has("help")) {
+      std::cout << "usage: run_benches [--quick] [--out-dir DIR]\n"
+                   "Runs the Fig. 4/5 sweeps and writes BENCH_*.json.\n";
+      return 0;
+    }
+    const bool quick = args.get_bool("quick", false);
+    const std::string out_dir = args.get_string("out-dir", ".");
+    const auto unused = args.unused();
+    if (!unused.empty()) {
+      throw poq::PreconditionError("unknown option --" + unused.front());
+    }
+    if (!args.positional().empty()) {
+      throw poq::PreconditionError("unexpected argument '" +
+                                   args.positional().front() +
+                                   "' (options are written --name value)");
+    }
+    run_fig4(out_dir, quick);
+    run_fig5(out_dir, quick);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
