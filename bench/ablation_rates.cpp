@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common.hpp"
+#include "core/balancing_sim.hpp"
 
 int main(int argc, char** argv) {
   using namespace poq;

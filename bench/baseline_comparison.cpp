@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common.hpp"
+#include "core/balancing_sim.hpp"
 #include "core/planned_path.hpp"
 
 int main(int argc, char** argv) {

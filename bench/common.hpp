@@ -1,4 +1,5 @@
-// Shared experiment harness helpers for the figure benches.
+// Shared experiment harness helpers for the figure benches, built on the
+// unified scenario API (scenario::registry + SweepRunner).
 //
 // Protocol (matching §5's semantics): a fixed simulated-time budget, a
 // request backlog that never drains, strict in-order satisfaction, and the
@@ -14,10 +15,9 @@
 #include <string>
 #include <vector>
 
-#include "core/balancing_sim.hpp"
-#include "core/workload.hpp"
 #include "graph/topology.hpp"
-#include "util/rng.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -42,37 +42,48 @@ struct CellResult {
   std::uint32_t starved_runs = 0;  // runs that satisfied nothing costed
 };
 
+/// The balancing ScenarioSpec a figure cell runs (exposed so sweep
+/// drivers can batch many cells through one SweepRunner call).
+inline scenario::ScenarioSpec balancing_cell_spec(graph::TopologyFamily family,
+                                                  std::size_t n, double distillation,
+                                                  const FigureSetup& setup,
+                                                  std::uint64_t base_seed = 1000) {
+  scenario::ScenarioSpec spec;
+  spec.protocol = "balancing";
+  spec.topology = graph::family_name(family);
+  spec.nodes = n;
+  spec.consumer_pairs = setup.consumer_pairs;  // instantiate clamps to C(n,2)
+  spec.requests = setup.backlog;
+  spec.seed = base_seed;
+  spec.knobs["distillation"] = distillation;
+  spec.knobs["max-rounds"] = static_cast<std::int64_t>(setup.round_budget);
+  return spec;
+}
+
+/// Map a sweep aggregate back onto the historical cell shape.
+inline CellResult cell_from_aggregate(const scenario::CellAggregate& aggregate) {
+  CellResult cell;
+  if (aggregate.has("overhead_paper")) cell.overhead_paper = aggregate.at("overhead_paper");
+  if (aggregate.has("overhead_exact")) cell.overhead_exact = aggregate.at("overhead_exact");
+  if (aggregate.has("satisfied")) cell.satisfied = aggregate.at("satisfied");
+  if (aggregate.has("starved")) {
+    cell.starved_runs = static_cast<std::uint32_t>(aggregate.at("starved").sum() + 0.5);
+  }
+  return cell;
+}
+
 /// One figure cell: balancing on `family` over n nodes at distillation D,
 /// averaged over `setup.seeds` independent topology/workload draws.
 inline CellResult run_balancing_cell(graph::TopologyFamily family, std::size_t n,
                                      double distillation, const FigureSetup& setup,
                                      std::uint64_t base_seed = 1000) {
-  CellResult cell;
-  for (std::uint32_t rep = 0; rep < setup.seeds; ++rep) {
-    const std::uint64_t seed = base_seed + rep;
-    util::Rng topo_rng(seed);
-    const graph::Graph graph = graph::make_topology(family, n, topo_rng);
-    util::Rng workload_rng = topo_rng.fork(42);
-    // The paper draws 35 consumer pairs from all C(n,2) pairs; n = 9
-    // cannot support that many, so clamp.
-    const std::size_t max_pairs = n * (n - 1) / 2;
-    const core::Workload workload = core::make_uniform_workload(
-        n, std::min(setup.consumer_pairs, max_pairs), setup.backlog, workload_rng);
-    core::BalancingConfig config;
-    config.distillation = distillation;
-    config.seed = seed;
-    config.max_rounds = setup.round_budget;
-    const core::BalancingResult result =
-        core::run_balancing(graph, workload, config);
-    cell.satisfied.add(static_cast<double>(result.requests_satisfied));
-    if (result.denominator_paper <= 0.0) {
-      ++cell.starved_runs;
-      continue;
-    }
-    cell.overhead_paper.add(result.swap_overhead_paper());
-    cell.overhead_exact.add(result.swap_overhead_exact());
-  }
-  return cell;
+  scenario::SweepOptions options;
+  options.seeds_per_cell = setup.seeds;
+  options.threads = 1;  // single cell; table benches stay serial
+  const scenario::SweepRunner runner(options);
+  const std::vector<scenario::CellAggregate> aggregates =
+      runner.run({balancing_cell_spec(family, n, distillation, setup, base_seed)});
+  return cell_from_aggregate(aggregates.front());
 }
 
 /// Format a cell mean, flagging starved repetitions.

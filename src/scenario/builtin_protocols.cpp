@@ -1,0 +1,405 @@
+// Built-in protocol adapters: the bridge between the unified scenario API
+// and the per-family simulators in core/. Each adapter declares its knob
+// schema (which doubles as the poqsim CLI surface) and maps the family's
+// Result struct onto RunMetrics. All per-protocol Config/Result plumbing
+// in the repo lives here and nowhere else.
+//
+// Conventions shared by the adapters:
+//   * config.seed = spec.seed, topology from Rng(seed), workload from
+//     fork(42) — via scenario::instantiate, matching the historical CLI
+//     seeding so numbers are comparable across the redesign;
+//   * round-based runs publish label "completed" (yes/no) plus scalar
+//     "starved" (1 when no satisfied request was costed), and overhead
+//     metrics only when the denominator is positive, so sweep aggregation
+//     reproduces the benches' starved-cell semantics.
+#include <memory>
+
+#include "core/balancing_sim.hpp"
+#include "core/distributed.hpp"
+#include "core/fidelity_sim.hpp"
+#include "core/gossip.hpp"
+#include "core/hybrid.hpp"
+#include "core/lp_formulation.hpp"
+#include "core/planned_path.hpp"
+#include "scenario/protocol.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace poq::scenario {
+
+namespace {
+
+void add_overhead_metrics(RunMetrics& metrics, double swaps,
+                          double denominator_paper, double denominator_exact) {
+  metrics.set_scalar("starved", denominator_paper > 0.0 ? 0.0 : 1.0);
+  if (denominator_paper > 0.0) {
+    metrics.set_scalar("overhead_paper", swaps / denominator_paper);
+  }
+  if (denominator_exact > 0.0) {
+    metrics.set_scalar("overhead_exact", swaps / denominator_exact);
+  }
+}
+
+void add_balancing_metrics(RunMetrics& metrics, const core::BalancingResult& result) {
+  metrics.set_label("completed", result.completed ? "yes" : "no");
+  metrics.set_scalar("rounds", static_cast<double>(result.rounds));
+  metrics.set_scalar("satisfied", static_cast<double>(result.requests_satisfied));
+  metrics.set_scalar("swaps", static_cast<double>(result.swaps_performed));
+  metrics.set_scalar("pairs_generated", static_cast<double>(result.pairs_generated));
+  metrics.set_scalar("pairs_consumed", static_cast<double>(result.pairs_consumed));
+  add_overhead_metrics(metrics, static_cast<double>(result.swaps_performed),
+                       result.denominator_paper, result.denominator_exact);
+  metrics.set_scalar("mean_head_wait", result.head_wait_rounds.mean());
+  metrics.set_stats("head_wait_rounds", result.head_wait_rounds);
+}
+
+core::BalancingConfig balancing_config(const ScenarioSpec& spec) {
+  core::BalancingConfig config;
+  config.distillation = spec.knob_double("distillation", 1.0);
+  config.max_rounds = static_cast<std::uint32_t>(spec.knob_int("max-rounds", 50000));
+  config.swaps_per_node_per_round =
+      static_cast<std::uint32_t>(spec.knob_int("swap-rate", 1));
+  config.generation_per_edge_per_round = spec.knob_double("generation-rate", 1.0);
+  config.seed = spec.seed;
+  const std::int64_t detour_slack = spec.knob_int("detour-slack", -1);
+  if (detour_slack >= 0) {
+    config.policy.detour_slack = static_cast<std::uint32_t>(detour_slack);
+  }
+  return config;
+}
+
+std::vector<KnobSpec> balancing_knobs() {
+  return {
+      {"distillation", KnobType::kDouble, 1.0, "distillation overhead D"},
+      {"max-rounds", KnobType::kInt, std::int64_t{50000}, "round budget"},
+      {"swap-rate", KnobType::kInt, std::int64_t{1}, "swaps per node per round"},
+      {"generation-rate", KnobType::kDouble, 1.0, "pairs per edge per round"},
+      {"detour-slack", KnobType::kInt, std::int64_t{-1},
+       "extra hops the swap policy tolerates (-1 = unrestricted)"},
+  };
+}
+
+class BalancingProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "balancing"; }
+  std::string describe() const override {
+    return "round-based max-min balancing (paper Sections 4-5)";
+  }
+  std::vector<KnobSpec> knobs() const override { return balancing_knobs(); }
+  RunMetrics run(const ScenarioSpec& spec) const override {
+    const ScenarioInstance instance = instantiate(spec);
+    const core::BalancingResult result = core::run_balancing(
+        instance.graph, instance.workload, balancing_config(spec));
+    RunMetrics metrics;
+    add_balancing_metrics(metrics, result);
+    return metrics;
+  }
+};
+
+class PlannedProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "planned"; }
+  std::string describe() const override {
+    return "planned-path baselines (connection-oriented / connectionless)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    return {
+        {"distillation", KnobType::kDouble, 1.0, "distillation overhead D"},
+        {"mode", KnobType::kString, std::string("oriented"),
+         "oriented|connectionless"},
+        {"window", KnobType::kInt, std::int64_t{4},
+         "concurrent connections window"},
+        {"max-rounds", KnobType::kInt, std::int64_t{200000}, "round budget"},
+    };
+  }
+  RunMetrics run(const ScenarioSpec& spec) const override {
+    core::PlannedPathConfig config;
+    config.distillation = spec.knob_double("distillation", 1.0);
+    config.window = static_cast<std::uint32_t>(spec.knob_int("window", 4));
+    config.max_rounds =
+        static_cast<std::uint32_t>(spec.knob_int("max-rounds", 200000));
+    config.seed = spec.seed;
+    const std::string mode = spec.knob_string("mode", "oriented");
+    if (mode == "connectionless") {
+      config.mode = core::PlannedPathMode::kConnectionless;
+    } else if (mode == "oriented") {
+      config.mode = core::PlannedPathMode::kConnectionOriented;
+    } else {
+      throw PreconditionError(util::str_cat(
+          "planned: knob 'mode' must be oriented or connectionless, got '", mode,
+          "'"));
+    }
+    const ScenarioInstance instance = instantiate(spec);
+    const core::PlannedPathResult result =
+        core::run_planned_path(instance.graph, instance.workload, config);
+    RunMetrics metrics;
+    metrics.set_label("completed", result.completed ? "yes" : "no");
+    metrics.set_label("mode", mode);
+    metrics.set_scalar("rounds", static_cast<double>(result.rounds));
+    metrics.set_scalar("satisfied", static_cast<double>(result.requests_satisfied));
+    metrics.set_scalar("swaps", result.swaps_performed);
+    metrics.set_scalar("pairs_generated",
+                       static_cast<double>(result.pairs_generated));
+    add_overhead_metrics(metrics, result.swaps_performed, result.denominator_paper,
+                         result.denominator_exact);
+    metrics.set_scalar("mean_service", result.service_rounds.mean());
+    metrics.set_stats("service_rounds", result.service_rounds);
+    return metrics;
+  }
+};
+
+class HybridProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "hybrid"; }
+  std::string describe() const override {
+    return "balancing + entanglement-path assist (Section 6)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    std::vector<KnobSpec> knobs = balancing_knobs();
+    knobs.push_back({"max-assist-hops", KnobType::kInt, std::int64_t{8},
+                     "assist search radius in the entanglement graph"});
+    return knobs;
+  }
+  RunMetrics run(const ScenarioSpec& spec) const override {
+    core::HybridConfig config;
+    config.base = balancing_config(spec);
+    config.max_assist_hops =
+        static_cast<std::uint32_t>(spec.knob_int("max-assist-hops", 8));
+    const ScenarioInstance instance = instantiate(spec);
+    const core::HybridResult result =
+        core::run_hybrid(instance.graph, instance.workload, config);
+    RunMetrics metrics;
+    add_balancing_metrics(metrics, result.base);
+    metrics.set_scalar("assists_attempted",
+                       static_cast<double>(result.assists_attempted));
+    metrics.set_scalar("assists_succeeded",
+                       static_cast<double>(result.assists_succeeded));
+    metrics.set_scalar("assist_swaps", result.assist_swaps);
+    return metrics;
+  }
+};
+
+class GossipProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "gossip"; }
+  std::string describe() const override {
+    return "partial-knowledge balancing via count gossip (Section 6)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    std::vector<KnobSpec> knobs = balancing_knobs();
+    knobs.push_back({"fanout", KnobType::kInt, std::int64_t{2},
+                     "rotating peers contacted per round"});
+    knobs.push_back({"optimistic-peer", KnobType::kBool, true,
+                     "also contact one random peer per round"});
+    knobs.push_back({"latency", KnobType::kDouble, 1.0,
+                     "classical latency per hop (rounds)"});
+    return knobs;
+  }
+  RunMetrics run(const ScenarioSpec& spec) const override {
+    core::GossipConfig config;
+    config.base = balancing_config(spec);
+    config.fanout = static_cast<std::uint32_t>(spec.knob_int("fanout", 2));
+    config.optimistic_peer = spec.knob_bool("optimistic-peer", true);
+    config.latency_per_hop = spec.knob_double("latency", 1.0);
+    const ScenarioInstance instance = instantiate(spec);
+    const core::GossipResult result =
+        core::run_gossip(instance.graph, instance.workload, config);
+    RunMetrics metrics;
+    add_balancing_metrics(metrics, result.base);
+    metrics.set_scalar("view_age", result.mean_view_age);
+    metrics.set_scalar("control_messages",
+                       static_cast<double>(result.control_messages));
+    metrics.set_scalar("control_bytes", static_cast<double>(result.control_bytes));
+    return metrics;
+  }
+};
+
+class DistributedProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "distributed"; }
+  std::string describe() const override {
+    return "belief-based protocol with classical latency (Section 2)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    return {
+        {"latency", KnobType::kDouble, 0.1, "classical latency per hop"},
+        {"duration", KnobType::kDouble, 400.0, "simulated duration"},
+        {"report-rate", KnobType::kDouble, 1.0, "belief report rate"},
+        {"generation-rate", KnobType::kDouble, 1.0,
+         "Poisson pair generation rate per edge"},
+        {"scan-rate", KnobType::kDouble, 1.0, "per-node swap scan rate"},
+    };
+  }
+  RunMetrics run(const ScenarioSpec& spec) const override {
+    core::DistributedConfig config;
+    config.latency_per_hop = spec.knob_double("latency", 0.1);
+    config.duration = spec.knob_double("duration", 400.0);
+    config.report_rate = spec.knob_double("report-rate", 1.0);
+    config.generation_rate = spec.knob_double("generation-rate", 1.0);
+    config.scan_rate = spec.knob_double("scan-rate", 1.0);
+    config.seed = spec.seed;
+    const ScenarioInstance instance = instantiate(spec);
+    const core::DistributedResult result =
+        core::run_distributed(instance.graph, instance.workload, config);
+    RunMetrics metrics;
+    metrics.set_scalar("satisfied", static_cast<double>(result.requests_satisfied));
+    metrics.set_scalar("swaps", static_cast<double>(result.swaps));
+    metrics.set_scalar("stale_swap_fraction", result.stale_swap_fraction());
+    metrics.set_scalar("conflict_fraction", result.conflict_fraction());
+    metrics.set_scalar("view_age", result.decision_view_age.mean());
+    metrics.set_scalar("control_messages",
+                       static_cast<double>(result.control_messages));
+    metrics.set_scalar("control_bytes", static_cast<double>(result.control_bytes));
+    metrics.set_scalar("pairs_generated",
+                       static_cast<double>(result.pairs_generated));
+    metrics.set_stats("request_latency", result.request_latency);
+    metrics.set_stats("decision_view_age", result.decision_view_age);
+    return metrics;
+  }
+};
+
+class FidelityProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "fidelity"; }
+  std::string describe() const override {
+    return "fidelity-aware event simulation (Section 3.2)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    return {
+        {"raw-fidelity", KnobType::kDouble, 0.97, "generated-pair fidelity"},
+        {"app-fidelity", KnobType::kDouble, 0.80, "application target fidelity"},
+        {"usable-fidelity", KnobType::kDouble, 0.70, "discard threshold"},
+        {"memory-T", KnobType::kDouble, 100.0, "memory decay constant"},
+        {"duration", KnobType::kDouble, 500.0, "simulated duration"},
+        {"distill", KnobType::kBool, true, "enable BBPSSW distillation"},
+        {"pairing", KnobType::kString, std::string("freshest"),
+         "freshest|oldest pairing policy"},
+    };
+  }
+  RunMetrics run(const ScenarioSpec& spec) const override {
+    core::FidelitySimConfig config;
+    config.raw_fidelity = spec.knob_double("raw-fidelity", 0.97);
+    config.app_fidelity = spec.knob_double("app-fidelity", 0.80);
+    config.usable_fidelity = spec.knob_double("usable-fidelity", 0.70);
+    config.memory_time_constant = spec.knob_double("memory-T", 100.0);
+    config.duration = spec.knob_double("duration", 500.0);
+    config.distillation_enabled = spec.knob_bool("distill", true);
+    config.seed = spec.seed;
+    const std::string pairing = spec.knob_string("pairing", "freshest");
+    if (pairing == "oldest") {
+      config.policy = core::PairingPolicy::kOldest;
+    } else if (pairing == "freshest") {
+      config.policy = core::PairingPolicy::kFreshest;
+    } else {
+      throw PreconditionError(util::str_cat(
+          "fidelity: knob 'pairing' must be freshest or oldest, got '", pairing,
+          "'"));
+    }
+    const ScenarioInstance instance = instantiate(spec);
+    const core::FidelitySimResult result =
+        core::run_fidelity_sim(instance.graph, instance.workload, config);
+    RunMetrics metrics;
+    metrics.set_label("pairing", pairing);
+    metrics.set_scalar("satisfied", static_cast<double>(result.requests_satisfied));
+    metrics.set_scalar("swaps", static_cast<double>(result.swaps));
+    metrics.set_scalar("distills", static_cast<double>(result.distillations));
+    metrics.set_scalar("distill_failures",
+                       static_cast<double>(result.distillation_failures));
+    metrics.set_scalar("pairs_generated",
+                       static_cast<double>(result.pairs_generated));
+    metrics.set_scalar("pairs_decayed", static_cast<double>(result.pairs_decayed));
+    metrics.set_scalar("L_realized", result.realized_survival());
+    metrics.set_scalar("D_realized", result.realized_distillation_overhead());
+    if (result.consumed_fidelity.count() > 0) {
+      metrics.set_scalar("mean_consumed_F", result.consumed_fidelity.mean());
+    }
+    metrics.set_stats("consumed_fidelity", result.consumed_fidelity);
+    metrics.set_stats("request_latency", result.request_latency);
+    metrics.set_stats("storage_age_at_use", result.storage_age_at_use);
+    return metrics;
+  }
+};
+
+class LpProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "lp"; }
+  std::string describe() const override {
+    return "steady-state linear program (Section 3)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    return {
+        {"gamma", KnobType::kDouble, 1.0, "generation capacity per edge"},
+        {"kappa", KnobType::kDouble, 0.1, "demand per consumer pair"},
+        {"distillation", KnobType::kDouble, 1.0, "distillation matrix scalar"},
+        {"survival", KnobType::kDouble, 1.0, "survival matrix scalar"},
+        {"qec", KnobType::kDouble, 1.0, "QEC overhead R"},
+        {"objective", KnobType::kString, std::string("min-generation"),
+         "min-generation|min-max-generation|max-consumption|"
+         "max-min-consumption|max-scale"},
+    };
+  }
+  RunMetrics run(const ScenarioSpec& spec) const override {
+    const ScenarioInstance instance = instantiate(spec);
+    core::SteadyStateSpec lp_spec;
+    lp_spec.node_count = instance.graph.node_count();
+    const double gamma = spec.knob_double("gamma", 1.0);
+    for (const graph::Edge& edge : instance.graph.edges()) {
+      lp_spec.generation_capacity.push_back(
+          core::RatedPair{core::NodePair(edge.a(), edge.b()), gamma});
+    }
+    const double kappa = spec.knob_double("kappa", 0.1);
+    for (const core::NodePair& pair : instance.workload.pairs) {
+      lp_spec.demand.push_back(core::RatedPair{pair, kappa});
+    }
+    lp_spec.distillation = core::PairMatrix(spec.knob_double("distillation", 1.0));
+    lp_spec.survival = core::PairMatrix(spec.knob_double("survival", 1.0));
+    lp_spec.qec_overhead = spec.knob_double("qec", 1.0);
+
+    const std::string objective_name =
+        spec.knob_string("objective", "min-generation");
+    core::SteadyStateObjective objective;
+    if (objective_name == "min-generation") {
+      objective = core::SteadyStateObjective::kMinTotalGeneration;
+    } else if (objective_name == "min-max-generation") {
+      objective = core::SteadyStateObjective::kMinMaxGeneration;
+    } else if (objective_name == "max-consumption") {
+      objective = core::SteadyStateObjective::kMaxTotalConsumption;
+    } else if (objective_name == "max-min-consumption") {
+      objective = core::SteadyStateObjective::kMaxMinConsumption;
+    } else if (objective_name == "max-scale") {
+      objective = core::SteadyStateObjective::kMaxConcurrentScale;
+    } else {
+      throw PreconditionError(util::str_cat(
+          "lp: unknown knob value objective='", objective_name,
+          "' (valid: min-generation, min-max-generation, max-consumption, "
+          "max-min-consumption, max-scale)"));
+    }
+    const core::SteadyStateLp lp(std::move(lp_spec));
+    const core::SteadyStateSolution solution = lp.solve(objective);
+    RunMetrics metrics;
+    metrics.set_label("status", lp::status_name(solution.status));
+    metrics.set_label("objective_name", objective_name);
+    metrics.set_scalar("objective", solution.objective);
+    metrics.set_scalar("total_generation", solution.total_generation);
+    metrics.set_scalar("total_consumption", solution.total_consumption);
+    metrics.set_scalar("total_swap_rate", solution.total_swap_rate);
+    metrics.set_scalar("active_swap_rules",
+                       static_cast<double>(solution.swap_rates.size()));
+    metrics.set_scalar("max_violation", solution.max_violation);
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void register_builtin_protocols(Registry& target) {
+  target.add(std::make_unique<BalancingProtocol>());
+  target.add(std::make_unique<PlannedProtocol>());
+  target.add(std::make_unique<HybridProtocol>());
+  target.add(std::make_unique<GossipProtocol>());
+  target.add(std::make_unique<DistributedProtocol>());
+  target.add(std::make_unique<FidelityProtocol>());
+  target.add(std::make_unique<LpProtocol>());
+}
+
+}  // namespace poq::scenario

@@ -1,0 +1,156 @@
+#include "scenario/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "scenario/protocol.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace poq::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TaskResult {
+  RunMetrics metrics;
+  double wall_ms = 0.0;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+bool CellAggregate::has(const std::string& name) const {
+  for (const auto& [key, stats] : scalars) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+const util::RunningStats& CellAggregate::at(const std::string& name) const {
+  for (const auto& [key, stats] : scalars) {
+    if (key == name) return stats;
+  }
+  throw PreconditionError(util::str_cat("sweep cell has no scalar '", name, "'"));
+}
+
+util::json::Value CellAggregate::to_json() const {
+  using util::json::Value;
+  Value out = Value::object();
+  out.set("spec", spec.to_json());
+  out.set("seeds", static_cast<double>(seeds));
+  Value label_object = Value::object();
+  for (const auto& [name, value] : labels) label_object.set(name, value);
+  out.set("labels", std::move(label_object));
+  Value metric_object = Value::object();
+  for (const auto& [name, stats] : scalars) {
+    metric_object.set(name, stats_to_json(stats));
+  }
+  out.set("metrics", std::move(metric_object));
+  out.set("wall_ms", wall_ms);
+  return out;
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {
+  require(options_.seeds_per_cell > 0, "sweep: seeds_per_cell must be positive");
+}
+
+unsigned SweepRunner::effective_threads(std::size_t task_count) const {
+  unsigned threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > task_count) threads = static_cast<unsigned>(task_count);
+  return threads == 0 ? 1 : threads;
+}
+
+std::vector<CellAggregate> SweepRunner::run(
+    const std::vector<ScenarioSpec>& grid) const {
+  const std::size_t reps = options_.seeds_per_cell;
+  const std::size_t task_count = grid.size() * reps;
+  std::vector<TaskResult> results(task_count);
+  if (task_count > 0) {
+    // Workers pull the next task index from a shared counter; results land
+    // in the task's own slot so completion order never matters.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      while (true) {
+        const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+        if (task >= task_count) return;
+        const std::size_t cell = task / reps;
+        const std::size_t rep = task % reps;
+        TaskResult& slot = results[task];
+        const Clock::time_point start = Clock::now();
+        try {
+          const ScenarioSpec run_spec = grid[cell].with_seed(
+              grid[cell].seed + static_cast<std::uint64_t>(rep));
+          slot.metrics = registry().run(run_spec.protocol, run_spec);
+        } catch (...) {
+          slot.error = std::current_exception();
+        }
+        slot.wall_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - start)
+                .count();
+      }
+    };
+    const unsigned thread_count = effective_threads(task_count);
+    if (thread_count <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(thread_count);
+      for (unsigned i = 0; i < thread_count; ++i) pool.emplace_back(worker);
+      for (std::thread& thread : pool) thread.join();
+    }
+    for (const TaskResult& result : results) {
+      if (result.error) std::rethrow_exception(result.error);
+    }
+  }
+
+  std::vector<CellAggregate> aggregates;
+  aggregates.reserve(grid.size());
+  for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+    CellAggregate aggregate;
+    aggregate.spec = grid[cell];
+    aggregate.seeds = static_cast<std::uint32_t>(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const TaskResult& result = results[cell * reps + rep];
+      aggregate.wall_ms += result.wall_ms;
+      if (rep == 0) {
+        aggregate.labels = result.metrics.labels();
+      } else {
+        // Labels that vary across replications (e.g. "completed" when
+        // only some seeds finish in budget) are reported as "mixed"
+        // rather than as replication 0's value.
+        for (auto& [name, value] : aggregate.labels) {
+          if (!result.metrics.has_label(name) ||
+              result.metrics.label(name) != value) {
+            value = "mixed";
+          }
+        }
+      }
+      for (const auto& [name, value] : result.metrics.scalars()) {
+        util::RunningStats* stats = nullptr;
+        for (auto& [key, existing] : aggregate.scalars) {
+          if (key == name) {
+            stats = &existing;
+            break;
+          }
+        }
+        if (!stats) {
+          aggregate.scalars.emplace_back(name, util::RunningStats{});
+          stats = &aggregate.scalars.back().second;
+        }
+        stats->add(value);
+      }
+    }
+    aggregates.push_back(std::move(aggregate));
+  }
+  return aggregates;
+}
+
+}  // namespace poq::scenario

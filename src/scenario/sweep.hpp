@@ -1,0 +1,73 @@
+// Parallel grid sweeps over scenarios.
+//
+// A sweep is a vector of ScenarioSpecs (the grid cells); each cell is
+// replicated over `seeds_per_cell` seeds (spec.seed + r) and every
+// (cell, seed) run is an independent task fanned across a std::thread
+// pool. Determinism contract: aggregation order is fixed by (cell index,
+// replication index), never by completion order, so the aggregated
+// metrics of a sweep are bit-identical for any thread count — the
+// sweep_determinism test and the BENCH regression gate both lean on this.
+// Wall-clock timings are recorded per cell but excluded from that
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/metrics.hpp"
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace poq::scenario {
+
+struct SweepOptions {
+  /// Replications per cell; replication r runs spec.with_seed(spec.seed + r).
+  std::uint32_t seeds_per_cell = 1;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// Aggregated result of one grid cell.
+struct CellAggregate {
+  ScenarioSpec spec;           // the cell's base spec (seed = base seed)
+  std::uint32_t seeds = 0;     // replications aggregated
+  /// Labels agreed on by every replication; a label whose value varies
+  /// across seeds (e.g. "completed") is reported as "mixed".
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// Per-scalar aggregation across replications, in first-seen metric
+  /// order. A scalar a run omits (e.g. overhead of a starved run) simply
+  /// contributes no sample.
+  std::vector<std::pair<std::string, util::RunningStats>> scalars;
+  /// Wall-clock spent running this cell's replications, summed (ms).
+  double wall_ms = 0.0;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Aggregate for one scalar; throws PreconditionError if absent.
+  [[nodiscard]] const util::RunningStats& at(const std::string& name) const;
+
+  /// {"spec": ..., "seeds": n, "labels": {...},
+  ///  "metrics": {name: {count, mean, stddev, min, max}}, "wall_ms": t}
+  [[nodiscard]] util::json::Value to_json() const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Run every (cell, replication) task across the pool and aggregate.
+  /// The first exception thrown by any task (in task order) is rethrown
+  /// after all workers drain. Cells dispatch through scenario::registry().
+  [[nodiscard]] std::vector<CellAggregate> run(
+      const std::vector<ScenarioSpec>& grid) const;
+
+  /// Threads the runner will actually use for `task_count` tasks.
+  [[nodiscard]] unsigned effective_threads(std::size_t task_count) const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace poq::scenario

@@ -37,6 +37,19 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats RunningStats::from_moments(std::size_t count, double mean,
+                                        double variance, double min, double max) {
+  require(variance >= 0.0, "RunningStats::from_moments: variance must be >= 0");
+  RunningStats stats;
+  if (count == 0) return stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = variance * static_cast<double>(count);
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::variance() const {

@@ -16,6 +16,13 @@ class RunningStats {
   /// Merge another accumulator (parallel Welford / Chan et al.).
   void merge(const RunningStats& other);
 
+  /// Reconstruct an accumulator from its summary moments (population
+  /// variance). Used when deserializing persisted metrics; merging such a
+  /// reconstruction behaves exactly like the original accumulator.
+  [[nodiscard]] static RunningStats from_moments(std::size_t count, double mean,
+                                                 double variance, double min,
+                                                 double max);
+
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double mean() const;
   /// Population variance; 0 for fewer than 2 samples.

@@ -1,0 +1,148 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "scenario/protocol.hpp"
+#include "util/error.hpp"
+
+namespace poq::scenario {
+namespace {
+
+std::string message_of(const std::function<void()>& action) {
+  try {
+    action();
+  } catch (const PreconditionError& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(ScenarioSpec, KnobAccessorsReadTypedValues) {
+  ScenarioSpec spec;
+  spec.knobs["distillation"] = 2.5;
+  spec.knobs["max-rounds"] = std::int64_t{500};
+  spec.knobs["distill"] = true;
+  spec.knobs["mode"] = std::string("oriented");
+  EXPECT_DOUBLE_EQ(spec.knob_double("distillation", 1.0), 2.5);
+  EXPECT_EQ(spec.knob_int("max-rounds", 1), 500);
+  EXPECT_TRUE(spec.knob_bool("distill", false));
+  EXPECT_EQ(spec.knob_string("mode", "x"), "oriented");
+  // Absent knobs fall back.
+  EXPECT_DOUBLE_EQ(spec.knob_double("absent", 7.0), 7.0);
+  // Ints promote to double, but not the reverse.
+  EXPECT_DOUBLE_EQ(spec.knob_double("max-rounds", 0.0), 500.0);
+  EXPECT_THROW((void)spec.knob_int("distillation", 0), PreconditionError);
+  const std::string message =
+      message_of([&] { (void)spec.knob_bool("mode", false); });
+  EXPECT_NE(message.find("mode"), std::string::npos);
+  EXPECT_NE(message.find("bool"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ValidateRejectsUnknownTopology) {
+  ScenarioSpec spec;
+  spec.topology = "moebius";
+  const std::string message = message_of([&] { validate_frame(spec); });
+  EXPECT_NE(message.find("moebius"), std::string::npos);
+  EXPECT_NE(message.find("random-grid"), std::string::npos);  // lists valid names
+}
+
+TEST(ScenarioSpec, ValidateRejectsNonSquareGridCounts) {
+  ScenarioSpec spec;
+  spec.topology = "random-grid";
+  spec.nodes = 24;
+  const std::string message = message_of([&] { validate_frame(spec); });
+  EXPECT_NE(message.find("perfect square"), std::string::npos);
+  EXPECT_NE(message.find("25"), std::string::npos);  // nearest valid count
+}
+
+TEST(ScenarioSpec, ValidateRejectsTooFewNodes) {
+  ScenarioSpec spec;
+  spec.topology = "cycle";
+  spec.nodes = 2;  // cycles need >= 3
+  const std::string message = message_of([&] { validate_frame(spec); });
+  EXPECT_NE(message.find("at least"), std::string::npos);
+  EXPECT_NE(message.find("got 2"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RegistryRejectsUnknownProtocol) {
+  ScenarioSpec spec;
+  const std::string message =
+      message_of([&] { (void)registry().run("warp-drive", spec); });
+  EXPECT_NE(message.find("warp-drive"), std::string::npos);
+  EXPECT_NE(message.find("balancing"), std::string::npos);  // lists options
+}
+
+TEST(ScenarioSpec, RegistryRejectsUnknownKnob) {
+  ScenarioSpec spec;
+  spec.nodes = 9;
+  spec.knobs["flux-capacitance"] = 1.0;
+  const std::string message =
+      message_of([&] { (void)registry().run("balancing", spec); });
+  EXPECT_NE(message.find("flux-capacitance"), std::string::npos);
+  EXPECT_NE(message.find("distillation"), std::string::npos);  // valid knobs
+}
+
+TEST(ScenarioSpec, RegistryRejectsKnobTypeMismatch) {
+  ScenarioSpec spec;
+  spec.nodes = 9;
+  spec.knobs["max-rounds"] = std::string("many");
+  const std::string message =
+      message_of([&] { (void)registry().run("balancing", spec); });
+  EXPECT_NE(message.find("max-rounds"), std::string::npos);
+  EXPECT_NE(message.find("int"), std::string::npos);
+  EXPECT_NE(message.find("many"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RegistryAcceptsIntForDoubleKnob) {
+  ScenarioSpec spec;
+  spec.nodes = 9;
+  spec.requests = 5;
+  spec.knobs["distillation"] = std::int64_t{2};
+  const RunMetrics metrics = registry().run("balancing", spec);
+  EXPECT_TRUE(metrics.has_scalar("rounds"));
+}
+
+TEST(ScenarioSpec, JsonRoundTripPreservesEverything) {
+  ScenarioSpec spec;
+  spec.protocol = "gossip";
+  spec.topology = "cycle";
+  spec.nodes = 12;
+  spec.consumer_pairs = 10;
+  spec.requests = 44;
+  spec.seed = 99;
+  spec.knobs["fanout"] = std::int64_t{4};
+  spec.knobs["latency"] = 1.5;
+  spec.knobs["optimistic-peer"] = false;
+  spec.knobs["mode"] = std::string("x");
+  const ScenarioSpec round = ScenarioSpec::from_json(
+      util::json::Value::parse(spec.to_json().dump()));
+  EXPECT_EQ(round.protocol, spec.protocol);
+  EXPECT_EQ(round.topology, spec.topology);
+  EXPECT_EQ(round.nodes, spec.nodes);
+  EXPECT_EQ(round.consumer_pairs, spec.consumer_pairs);
+  EXPECT_EQ(round.requests, spec.requests);
+  EXPECT_EQ(round.seed, spec.seed);
+  EXPECT_EQ(round.knobs, spec.knobs);
+}
+
+TEST(ScenarioSpec, InstantiateIsDeterministic) {
+  ScenarioSpec spec;
+  spec.nodes = 16;
+  spec.requests = 20;
+  spec.seed = 5;
+  const ScenarioInstance a = instantiate(spec);
+  const ScenarioInstance b = instantiate(spec);
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  ASSERT_EQ(a.workload.sequence.size(), b.workload.sequence.size());
+  EXPECT_EQ(a.workload.sequence, b.workload.sequence);
+  ASSERT_EQ(a.workload.pairs.size(), b.workload.pairs.size());
+  for (std::size_t i = 0; i < a.workload.pairs.size(); ++i) {
+    EXPECT_EQ(a.workload.pairs[i], b.workload.pairs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace poq::scenario

@@ -1,0 +1,122 @@
+#include "scenario/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenario/protocol.hpp"
+#include "util/error.hpp"
+
+namespace poq::scenario {
+namespace {
+
+std::vector<ScenarioSpec> small_grid() {
+  std::vector<ScenarioSpec> grid;
+  for (const std::size_t n : {std::size_t{9}, std::size_t{16}}) {
+    for (const double distillation : {1.0, 2.0}) {
+      ScenarioSpec spec;
+      spec.protocol = "balancing";
+      spec.topology = "random-grid";
+      spec.nodes = n;
+      spec.consumer_pairs = 8;
+      spec.requests = 6;
+      spec.seed = 1000;
+      spec.knobs["distillation"] = distillation;
+      spec.knobs["max-rounds"] = std::int64_t{4000};
+      grid.push_back(std::move(spec));
+    }
+  }
+  return grid;
+}
+
+std::vector<CellAggregate> run_with_threads(unsigned threads,
+                                            std::uint32_t seeds) {
+  SweepOptions options;
+  options.seeds_per_cell = seeds;
+  options.threads = threads;
+  return SweepRunner(options).run(small_grid());
+}
+
+TEST(SweepRunner, ThreadCountNeverChangesAggregatedMetrics) {
+  const std::vector<CellAggregate> serial = run_with_threads(1, 3);
+  for (const unsigned threads : {2u, 4u, 7u}) {
+    const std::vector<CellAggregate> parallel = run_with_threads(threads, 3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i].scalars.size(), parallel[i].scalars.size())
+          << "cell " << i << " with " << threads << " threads";
+      for (std::size_t k = 0; k < serial[i].scalars.size(); ++k) {
+        EXPECT_EQ(serial[i].scalars[k].first, parallel[i].scalars[k].first);
+        const util::RunningStats& a = serial[i].scalars[k].second;
+        const util::RunningStats& b = parallel[i].scalars[k].second;
+        EXPECT_EQ(a.count(), b.count());
+        // Bit-identical, not approximately equal: aggregation order is
+        // fixed by (cell, replication), never by completion order.
+        EXPECT_EQ(a.mean(), b.mean());
+        EXPECT_EQ(a.variance(), b.variance());
+        EXPECT_EQ(a.min(), b.min());
+        EXPECT_EQ(a.max(), b.max());
+      }
+    }
+  }
+}
+
+TEST(SweepRunner, ReplicatesEachCellAcrossSeeds) {
+  const std::vector<CellAggregate> cells = run_with_threads(2, 4);
+  for (const CellAggregate& cell : cells) {
+    EXPECT_EQ(cell.seeds, 4u);
+    // Every run reports rounds, so its aggregate has one sample per seed.
+    EXPECT_EQ(cell.at("rounds").count(), 4u);
+  }
+}
+
+TEST(SweepRunner, SeedReplicationMatchesManualRuns) {
+  std::vector<ScenarioSpec> grid = small_grid();
+  grid.resize(1);
+  SweepOptions options;
+  options.seeds_per_cell = 3;
+  options.threads = 2;
+  const CellAggregate aggregate = SweepRunner(options).run(grid).front();
+  util::RunningStats expected;
+  for (std::uint64_t rep = 0; rep < 3; ++rep) {
+    const RunMetrics metrics = registry().run(
+        grid.front().protocol, grid.front().with_seed(grid.front().seed + rep));
+    expected.add(metrics.scalar("rounds"));
+  }
+  EXPECT_EQ(aggregate.at("rounds").count(), expected.count());
+  EXPECT_EQ(aggregate.at("rounds").mean(), expected.mean());
+  EXPECT_EQ(aggregate.at("rounds").variance(), expected.variance());
+}
+
+TEST(SweepRunner, EmptyGridYieldsNoCells) {
+  EXPECT_TRUE(SweepRunner().run({}).empty());
+}
+
+TEST(SweepRunner, TaskErrorsPropagateAfterDraining) {
+  std::vector<ScenarioSpec> grid = small_grid();
+  grid[1].protocol = "no-such-protocol";
+  SweepOptions options;
+  options.seeds_per_cell = 2;
+  options.threads = 3;
+  EXPECT_THROW((void)SweepRunner(options).run(grid), PreconditionError);
+}
+
+TEST(SweepRunner, ZeroSeedsIsRejected) {
+  SweepOptions options;
+  options.seeds_per_cell = 0;
+  EXPECT_THROW(SweepRunner runner(options), PreconditionError);
+}
+
+TEST(SweepRunner, CellJsonCarriesSpecAndMetrics) {
+  const std::vector<CellAggregate> cells = run_with_threads(1, 2);
+  const util::json::Value json = cells.front().to_json();
+  EXPECT_EQ(json.at("spec").at("protocol").as_string(), "balancing");
+  EXPECT_EQ(json.at("seeds").as_number(), 2.0);
+  EXPECT_TRUE(json.at("metrics").contains("rounds"));
+  EXPECT_EQ(json.at("metrics").at("rounds").at("count").as_number(), 2.0);
+  // Round-trips through the parser.
+  EXPECT_EQ(util::json::Value::parse(json.dump(2)), json);
+}
+
+}  // namespace
+}  // namespace poq::scenario

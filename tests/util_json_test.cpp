@@ -1,0 +1,109 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace poq::util::json {
+namespace {
+
+TEST(Json, DumpScalars) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(1.5).dump(), "1.5");
+  EXPECT_EQ(Value(3).dump(), "3");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_TRUE(Value(std::nan("")).is_null());
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (const double value : {0.1, 1.0 / 3.0, 123456.789, -2.5e-8, 1e15}) {
+    const Value parsed = Value::parse(Value(value).dump());
+    EXPECT_EQ(parsed.as_number(), value);
+  }
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Value object = Value::object();
+  object.set("zebra", 1.0);
+  object.set("apple", 2.0);
+  object.set("mango", 3.0);
+  EXPECT_EQ(object.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  // Overwrite keeps the original position.
+  object.set("zebra", 9.0);
+  EXPECT_EQ(object.dump(), "{\"zebra\":9,\"apple\":2,\"mango\":3}");
+}
+
+TEST(Json, ParseNestedDocument) {
+  const Value value = Value::parse(
+      R"({"name": "fig5", "cells": [{"nodes": 9, "ok": true}, {"nodes": 16, "ok": false}], "extra": null})");
+  EXPECT_EQ(value.at("name").as_string(), "fig5");
+  EXPECT_EQ(value.at("cells").size(), 2u);
+  EXPECT_EQ(value.at("cells").at(0).at("nodes").as_number(), 9.0);
+  EXPECT_FALSE(value.at("cells").at(1).at("ok").as_bool());
+  EXPECT_TRUE(value.at("extra").is_null());
+  EXPECT_TRUE(value.contains("extra"));
+  EXPECT_FALSE(value.contains("missing"));
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string text = "line1\nline2\t\"quoted\" \\slash";
+  const Value parsed = Value::parse(Value(text).dump());
+  EXPECT_EQ(parsed.as_string(), text);
+  EXPECT_EQ(Value::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, PrettyDumpParsesBack) {
+  Value list = Value::array();
+  list.push_back(1.0);
+  list.push_back("two");
+  Value object = Value::object();
+  object.set("list", std::move(list));
+  object.set("nested", Value::object());
+  const std::string pretty = object.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Value::parse(pretty), object);
+}
+
+TEST(Json, ParseErrorsAreActionable) {
+  EXPECT_THROW(Value::parse("{"), PreconditionError);
+  EXPECT_THROW(Value::parse("[1, 2,]"), PreconditionError);
+  EXPECT_THROW(Value::parse("nul"), PreconditionError);
+  EXPECT_THROW(Value::parse("1 2"), PreconditionError);
+  EXPECT_THROW(Value::parse("\"unterminated"), PreconditionError);
+  try {
+    (void)Value::parse("{\"a\": }");
+    FAIL() << "expected parse failure";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value number(1.0);
+  EXPECT_THROW((void)number.as_string(), PreconditionError);
+  EXPECT_THROW((void)number.at("key"), PreconditionError);
+  const Value object = Value::object();
+  EXPECT_THROW((void)object.at("missing"), PreconditionError);
+  EXPECT_THROW((void)object.as_number(), PreconditionError);
+}
+
+TEST(Json, EqualityIsStructural) {
+  const Value a = Value::parse(R"({"x": [1, 2], "y": "z"})");
+  const Value b = Value::parse(R"({ "x" : [ 1 , 2 ] , "y" : "z" })");
+  EXPECT_TRUE(a == b);
+  const Value c = Value::parse(R"({"y": "z", "x": [1, 2]})");
+  EXPECT_FALSE(a == c);  // member order is part of the document
+}
+
+}  // namespace
+}  // namespace poq::util::json

@@ -1,116 +1,91 @@
 // poqsim — command-line driver for the poqnet simulators.
 //
+// Thin shell over the unified scenario API: every subcommand except
+// `list` and `sweep` is a registry lookup (scenario::registry()), the
+// option surface is generated from the protocol's declared knob schema,
+// and results print as the uniform RunMetrics key=value pairs. Adding a
+// protocol to the registry adds it to the CLI with zero changes here.
+//
 // Subcommands:
-//   balance      round-based §4/§5 max-min balancing
-//   planned      connection-oriented / connectionless baselines
-//   hybrid       §6 hybrid oblivious + minimal planning
-//   gossip       §6 rotating partial knowledge
-//   distributed  belief-based §4 with classical latency
-//   fidelity     fidelity-aware event simulation (explicit decay/BBPSSW)
-//   lp           §3 steady-state LP
+//   <protocol>   run one scenario (balancing, planned, hybrid, gossip,
+//                distributed, fidelity, lp — see `poqsim list`)
+//   list         registered protocols with their knobs
+//   sweep        node-count sweep through the parallel SweepRunner,
+//                table or JSON output
 //
 // Common options: --topology cycle|random-grid|full-grid|erdos-renyi|
 // watts-strogatz|barabasi-albert, --nodes N, --seed S, --pairs P,
-// --requests R. Run `poqsim <subcommand> --help` for the full list.
+// --requests R. Run `poqsim <protocol> --help` for the knob list.
 #include <cmath>
 #include <iostream>
-#include <map>
 #include <string>
+#include <vector>
 
-#include "core/balancing_sim.hpp"
-#include "core/distributed.hpp"
-#include "core/fidelity_sim.hpp"
-#include "core/gossip.hpp"
-#include "core/hybrid.hpp"
-#include "core/lp_formulation.hpp"
-#include "core/planned_path.hpp"
-#include "core/workload.hpp"
-#include "graph/topology.hpp"
+#include "scenario/protocol.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 using namespace poq;
 
-graph::TopologyFamily parse_family(const std::string& name) {
-  if (name == "cycle") return graph::TopologyFamily::kCycle;
-  if (name == "random-grid") return graph::TopologyFamily::kRandomGrid;
-  if (name == "full-grid") return graph::TopologyFamily::kFullGrid;
-  if (name == "erdos-renyi") return graph::TopologyFamily::kErdosRenyi;
-  if (name == "watts-strogatz") return graph::TopologyFamily::kWattsStrogatz;
-  if (name == "barabasi-albert") return graph::TopologyFamily::kBarabasiAlbert;
-  throw PreconditionError("unknown --topology '" + name + "'");
+/// Historical subcommand spellings kept as aliases.
+std::string canonical_protocol(const std::string& command) {
+  if (command == "balance") return "balancing";
+  return command;
 }
 
-struct CommonSetup {
-  graph::Graph graph{0};
-  core::Workload workload;
-  std::uint64_t seed = 1;
-};
-
-std::size_t nearest_perfect_square(std::size_t n) {
-  if (n <= 9) return 9;
-  const auto side =
-      static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
-  const std::size_t below = std::max<std::size_t>(side * side, 9);
-  const std::size_t above = (side + 1) * (side + 1);
-  return (n - below <= above - n) ? below : above;
-}
-
-/// Reject node counts the selected family cannot build, naming the flag
-/// combination and the nearest valid count rather than letting the
-/// generator die on its internal precondition. Minimums come from the
-/// graph layer so they track the make_topology default parameters.
-void validate_node_count(graph::TopologyFamily family,
-                         const std::string& topology_name, std::size_t nodes) {
-  const auto fail = [&](const std::string& requirement, std::size_t nearest) {
-    throw PreconditionError(
-        "--topology " + topology_name + " requires --nodes to be " +
-        requirement + " (got " + std::to_string(nodes) +
-        "; nearest valid count: " + std::to_string(nearest) + ")");
-  };
-  const std::size_t min_nodes = graph::min_topology_nodes(family);
-  const bool grid = family == graph::TopologyFamily::kRandomGrid ||
-                    family == graph::TopologyFamily::kFullGrid;
-  if (grid) {
-    const bool square_ok = [&] {
-      if (nodes < min_nodes) return false;
-      const auto side =
-          static_cast<std::size_t>(std::sqrt(static_cast<double>(nodes)) + 0.5);
-      return side * side == nodes;
-    }();
-    if (!square_ok) {
-      fail("a perfect square >= " + std::to_string(min_nodes),
-           nearest_perfect_square(nodes));
+/// Fill the experiment frame from the common options. `sweep` owns the
+/// --nodes axis itself (comma list), so it asks to skip that field.
+scenario::ScenarioSpec parse_frame(const util::ArgParser& args,
+                                   const std::string& protocol,
+                                   bool read_nodes = true) {
+  scenario::ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.topology = args.get_string("topology", "random-grid");
+  if (read_nodes) {
+    const std::int64_t nodes = args.get_int("nodes", 25);
+    if (nodes < 1) {
+      throw PreconditionError("--nodes must be positive (got " +
+                              std::to_string(nodes) + ")");
     }
-  } else if (nodes < min_nodes) {
-    fail("at least " + std::to_string(min_nodes), min_nodes);
+    spec.nodes = static_cast<std::size_t>(nodes);
   }
+  const std::int64_t pairs = args.get_int("pairs", 35);
+  if (pairs < 1) throw PreconditionError("--pairs must be positive");
+  spec.consumer_pairs = static_cast<std::size_t>(pairs);
+  const std::int64_t requests = args.get_int("requests", 200);
+  if (requests < 1) throw PreconditionError("--requests must be positive");
+  spec.requests = static_cast<std::size_t>(requests);
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return spec;
 }
 
-CommonSetup common_setup(const util::ArgParser& args) {
-  CommonSetup setup;
-  setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const std::int64_t nodes_raw = args.get_int("nodes", 25);
-  if (nodes_raw < 1) {
-    throw PreconditionError("--nodes must be positive (got " +
-                            std::to_string(nodes_raw) + ")");
+/// Forward every CLI option that names a declared knob into the overlay,
+/// typed per the schema.
+void parse_knobs(const util::ArgParser& args, const scenario::Protocol& protocol,
+                 scenario::ScenarioSpec& spec) {
+  for (const scenario::KnobSpec& knob : protocol.knobs()) {
+    if (!args.has(knob.name)) continue;
+    switch (knob.type) {
+      case scenario::KnobType::kBool:
+        spec.knobs[knob.name] = args.get_bool(knob.name, false);
+        break;
+      case scenario::KnobType::kInt:
+        spec.knobs[knob.name] = args.get_int(knob.name, 0);
+        break;
+      case scenario::KnobType::kDouble:
+        spec.knobs[knob.name] = args.get_double(knob.name, 0.0);
+        break;
+      case scenario::KnobType::kString:
+        spec.knobs[knob.name] = args.get_string(knob.name, "");
+        break;
+    }
   }
-  const auto nodes = static_cast<std::size_t>(nodes_raw);
-  const std::string topology_name = args.get_string("topology", "random-grid");
-  const auto family = parse_family(topology_name);
-  validate_node_count(family, topology_name, nodes);
-  util::Rng rng(setup.seed);
-  setup.graph = graph::make_topology(family, nodes, rng);
-  const std::size_t max_pairs = nodes * (nodes - 1) / 2;
-  const auto pairs = std::min<std::size_t>(
-      static_cast<std::size_t>(args.get_int("pairs", 35)), max_pairs);
-  const auto requests = static_cast<std::size_t>(args.get_int("requests", 200));
-  util::Rng workload_rng = rng.fork(42);
-  setup.workload = core::make_uniform_workload(nodes, pairs, requests, workload_rng);
-  return setup;
 }
 
 void check_unused(const util::ArgParser& args) {
@@ -124,196 +99,28 @@ void check_unused(const util::ArgParser& args) {
   }
 }
 
-int cmd_balance(const util::ArgParser& args) {
-  const CommonSetup setup = common_setup(args);
-  core::BalancingConfig config;
-  config.distillation = args.get_double("distillation", 1.0);
-  config.seed = setup.seed;
-  config.max_rounds = static_cast<std::uint32_t>(args.get_int("max-rounds", 50000));
-  config.swaps_per_node_per_round =
-      static_cast<std::uint32_t>(args.get_int("swap-rate", 1));
-  config.generation_per_edge_per_round = args.get_double("generation-rate", 1.0);
-  if (args.has("detour-slack")) {
-    config.policy.detour_slack =
-        static_cast<std::uint32_t>(args.get_int("detour-slack", 0));
+std::string scalar_text(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1.0e15) {
+    return util::format_double(value, 0);
   }
-  check_unused(args);
-  const core::BalancingResult result =
-      core::run_balancing(setup.graph, setup.workload, config);
-  std::cout << "completed="            << (result.completed ? "yes" : "no")
-            << " rounds="              << result.rounds
-            << " satisfied="           << result.requests_satisfied
-            << " swaps="               << result.swaps_performed
-            << "\noverhead_paper="     << util::format_double(result.swap_overhead_paper(), 3)
-            << " overhead_exact="      << util::format_double(result.swap_overhead_exact(), 3)
-            << " mean_head_wait="      << util::format_double(result.head_wait_rounds.mean(), 2)
-            << '\n';
-  return 0;
+  return util::format_double(value, 4);
 }
 
-int cmd_planned(const util::ArgParser& args) {
-  const CommonSetup setup = common_setup(args);
-  core::PlannedPathConfig config;
-  config.distillation = args.get_double("distillation", 1.0);
-  config.seed = setup.seed;
-  config.window = static_cast<std::uint32_t>(args.get_int("window", 4));
-  const std::string mode = args.get_string("mode", "oriented");
-  if (mode == "connectionless") {
-    config.mode = core::PlannedPathMode::kConnectionless;
-  } else if (mode != "oriented") {
-    throw PreconditionError("--mode must be oriented or connectionless");
-  }
-  check_unused(args);
-  const core::PlannedPathResult result =
-      core::run_planned_path(setup.graph, setup.workload, config);
-  std::cout << "completed="        << (result.completed ? "yes" : "no")
-            << " rounds="          << result.rounds
-            << " satisfied="       << result.requests_satisfied
-            << " swaps="           << util::format_double(result.swaps_performed, 1)
-            << "\noverhead_paper=" << util::format_double(result.swap_overhead_paper(), 3)
-            << " overhead_exact="  << util::format_double(result.swap_overhead_exact(), 3)
-            << " mean_service="    << util::format_double(result.service_rounds.mean(), 2)
-            << '\n';
-  return 0;
-}
-
-int cmd_hybrid(const util::ArgParser& args) {
-  const CommonSetup setup = common_setup(args);
-  core::HybridConfig config;
-  config.base.distillation = args.get_double("distillation", 1.0);
-  config.base.seed = setup.seed;
-  config.base.max_rounds =
-      static_cast<std::uint32_t>(args.get_int("max-rounds", 50000));
-  config.max_assist_hops =
-      static_cast<std::uint32_t>(args.get_int("max-assist-hops", 8));
-  check_unused(args);
-  const core::HybridResult result =
-      core::run_hybrid(setup.graph, setup.workload, config);
-  std::cout << "completed="        << (result.base.completed ? "yes" : "no")
-            << " rounds="          << result.base.rounds
-            << " satisfied="       << result.base.requests_satisfied
-            << "\noverhead_paper=" << util::format_double(result.base.swap_overhead_paper(), 3)
-            << " assists="         << result.assists_succeeded << "/" << result.assists_attempted
-            << " assist_swaps="    << util::format_double(result.assist_swaps, 0)
-            << '\n';
-  return 0;
-}
-
-int cmd_gossip(const util::ArgParser& args) {
-  const CommonSetup setup = common_setup(args);
-  core::GossipConfig config;
-  config.base.distillation = args.get_double("distillation", 1.0);
-  config.base.seed = setup.seed;
-  config.base.max_rounds =
-      static_cast<std::uint32_t>(args.get_int("max-rounds", 50000));
-  config.fanout = static_cast<std::uint32_t>(args.get_int("fanout", 2));
-  config.optimistic_peer = args.get_bool("optimistic-peer", true);
-  config.latency_per_hop = args.get_double("latency", 1.0);
-  check_unused(args);
-  const core::GossipResult result =
-      core::run_gossip(setup.graph, setup.workload, config);
-  std::cout << "completed="        << (result.base.completed ? "yes" : "no")
-            << " rounds="          << result.base.rounds
-            << " satisfied="       << result.base.requests_satisfied
-            << "\noverhead_paper=" << util::format_double(result.base.swap_overhead_paper(), 3)
-            << " view_age="        << util::format_double(result.mean_view_age, 2)
-            << " control_bytes="   << result.control_bytes
-            << '\n';
-  return 0;
-}
-
-int cmd_distributed(const util::ArgParser& args) {
-  const CommonSetup setup = common_setup(args);
-  core::DistributedConfig config;
-  config.seed = setup.seed;
-  config.latency_per_hop = args.get_double("latency", 0.1);
-  config.duration = args.get_double("duration", 400.0);
-  config.report_rate = args.get_double("report-rate", 1.0);
-  check_unused(args);
-  const core::DistributedResult result =
-      core::run_distributed(setup.graph, setup.workload, config);
-  std::cout << "satisfied="     << result.requests_satisfied
-            << " swaps="        << result.swaps
-            << " stale_swaps="  << util::format_double(100.0 * result.stale_swap_fraction(), 1) << "%"
-            << " conflicts="    << util::format_double(100.0 * result.conflict_fraction(), 1) << "%"
-            << "\nview_age="    << util::format_double(result.decision_view_age.mean(), 2)
-            << " control_bytes=" << result.control_bytes
-            << '\n';
-  return 0;
-}
-
-int cmd_fidelity(const util::ArgParser& args) {
-  const CommonSetup setup = common_setup(args);
-  core::FidelitySimConfig config;
-  config.seed = setup.seed;
-  config.raw_fidelity = args.get_double("raw-fidelity", 0.97);
-  config.app_fidelity = args.get_double("app-fidelity", 0.80);
-  config.usable_fidelity = args.get_double("usable-fidelity", 0.70);
-  config.memory_time_constant = args.get_double("memory-T", 100.0);
-  config.duration = args.get_double("duration", 500.0);
-  config.distillation_enabled = args.get_bool("distill", true);
-  config.policy = args.get_string("pairing", "freshest") == "oldest"
-                      ? core::PairingPolicy::kOldest
-                      : core::PairingPolicy::kFreshest;
-  check_unused(args);
-  const core::FidelitySimResult result =
-      core::run_fidelity_sim(setup.graph, setup.workload, config);
-  std::cout << "satisfied="   << result.requests_satisfied
-            << " swaps="      << result.swaps
-            << " distills="   << result.distillations
-            << "\nL_realized=" << util::format_double(result.realized_survival(), 3)
-            << " D_realized=" << util::format_double(result.realized_distillation_overhead(), 2)
-            << " mean_consumed_F="
-            << (result.consumed_fidelity.count()
-                    ? util::format_double(result.consumed_fidelity.mean(), 4)
-                    : std::string("-"))
-            << '\n';
-  return 0;
-}
-
-int cmd_lp(const util::ArgParser& args) {
-  const CommonSetup setup = common_setup(args);
-  core::SteadyStateSpec spec;
-  spec.node_count = setup.graph.node_count();
-  const double gamma = args.get_double("gamma", 1.0);
-  for (const graph::Edge& edge : setup.graph.edges()) {
-    spec.generation_capacity.push_back(
-        core::RatedPair{core::NodePair(edge.a(), edge.b()), gamma});
-  }
-  const double kappa = args.get_double("kappa", 0.1);
-  for (const core::NodePair& pair : setup.workload.pairs) {
-    spec.demand.push_back(core::RatedPair{pair, kappa});
-  }
-  spec.distillation = core::PairMatrix(args.get_double("distillation", 1.0));
-  spec.survival = core::PairMatrix(args.get_double("survival", 1.0));
-  spec.qec_overhead = args.get_double("qec", 1.0);
-  const std::string objective_name = args.get_string("objective", "min-generation");
-  check_unused(args);
-
-  core::SteadyStateObjective objective;
-  if (objective_name == "min-generation") {
-    objective = core::SteadyStateObjective::kMinTotalGeneration;
-  } else if (objective_name == "min-max-generation") {
-    objective = core::SteadyStateObjective::kMinMaxGeneration;
-  } else if (objective_name == "max-consumption") {
-    objective = core::SteadyStateObjective::kMaxTotalConsumption;
-  } else if (objective_name == "max-min-consumption") {
-    objective = core::SteadyStateObjective::kMaxMinConsumption;
-  } else if (objective_name == "max-scale") {
-    objective = core::SteadyStateObjective::kMaxConcurrentScale;
-  } else {
-    throw PreconditionError("unknown --objective '" + objective_name + "'");
-  }
-  const core::SteadyStateLp lp(std::move(spec));
-  const core::SteadyStateSolution solution = lp.solve(objective);
-  std::cout << "status="        << lp::status_name(solution.status)
-            << " objective="    << util::format_double(solution.objective, 4)
-            << "\ntotal_generation=" << util::format_double(solution.total_generation, 3)
-            << " total_consumption=" << util::format_double(solution.total_consumption, 3)
-            << " total_swap_rate="   << util::format_double(solution.total_swap_rate, 3)
-            << " active_swap_rules=" << solution.swap_rates.size()
-            << '\n';
-  return 0;
+/// Uniform key=value rendering of a run, a few pairs per line.
+void print_metrics(const scenario::RunMetrics& metrics) {
+  std::size_t on_line = 0;
+  const auto emit = [&](const std::string& name, const std::string& value) {
+    std::cout << name << '=' << value;
+    if (++on_line == 4) {
+      std::cout << '\n';
+      on_line = 0;
+    } else {
+      std::cout << ' ';
+    }
+  };
+  for (const auto& [name, value] : metrics.labels()) emit(name, value);
+  for (const auto& [name, value] : metrics.scalars()) emit(name, scalar_text(value));
+  if (on_line != 0) std::cout << '\n';
 }
 
 constexpr const char* kCommonOptionsHelp =
@@ -326,82 +133,134 @@ constexpr const char* kCommonOptionsHelp =
     "  --requests R   request backlog length (default 200)\n"
     "  --seed S       RNG seed (default 1)\n";
 
-/// Per-subcommand option summary for `poqsim <subcommand> --help`.
-/// Returns false if the subcommand is unknown.
-bool print_subcommand_help(const std::string& command) {
-  static const std::map<std::string, const char*> help = {
-      {"balance",
-       "usage: poqsim balance [options]\n"
-       "Round-based max-min balancing (paper Sections 4-5).\n"
-       "  --distillation D     distillation overhead (default 1.0)\n"
-       "  --max-rounds R       round budget (default 50000)\n"
-       "  --swap-rate K        swaps per node per round (default 1)\n"
-       "  --generation-rate G  pairs per edge per round (default 1.0)\n"
-       "  --detour-slack H     extra hops tolerated by the swap policy\n"},
-      {"planned",
-       "usage: poqsim planned [options]\n"
-       "Planned-path baselines.\n"
-       "  --mode M         oriented|connectionless (default oriented)\n"
-       "  --distillation D distillation overhead (default 1.0)\n"
-       "  --window W       concurrent connections window (default 4)\n"},
-      {"hybrid",
-       "usage: poqsim hybrid [options]\n"
-       "Balancing plus entanglement-path assist (Section 6).\n"
-       "  --distillation D    distillation overhead (default 1.0)\n"
-       "  --max-rounds R      round budget (default 50000)\n"
-       "  --max-assist-hops H assist search radius (default 8)\n"},
-      {"gossip",
-       "usage: poqsim gossip [options]\n"
-       "Partial-knowledge balancing (Section 6).\n"
-       "  --distillation D   distillation overhead (default 1.0)\n"
-       "  --max-rounds R     round budget (default 50000)\n"
-       "  --fanout K         gossip fanout (default 2)\n"
-       "  --optimistic-peer B assume-fresh peer views (default true)\n"
-       "  --latency L        classical latency per hop (default 1.0)\n"},
-      {"distributed",
-       "usage: poqsim distributed [options]\n"
-       "Belief-based protocol with classical latency (Section 2).\n"
-       "  --latency L      classical latency per hop (default 0.1)\n"
-       "  --duration T     simulated duration (default 400.0)\n"
-       "  --report-rate R  belief report rate (default 1.0)\n"},
-      {"fidelity",
-       "usage: poqsim fidelity [options]\n"
-       "Fidelity-aware event simulation (Section 3.2).\n"
-       "  --raw-fidelity F     generated-pair fidelity (default 0.97)\n"
-       "  --app-fidelity F     application target (default 0.80)\n"
-       "  --usable-fidelity F  discard threshold (default 0.70)\n"
-       "  --memory-T T         memory decay constant (default 100.0)\n"
-       "  --duration T         simulated duration (default 500.0)\n"
-       "  --distill B          enable BBPSSW distillation (default true)\n"
-       "  --pairing P          freshest|oldest (default freshest)\n"},
-      {"lp",
-       "usage: poqsim lp [options]\n"
-       "Steady-state linear program (Section 3).\n"
-       "  --gamma G        generation capacity per edge (default 1.0)\n"
-       "  --kappa K        demand per consumer pair (default 0.1)\n"
-       "  --distillation D distillation matrix scalar (default 1.0)\n"
-       "  --survival S     survival matrix scalar (default 1.0)\n"
-       "  --qec Q          QEC overhead (default 1.0)\n"
-       "  --objective O    min-generation|min-max-generation|max-consumption|\n"
-       "                   max-min-consumption|max-scale (default min-generation)\n"},
-  };
-  const auto found = help.find(command);
-  if (found == help.end()) return false;
-  std::cout << found->second << kCommonOptionsHelp;
-  return true;
+void print_protocol_help(const scenario::Protocol& protocol) {
+  std::cout << "usage: poqsim " << protocol.name() << " [options]\n"
+            << protocol.describe() << "\nknobs:\n";
+  for (const scenario::KnobSpec& knob : protocol.knobs()) {
+    std::cout << "  --" << util::pad_right(knob.name, 18) << knob.help
+              << " (" << scenario::knob_type_name(knob.type) << ", default "
+              << scenario::knob_value_text(knob.default_value) << ")\n";
+  }
+  std::cout << kCommonOptionsHelp;
+}
+
+int cmd_list() {
+  for (const std::string& name : scenario::registry().names()) {
+    const scenario::Protocol& protocol = scenario::registry().find(name);
+    std::cout << util::pad_right(name, 13) << protocol.describe() << '\n';
+  }
+  return 0;
+}
+
+int cmd_run(const scenario::Protocol& protocol, const util::ArgParser& args) {
+  scenario::ScenarioSpec spec = parse_frame(args, protocol.name());
+  parse_knobs(args, protocol, spec);
+  check_unused(args);
+  print_metrics(scenario::registry().run(protocol.name(), spec));
+  return 0;
+}
+
+std::vector<std::size_t> parse_node_list(const std::string& text) {
+  std::vector<std::size_t> nodes;
+  for (const std::string& field : util::split(text, ',')) {
+    const std::string item(util::trim(field));
+    if (item.empty()) continue;
+    // Digits only: std::stoull would accept "-9" (wrapping to ~1.8e19)
+    // and silently ignore trailing garbage like "9junk".
+    const bool digits =
+        item.find_first_not_of("0123456789") == std::string::npos;
+    if (!digits || item.size() > 9) {
+      throw PreconditionError("--nodes entries must be positive integers (got '" +
+                              item + "')");
+    }
+    const std::size_t value = std::stoull(item);
+    if (value == 0) throw PreconditionError("--nodes entries must be positive");
+    nodes.push_back(value);
+  }
+  if (nodes.empty()) throw PreconditionError("--nodes list is empty");
+  return nodes;
+}
+
+int cmd_sweep(const util::ArgParser& args) {
+  if (args.has("help")) {
+    std::cout <<
+        "usage: poqsim sweep --protocol P [options] [protocol knobs]\n"
+        "Run a node-count sweep through the parallel SweepRunner.\n"
+        "  --protocol P   registered protocol (default balancing)\n"
+        "  --nodes LIST   comma-separated node counts (default 9,16,25)\n"
+        "  --seeds K      replications per cell (default 3)\n"
+        "  --threads T    worker threads (default: hardware)\n"
+        "  --json         emit the aggregated cells as JSON\n"
+        "  --metric M     table column metric (default overhead_paper)\n"
+              << kCommonOptionsHelp;
+    return 0;
+  }
+  const std::string protocol_name =
+      canonical_protocol(args.get_string("protocol", "balancing"));
+  const scenario::Protocol& protocol = scenario::registry().find(protocol_name);
+  const std::vector<std::size_t> node_counts =
+      parse_node_list(args.get_string("nodes", "9,16,25"));
+  const std::int64_t seeds = args.get_int("seeds", 3);
+  if (seeds < 1 || seeds > 1000000) {
+    throw PreconditionError("--seeds must be in [1, 1000000] (got " +
+                            std::to_string(seeds) + ")");
+  }
+  const std::int64_t threads = args.get_int("threads", 0);
+  if (threads < 0 || threads > 4096) {
+    throw PreconditionError("--threads must be in [0, 4096] (got " +
+                            std::to_string(threads) + ")");
+  }
+  scenario::SweepOptions options;
+  options.seeds_per_cell = static_cast<std::uint32_t>(seeds);
+  options.threads = static_cast<unsigned>(threads);
+  const bool as_json = args.get_bool("json", false);
+  const std::string metric = args.get_string("metric", "overhead_paper");
+
+  scenario::ScenarioSpec base = parse_frame(args, protocol_name, false);
+  parse_knobs(args, protocol, base);
+  check_unused(args);
+
+  std::vector<scenario::ScenarioSpec> grid;
+  grid.reserve(node_counts.size());
+  for (const std::size_t n : node_counts) {
+    scenario::ScenarioSpec spec = base;
+    spec.nodes = n;
+    grid.push_back(std::move(spec));
+  }
+  const scenario::SweepRunner runner(options);
+  const std::vector<scenario::CellAggregate> cells = runner.run(grid);
+
+  if (as_json) {
+    util::json::Value out = util::json::Value::array();
+    for (const scenario::CellAggregate& cell : cells) out.push_back(cell.to_json());
+    std::cout << out.dump(2);
+    return 0;
+  }
+  util::Table table({"nodes", metric + " (mean)", "stddev", "runs", "wall_ms"});
+  for (const scenario::CellAggregate& cell : cells) {
+    const bool present = cell.has(metric);
+    const util::RunningStats empty;
+    const util::RunningStats& stats = present ? cell.at(metric) : empty;
+    table.add_row({std::to_string(cell.spec.nodes),
+                   present ? util::format_double(stats.mean(), 4) : "n/a",
+                   present ? util::format_double(stats.stddev(), 4) : "n/a",
+                   std::to_string(stats.count()),
+                   util::format_double(cell.wall_ms, 1)});
+  }
+  table.print(std::cout);
+  return 0;
 }
 
 void print_usage() {
+  std::cout << "usage: poqsim <subcommand> [options]\nprotocols:\n";
+  for (const std::string& name : scenario::registry().names()) {
+    std::cout << "  " << util::pad_right(name, 13)
+              << scenario::registry().find(name).describe() << '\n';
+  }
   std::cout <<
-      "usage: poqsim <subcommand> [options]\n"
-      "subcommands:\n"
-      "  balance      round-based max-min balancing (paper Sections 4-5)\n"
-      "  planned      planned-path baselines (--mode oriented|connectionless)\n"
-      "  hybrid       balancing + entanglement-path assist (Section 6)\n"
-      "  gossip       partial-knowledge balancing (Section 6)\n"
-      "  distributed  belief-based protocol with classical latency (Section 2)\n"
-      "  fidelity     fidelity-aware event simulation (Section 3.2)\n"
-      "  lp           steady-state linear program (Section 3)\n"
+      "other subcommands:\n"
+      "  list         registered protocols and their knobs\n"
+      "  sweep        parallel node-count sweep (see `poqsim sweep --help`)\n"
       "common options: --topology <family> --nodes N --pairs P --requests R --seed S\n"
       "families: cycle random-grid full-grid erdos-renyi watts-strogatz barabasi-albert\n";
 }
@@ -415,23 +274,20 @@ int main(int argc, char** argv) {
   }
   try {
     const util::ArgParser args(argc - 1, argv + 1);
-    const std::string command = argv[1];
-    if (args.has("help")) {
-      if (print_subcommand_help(command)) return 0;
+    const std::string command = canonical_protocol(argv[1]);
+    if (command == "list") return cmd_list();
+    if (command == "sweep") return cmd_sweep(args);
+    if (!scenario::registry().contains(command)) {
       std::cerr << "unknown subcommand '" << command << "'\n";
       print_usage();
       return 1;
     }
-    if (command == "balance") return cmd_balance(args);
-    if (command == "planned") return cmd_planned(args);
-    if (command == "hybrid") return cmd_hybrid(args);
-    if (command == "gossip") return cmd_gossip(args);
-    if (command == "distributed") return cmd_distributed(args);
-    if (command == "fidelity") return cmd_fidelity(args);
-    if (command == "lp") return cmd_lp(args);
-    std::cerr << "unknown subcommand '" << command << "'\n";
-    print_usage();
-    return 1;
+    const scenario::Protocol& protocol = scenario::registry().find(command);
+    if (args.has("help")) {
+      print_protocol_help(protocol);
+      return 0;
+    }
+    return cmd_run(protocol, args);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

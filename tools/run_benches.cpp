@@ -1,15 +1,24 @@
 // run_benches — machine-readable driver for the figure benches.
 //
-// Runs the Fig. 4 (overhead vs distillation D) and Fig. 5 (overhead vs
-// network size |N|) sweeps through the same bench::run_balancing_cell
-// harness the table benches use, timing every cell, and writes one
-// BENCH_<name>.json per figure so CI and future perf PRs can diff
-// results without scraping table output.
+// Every suite is a grid of ScenarioSpecs fanned through the parallel
+// scenario::SweepRunner (multi-seed cells used to run serially; the pool
+// is the first real speedup lever for the figure sweeps) and lands in one
+// unified BENCH_<suite>.json schema: per cell the full spec, the
+// aggregated metrics (count/mean/stddev/min/max per scalar), and wall
+// time. Suites cover the paper figures (Fig. 4/5) and the ablation /
+// baseline / knowledge / fidelity studies that used to be table-only.
 //
-// Usage: run_benches [--quick] [--out-dir DIR]
-//   --quick    smaller sweeps and one seed per cell (the `bench` target's
-//              default); omit for the full paper-scale grids
-//   --out-dir  where to write BENCH_*.json (default: current directory)
+// Usage: run_benches [--quick] [--out-dir DIR] [--suite NAME] [--threads N]
+//                    [--check BASELINE.json] [--rel-tol X]
+//   --quick     smaller sweeps and one seed per cell (the `bench` target's
+//               default); omit for the full paper-scale grids
+//   --out-dir   where to write BENCH_*.json (default: current directory)
+//   --suite     run one suite (unique substring of its name; default all)
+//   --threads   sweep worker threads (default 0 = hardware concurrency)
+//   --check     after running, diff the matching suite's cells against a
+//               committed baseline JSON with a relative tolerance; exits
+//               nonzero on regression (the CI perf/correctness gate)
+//   --rel-tol   relative tolerance for --check (default 0.2)
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -19,8 +28,12 @@
 #include <vector>
 
 #include "common.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -31,112 +44,290 @@ double elapsed_ms(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-// JSON numbers must not be NaN/Inf; empty cells report null instead.
-std::string json_number(double value, int digits) {
-  if (!std::isfinite(value)) return "null";
-  return util::format_double(value, digits);
-}
+constexpr int kSchemaVersion = 2;
 
-struct CellRecord {
-  std::string family;
-  std::size_t nodes = 0;
-  double distillation = 1.0;
-  bench::CellResult result;
-  double wall_ms = 0.0;
-};
-
-void append_cell(std::ostringstream& out, const CellRecord& record, bool last) {
-  const bench::CellResult& cell = record.result;
-  out << "    {\"family\": \"" << record.family << "\""
-      << ", \"nodes\": " << record.nodes
-      << ", \"distillation\": " << json_number(record.distillation, 2)
-      << ", \"overhead_paper_mean\": "
-      << (cell.overhead_paper.count()
-              ? json_number(cell.overhead_paper.mean(), 4)
-              : std::string("null"))
-      << ", \"overhead_exact_mean\": "
-      << (cell.overhead_exact.count()
-              ? json_number(cell.overhead_exact.mean(), 4)
-              : std::string("null"))
-      << ", \"satisfied_mean\": " << json_number(cell.satisfied.mean(), 1)
-      << ", \"starved_runs\": " << cell.starved_runs
-      << ", \"wall_ms\": " << json_number(record.wall_ms, 2) << "}"
-      << (last ? "\n" : ",\n");
-}
-
-void write_bench_json(const std::string& out_dir, const std::string& name,
-                      const bench::FigureSetup& setup,
-                      const std::vector<CellRecord>& cells, double total_ms) {
-  const std::string path = out_dir + "/BENCH_" + name + ".json";
-  std::ostringstream out;
-  out << "{\n"
-      << "  \"bench\": \"" << name << "\",\n"
-      << "  \"schema_version\": 1,\n"
-      << "  \"config\": {\"consumer_pairs\": " << setup.consumer_pairs
-      << ", \"round_budget\": " << setup.round_budget
-      << ", \"seeds\": " << setup.seeds << "},\n"
-      << "  \"total_wall_ms\": " << json_number(total_ms, 2) << ",\n"
-      << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    append_cell(out, cells[i], i + 1 == cells.size());
-  }
-  out << "  ]\n}\n";
-  std::ofstream file(path);
-  if (!file) throw PreconditionError("cannot write " + path);
-  file << out.str();
-  std::cout << "wrote " << path << " (" << cells.size() << " cells, "
-            << util::format_double(total_ms, 0) << " ms)\n";
-}
-
-const std::vector<graph::TopologyFamily> kFamilies = {
+const std::vector<graph::TopologyFamily> kFigureFamilies = {
     graph::TopologyFamily::kCycle, graph::TopologyFamily::kRandomGrid,
     graph::TopologyFamily::kFullGrid};
 
-std::vector<CellRecord> sweep(const std::vector<std::size_t>& sizes,
-                              const std::vector<double>& distillations,
-                              const bench::FigureSetup& setup) {
-  std::vector<CellRecord> cells;
+struct SuiteRun {
+  std::string name;
+  std::uint32_t seeds = 1;
+  std::vector<scenario::CellAggregate> cells;
+  double total_wall_ms = 0.0;
+};
+
+struct Options {
+  bool quick = false;
+  std::string out_dir = ".";
+  std::string suite_filter;  // empty = all
+  unsigned threads = 0;
+  std::string check_path;
+  double rel_tol = 0.2;
+};
+
+SuiteRun run_grid(const std::string& name, std::vector<scenario::ScenarioSpec> grid,
+                  std::uint32_t seeds, const Options& options) {
+  scenario::SweepOptions sweep;
+  sweep.seeds_per_cell = seeds;
+  sweep.threads = options.threads;
+  const scenario::SweepRunner runner(sweep);
+  SuiteRun run;
+  run.name = name;
+  run.seeds = seeds;
+  const Clock::time_point start = Clock::now();
+  run.cells = runner.run(grid);
+  run.total_wall_ms = elapsed_ms(start);
+  return run;
+}
+
+util::json::Value suite_to_json(const SuiteRun& run, const Options& options) {
+  using util::json::Value;
+  Value out = Value::object();
+  out.set("bench", run.name);
+  out.set("schema_version", static_cast<double>(kSchemaVersion));
+  Value config = Value::object();
+  config.set("quick", options.quick);
+  config.set("seeds", static_cast<double>(run.seeds));
+  out.set("config", std::move(config));
+  out.set("total_wall_ms", run.total_wall_ms);
+  Value cells = Value::array();
+  for (const scenario::CellAggregate& cell : run.cells) {
+    cells.push_back(cell.to_json());
+  }
+  out.set("cells", std::move(cells));
+  return out;
+}
+
+void write_suite(const SuiteRun& run, const Options& options) {
+  const std::string path = options.out_dir + "/BENCH_" + run.name + ".json";
+  std::ofstream file(path);
+  if (!file) throw PreconditionError("cannot write " + path);
+  file << suite_to_json(run, options).dump(2);
+  std::cout << "wrote " << path << " (" << run.cells.size() << " cells, "
+            << util::format_double(run.total_wall_ms, 0) << " ms)\n";
+}
+
+// ---------------------------------------------------------------------------
+// Suites
+// ---------------------------------------------------------------------------
+
+scenario::ScenarioSpec finite_spec(const std::string& protocol, std::size_t nodes,
+                                   std::size_t requests, std::uint64_t base_seed) {
+  scenario::ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.topology = "random-grid";
+  spec.nodes = nodes;
+  spec.consumer_pairs = 35;
+  spec.requests = requests;
+  spec.seed = base_seed;
+  spec.knobs["max-rounds"] = std::int64_t{400000};
+  return spec;
+}
+
+SuiteRun suite_fig4(const Options& options) {
+  bench::FigureSetup setup;
+  setup.round_budget = options.quick ? 2000 : 6000;
+  const std::uint32_t seeds = options.quick ? 1 : 3;
+  const std::vector<double> distillations =
+      options.quick ? std::vector<double>{1.0, 2.0, 3.0}
+                    : std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const double d : distillations) {
+    for (const auto family : kFigureFamilies) {
+      grid.push_back(bench::balancing_cell_spec(family, 25, d, setup));
+    }
+  }
+  return run_grid("fig4_overhead_vs_distillation", std::move(grid), seeds, options);
+}
+
+SuiteRun suite_fig5(const Options& options) {
+  bench::FigureSetup setup;
+  setup.round_budget = options.quick ? 1000 : 3000;
+  const std::uint32_t seeds = options.quick ? 1 : 3;
+  const std::vector<std::size_t> sizes =
+      options.quick ? std::vector<std::size_t>{9, 16, 25}
+                    : std::vector<std::size_t>{9, 16, 25, 36, 49, 64, 81, 100};
+  std::vector<scenario::ScenarioSpec> grid;
   for (const std::size_t n : sizes) {
-    for (const double d : distillations) {
-      for (const auto family : kFamilies) {
-        CellRecord record;
-        record.family = graph::family_name(family);
-        record.nodes = n;
-        record.distillation = d;
-        const Clock::time_point start = Clock::now();
-        record.result = bench::run_balancing_cell(family, n, d, setup);
-        record.wall_ms = elapsed_ms(start);
-        cells.push_back(std::move(record));
+    for (const auto family : kFigureFamilies) {
+      grid.push_back(bench::balancing_cell_spec(family, n, 1.0, setup));
+    }
+  }
+  return run_grid("fig5_overhead_vs_nodes", std::move(grid), seeds, options);
+}
+
+SuiteRun suite_ablation_variants(const Options& options) {
+  const std::size_t requests = options.quick ? 40 : 120;
+  const std::uint32_t seeds = options.quick ? 1 : 3;
+  const std::vector<double> distillations =
+      options.quick ? std::vector<double>{1.0, 2.0}
+                    : std::vector<double>{1.0, 2.0, 3.0};
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const double d : distillations) {
+    scenario::ScenarioSpec plain = finite_spec("balancing", 25, requests, 3000);
+    plain.knobs["distillation"] = d;
+    grid.push_back(plain);
+    for (const std::int64_t slack : {std::int64_t{0}, std::int64_t{2}}) {
+      scenario::ScenarioSpec variant = plain;
+      variant.knobs["detour-slack"] = slack;
+      grid.push_back(variant);
+    }
+    scenario::ScenarioSpec hybrid = plain;
+    hybrid.protocol = "hybrid";
+    grid.push_back(hybrid);
+  }
+  return run_grid("ablation_variants", std::move(grid), seeds, options);
+}
+
+SuiteRun suite_baseline_comparison(const Options& options) {
+  const std::size_t requests = options.quick ? 40 : 120;
+  const std::uint32_t seeds = options.quick ? 1 : 3;
+  const std::vector<double> distillations =
+      options.quick ? std::vector<double>{1.0, 2.0}
+                    : std::vector<double>{1.0, 2.0, 3.0};
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const double d : distillations) {
+    scenario::ScenarioSpec oblivious = finite_spec("balancing", 25, requests, 2000);
+    oblivious.knobs["distillation"] = d;
+    grid.push_back(oblivious);
+    for (const char* mode : {"oriented", "connectionless"}) {
+      scenario::ScenarioSpec planned = finite_spec("planned", 25, requests, 2000);
+      planned.knobs.erase("max-rounds");  // planned keeps its own default
+      planned.knobs["distillation"] = d;
+      planned.knobs["window"] = std::int64_t{4};
+      planned.knobs["mode"] = std::string(mode);
+      grid.push_back(planned);
+    }
+  }
+  return run_grid("baseline_comparison", std::move(grid), seeds, options);
+}
+
+SuiteRun suite_ablation_knowledge(const Options& options) {
+  const std::size_t requests = options.quick ? 30 : 100;
+  const std::uint32_t seeds = options.quick ? 1 : 3;
+  std::vector<scenario::ScenarioSpec> grid;
+  grid.push_back(finite_spec("balancing", 25, requests, 5000));
+  for (const std::int64_t fanout : {1, 2, 4, 8}) {
+    scenario::ScenarioSpec gossip = finite_spec("gossip", 25, requests, 5000);
+    gossip.knobs["fanout"] = fanout;
+    grid.push_back(gossip);
+  }
+  return run_grid("ablation_knowledge", std::move(grid), seeds, options);
+}
+
+SuiteRun suite_fidelity_decay(const Options& options) {
+  const std::vector<double> time_constants =
+      options.quick ? std::vector<double>{10.0, 50.0, 200.0}
+                    : std::vector<double>{10.0, 25.0, 50.0, 100.0, 200.0, 1000.0};
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const double time_constant : time_constants) {
+    for (const char* pairing : {"freshest", "oldest"}) {
+      scenario::ScenarioSpec spec;
+      spec.protocol = "fidelity";
+      spec.topology = "random-grid";
+      spec.nodes = 16;
+      spec.consumer_pairs = 12;
+      spec.requests = 100000;
+      spec.seed = 31;
+      spec.knobs["memory-T"] = time_constant;
+      spec.knobs["pairing"] = std::string(pairing);
+      spec.knobs["duration"] = options.quick ? 200.0 : 600.0;
+      grid.push_back(std::move(spec));
+    }
+  }
+  return run_grid("fidelity_decay", std::move(grid), 1, options);
+}
+
+using SuiteFn = SuiteRun (*)(const Options&);
+const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
+    {"fig4_overhead_vs_distillation", suite_fig4},
+    {"fig5_overhead_vs_nodes", suite_fig5},
+    {"ablation_variants", suite_ablation_variants},
+    {"baseline_comparison", suite_baseline_comparison},
+    {"ablation_knowledge", suite_ablation_knowledge},
+    {"fidelity_decay", suite_fidelity_decay},
+};
+
+// ---------------------------------------------------------------------------
+// Regression check (--check)
+// ---------------------------------------------------------------------------
+
+/// Compare one suite's cells against a committed baseline. Cells must
+/// match pairwise by spec; every baseline metric mean must agree within
+/// the relative tolerance. Returns the number of violations (0 = pass).
+int check_against_baseline(const SuiteRun& run, const util::json::Value& baseline,
+                           double rel_tol) {
+  int violations = 0;
+  const auto complain = [&](const std::string& message) {
+    std::cerr << "CHECK FAIL: " << message << '\n';
+    ++violations;
+  };
+  const util::json::Value& cells = baseline.at("cells");
+  if (cells.size() != run.cells.size()) {
+    complain(util::str_cat("cell count mismatch: baseline has ", cells.size(),
+                           ", run produced ", run.cells.size()));
+    return violations;
+  }
+  for (std::size_t i = 0; i < run.cells.size(); ++i) {
+    const util::json::Value& base_cell = cells.at(i);
+    const util::json::Value current_spec = run.cells[i].spec.to_json();
+    if (!(base_cell.at("spec") == current_spec)) {
+      complain(util::str_cat("cell ", i, " spec mismatch (baseline ",
+                             base_cell.at("spec").dump(), " vs ",
+                             current_spec.dump(), ")"));
+      continue;
+    }
+    for (const auto& [name, summary] : base_cell.at("metrics").members()) {
+      const double base_mean = summary.at("mean").as_number();
+      if (!run.cells[i].has(name)) {
+        complain(util::str_cat("cell ", i, ": metric '", name,
+                               "' missing from this run"));
+        continue;
+      }
+      const double mean = run.cells[i].at(name).mean();
+      const double scale = std::max(std::abs(base_mean), 1e-9);
+      if (std::abs(mean - base_mean) > rel_tol * scale) {
+        complain(util::str_cat("cell ", i, " (", run.cells[i].spec.protocol, " ",
+                               run.cells[i].spec.topology, " n=",
+                               run.cells[i].spec.nodes, "): metric '", name,
+                               "' drifted: baseline ", base_mean, ", got ", mean,
+                               " (rel-tol ", rel_tol, ")"));
       }
     }
   }
-  return cells;
+  return violations;
 }
 
-void run_fig4(const std::string& out_dir, bool quick) {
-  bench::FigureSetup setup;
-  setup.round_budget = quick ? 2000 : 6000;
-  setup.seeds = quick ? 1 : 3;
-  const std::vector<double> distillations =
-      quick ? std::vector<double>{1.0, 2.0, 3.0}
-            : std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0};
-  const Clock::time_point start = Clock::now();
-  const std::vector<CellRecord> cells = sweep({25}, distillations, setup);
-  write_bench_json(out_dir, "fig4_overhead_vs_distillation", setup, cells,
-                   elapsed_ms(start));
-}
-
-void run_fig5(const std::string& out_dir, bool quick) {
-  bench::FigureSetup setup;
-  setup.round_budget = quick ? 1000 : 3000;
-  setup.seeds = quick ? 1 : 3;
-  const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{9, 16, 25}
-            : std::vector<std::size_t>{9, 16, 25, 36, 49, 64, 81, 100};
-  const Clock::time_point start = Clock::now();
-  const std::vector<CellRecord> cells = sweep(sizes, {1.0}, setup);
-  write_bench_json(out_dir, "fig5_overhead_vs_nodes", setup, cells,
-                   elapsed_ms(start));
+int run_check(const std::vector<SuiteRun>& runs, const Options& options) {
+  std::ifstream file(options.check_path);
+  if (!file) throw PreconditionError("cannot read baseline " + options.check_path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const util::json::Value baseline = util::json::Value::parse(buffer.str());
+  const std::string bench_name = baseline.at("bench").as_string();
+  if (static_cast<int>(baseline.at("schema_version").as_number()) !=
+      kSchemaVersion) {
+    throw PreconditionError("baseline schema_version mismatch; regenerate " +
+                            options.check_path);
+  }
+  for (const SuiteRun& run : runs) {
+    if (run.name != bench_name) continue;
+    const int violations =
+        check_against_baseline(run, baseline, options.rel_tol);
+    if (violations == 0) {
+      std::cout << "CHECK PASS: " << run.name << " matches "
+                << options.check_path << " (rel-tol "
+                << util::format_double(options.rel_tol, 2) << ", "
+                << run.cells.size() << " cells)\n";
+      return 0;
+    }
+    std::cerr << "CHECK FAIL: " << run.name << ": " << violations
+              << " violation(s) against " << options.check_path << '\n';
+    return 1;
+  }
+  throw PreconditionError("baseline bench '" + bench_name +
+                          "' was not run; pass a matching --suite");
 }
 
 }  // namespace
@@ -145,12 +336,27 @@ int main(int argc, char** argv) {
   try {
     const util::ArgParser args(argc, argv);  // skips argv[0] itself
     if (args.has("help")) {
-      std::cout << "usage: run_benches [--quick] [--out-dir DIR]\n"
-                   "Runs the Fig. 4/5 sweeps and writes BENCH_*.json.\n";
+      std::cout
+          << "usage: run_benches [--quick] [--out-dir DIR] [--suite NAME]\n"
+             "                   [--threads N] [--check BASELINE.json] "
+             "[--rel-tol X]\n"
+             "Runs the figure/ablation sweeps and writes unified "
+             "BENCH_*.json.\nsuites:\n";
+      for (const auto& [name, fn] : kSuites) std::cout << "  " << name << '\n';
       return 0;
     }
-    const bool quick = args.get_bool("quick", false);
-    const std::string out_dir = args.get_string("out-dir", ".");
+    Options options;
+    options.quick = args.get_bool("quick", false);
+    options.out_dir = args.get_string("out-dir", ".");
+    options.suite_filter = args.get_string("suite", "");
+    const std::int64_t threads = args.get_int("threads", 0);
+    if (threads < 0 || threads > 4096) {
+      throw poq::PreconditionError("--threads must be in [0, 4096] (got " +
+                                   std::to_string(threads) + ")");
+    }
+    options.threads = static_cast<unsigned>(threads);
+    options.check_path = args.get_string("check", "");
+    options.rel_tol = args.get_double("rel-tol", 0.2);
     const auto unused = args.unused();
     if (!unused.empty()) {
       throw poq::PreconditionError("unknown option --" + unused.front());
@@ -160,8 +366,25 @@ int main(int argc, char** argv) {
                                    args.positional().front() +
                                    "' (options are written --name value)");
     }
-    run_fig4(out_dir, quick);
-    run_fig5(out_dir, quick);
+
+    std::vector<std::pair<std::string, SuiteFn>> selected;
+    for (const auto& entry : kSuites) {
+      if (options.suite_filter.empty() ||
+          entry.first.find(options.suite_filter) != std::string::npos) {
+        selected.push_back(entry);
+      }
+    }
+    if (selected.empty()) {
+      throw poq::PreconditionError("--suite '" + options.suite_filter +
+                                   "' matches no suite (see --help)");
+    }
+
+    std::vector<SuiteRun> runs;
+    for (const auto& [name, fn] : selected) {
+      runs.push_back(fn(options));
+      write_suite(runs.back(), options);
+    }
+    if (!options.check_path.empty()) return run_check(runs, options);
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
