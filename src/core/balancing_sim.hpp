@@ -11,9 +11,18 @@
 // satisfied consumption events, where s is the paper's nested-swapping
 // cost and l(c) the generation-graph shortest-path hop count; the
 // denominator under the exact nested cost is also tracked.
+//
+// Two tick engines drive the round (config.tick.mode): the legacy
+// sequential loop, and the sharded deterministic engine
+// (sim::ParallelTickEngine) whose generation/swap phases fan across a
+// worker pool with counter-based per-entity RNG streams — results are
+// bit-identical for every threads/shards setting (see
+// docs/ARCHITECTURE.md for the determinism contract).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/ledger.hpp"
@@ -21,6 +30,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/parallel_engine.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -40,6 +50,9 @@ struct BalancingConfig {
   std::uint64_t seed = 1;
   /// §6 policy knobs (distance-penalized swapping).
   BalancerPolicy policy;
+  /// Intra-run engine selection (sequential legacy loop vs the sharded
+  /// deterministic engine) plus its threads/shards knobs.
+  sim::TickConcurrency tick;
 };
 
 struct BalancingResult {
@@ -110,6 +123,10 @@ class BalancingSimulation {
   }
 
  private:
+  // --- sharded-engine phases (sim::TickMode::kSharded) ---
+  void sharded_generation_phase();
+  void sharded_swap_phase();
+
   const graph::Graph& generation_graph_;
   const Workload& workload_;
   BalancingConfig config_;
@@ -122,6 +139,12 @@ class BalancingSimulation {
   BalancingResult result_;
   std::size_t head_ = 0;          // index of the head-of-line request
   std::uint32_t head_since_ = 0;  // round the current head became head
+
+  // Sharded-engine state (null/empty on the sequential path).
+  std::unique_ptr<sim::ParallelTickEngine> pool_;
+  std::vector<MaxMinBalancer::Scratch> shard_scratch_;     // one per shard
+  std::vector<std::uint32_t> generation_amounts_;          // per edge index
+  std::vector<std::optional<SwapCandidate>> candidates_;   // per node
 };
 
 /// Convenience wrapper: build the simulation and run to completion.

@@ -9,6 +9,11 @@
 // by nested swapping over a shortest path in the *entanglement* graph —
 // consuming existing counts, not generation edges. This mitigates the
 // starvation the paper observed on long paths.
+//
+// The balancing rounds inherit config.base.tick, so the hybrid driver
+// runs on the sharded deterministic engine whenever its base does; the
+// assist step itself is sequential (it routes over the live ledger
+// between the swap and consumption phases).
 #pragma once
 
 #include <cstdint>

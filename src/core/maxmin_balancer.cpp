@@ -41,9 +41,15 @@ bool MaxMinBalancer::is_preferable(const PairLedger& ledger, NodeId x, NodeId le
 
 std::optional<SwapCandidate> MaxMinBalancer::best_swap(const PairLedger& ledger,
                                                        NodeId x) const {
-  return best_swap_with_view(ledger, x, [&ledger](NodeId a, NodeId b) {
-    return ledger.count(a, b);
-  });
+  return best_swap(ledger, x, scratch_);
+}
+
+std::optional<SwapCandidate> MaxMinBalancer::best_swap(const PairLedger& ledger,
+                                                       NodeId x,
+                                                       Scratch& scratch) const {
+  return best_swap_with_view(
+      ledger, x, [&ledger](NodeId a, NodeId b) { return ledger.count(a, b); },
+      scratch);
 }
 
 MaxMinBalancer::Execution MaxMinBalancer::execute_swap(PairLedger& ledger, NodeId x,

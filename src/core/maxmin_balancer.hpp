@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/ledger.hpp"
@@ -60,10 +61,29 @@ class MaxMinBalancer {
   [[nodiscard]] bool is_preferable(const PairLedger& ledger, NodeId x, NodeId left,
                                    NodeId right) const;
 
+  /// A partner x holds enough pairs toward to spend on a swap.
+  struct Eligible {
+    NodeId node;
+    double capacity;  // C_x(node) - D_{x,node}
+  };
+
+  /// Reusable per-caller scratch for the candidate scan. best_swap is
+  /// read-only on the ledger and the balancer, so concurrent callers (the
+  /// sharded decide phase) are safe as long as each brings its own
+  /// Scratch.
+  struct Scratch {
+    std::vector<Eligible> eligible;
+  };
+
   /// Best preferable swap at x under true (global) knowledge; nullopt when
   /// no candidate is preferable.
   [[nodiscard]] std::optional<SwapCandidate> best_swap(const PairLedger& ledger,
                                                        NodeId x) const;
+
+  /// Thread-safe variant: identical decision, caller-owned scratch.
+  [[nodiscard]] std::optional<SwapCandidate> best_swap(const PairLedger& ledger,
+                                                       NodeId x,
+                                                       Scratch& scratch) const;
 
   /// Best preferable swap where the *beneficiary* count C_y(y') is read
   /// through `view(y, y')` (possibly stale); x's own counts are always
@@ -71,19 +91,27 @@ class MaxMinBalancer {
   template <typename View>
   [[nodiscard]] std::optional<SwapCandidate> best_swap_with_view(
       const PairLedger& ledger, NodeId x, View&& view) const {
+    return best_swap_with_view(ledger, x, std::forward<View>(view), scratch_);
+  }
+
+  /// Thread-safe variant of best_swap_with_view with caller-owned scratch.
+  template <typename View>
+  [[nodiscard]] std::optional<SwapCandidate> best_swap_with_view(
+      const PairLedger& ledger, NodeId x, View&& view, Scratch& scratch) const {
     const auto partner_list = ledger.partners(x);
-    eligible_.clear();
+    std::vector<Eligible>& eligible = scratch.eligible;
+    eligible.clear();
     for (NodeId y : partner_list) {
       const double cap =
           static_cast<double>(ledger.count(x, y)) - distillation_.at(x, y);
-      if (cap >= 1.0) eligible_.push_back(Eligible{y, cap});
+      if (cap >= 1.0) eligible.push_back(Eligible{y, cap});
     }
     std::optional<SwapCandidate> best;
-    for (std::size_t i = 0; i < eligible_.size(); ++i) {
-      for (std::size_t j = i + 1; j < eligible_.size(); ++j) {
-        const NodeId a = eligible_[i].node;
-        const NodeId b = eligible_[j].node;
-        const double cap = std::min(eligible_[i].capacity, eligible_[j].capacity);
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      for (std::size_t j = i + 1; j < eligible.size(); ++j) {
+        const NodeId a = eligible[i].node;
+        const NodeId b = eligible[j].node;
+        const double cap = std::min(eligible[i].capacity, eligible[j].capacity);
         const std::uint32_t beneficiary = view(a, b);
         if (static_cast<double>(beneficiary) + 1.0 > cap) continue;
         if (!detour_allowed(x, a, b)) continue;
@@ -112,15 +140,10 @@ class MaxMinBalancer {
  private:
   [[nodiscard]] bool detour_allowed(NodeId x, NodeId a, NodeId b) const;
 
-  struct Eligible {
-    NodeId node;
-    double capacity;  // C_x(node) - D_{x,node}
-  };
-
   DistillationMatrix distillation_;
   BalancerPolicy policy_;
   const std::vector<std::vector<std::uint32_t>>* generation_distances_;
-  mutable std::vector<Eligible> eligible_;  // scratch; avoids per-call allocs
+  mutable Scratch scratch_;  // single-threaded convenience path only
 };
 
 /// Outcome of one network-wide swap sweep.

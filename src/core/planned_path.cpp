@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
 
 #include "core/nested.hpp"
 #include "graph/shortest_path.hpp"
@@ -70,6 +71,17 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
   util::Rng rng(config.seed);
   util::Rng generation_rng = rng.fork(1);
 
+  const bool sharded = config.tick.mode == sim::TickMode::kSharded;
+  std::unique_ptr<sim::ParallelTickEngine> pool;
+  std::size_t shard_count = 1;
+  std::vector<std::uint64_t> shard_generated;
+  if (sharded) {
+    pool = std::make_unique<sim::ParallelTickEngine>(config.tick.threads);
+    shard_count =
+        pool->resolve_shards(config.tick.shards, generation_graph.edge_count());
+    shard_generated.assign(shard_count, 0);
+  }
+
   std::vector<double> buffer(generation_graph.edge_count(), 0.0);
   std::vector<bool> reserved(generation_graph.edge_count(), false);
   std::deque<Connection> active;
@@ -126,13 +138,38 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
     ++result.rounds;
 
     // 1. Generation into shared edge buffers.
-    for (std::size_t e = 0; e < buffer.size(); ++e) {
-      const double whole = std::floor(config.generation_per_edge_per_round);
-      double amount = whole;
-      const double frac = config.generation_per_edge_per_round - whole;
-      if (frac > 0.0 && generation_rng.bernoulli(frac)) amount += 1.0;
-      buffer[e] += amount;
-      result.pairs_generated += static_cast<std::uint64_t>(amount);
+    const double whole = std::floor(config.generation_per_edge_per_round);
+    const double frac = config.generation_per_edge_per_round - whole;
+    if (sharded) {
+      // Per-(round, edge) streams + disjoint buffer slices per shard; the
+      // per-shard totals merge in shard order, so any threads/shards
+      // setting produces the same result bit for bit.
+      pool->run_shards(shard_count, [&](std::size_t shard) {
+        const auto [begin, end] = sim::ParallelTickEngine::shard_range(
+            buffer.size(), shard_count, shard);
+        std::uint64_t generated = 0;
+        for (std::size_t e = begin; e < end; ++e) {
+          double amount = whole;
+          if (frac > 0.0) {
+            util::Rng edge_rng = util::Rng::keyed(
+                config.seed, sim::stream_tag::kGeneration, result.rounds, e);
+            if (edge_rng.bernoulli(frac)) amount += 1.0;
+          }
+          buffer[e] += amount;
+          generated += static_cast<std::uint64_t>(amount);
+        }
+        shard_generated[shard] = generated;
+      });
+      for (std::size_t shard = 0; shard < shard_count; ++shard) {
+        result.pairs_generated += shard_generated[shard];
+      }
+    } else {
+      for (std::size_t e = 0; e < buffer.size(); ++e) {
+        double amount = whole;
+        if (frac > 0.0 && generation_rng.bernoulli(frac)) amount += 1.0;
+        buffer[e] += amount;
+        result.pairs_generated += static_cast<std::uint64_t>(amount);
+      }
     }
 
     // 2. Admission, strictly in sequence order.

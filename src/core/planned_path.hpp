@@ -22,6 +22,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/parallel_engine.hpp"
 #include "util/stats.hpp"
 
 namespace poq::core {
@@ -52,6 +53,11 @@ struct PlannedPathConfig {
   std::uint32_t max_rounds = 200000;
   std::uint64_t seed = 1;
   PlannedPathMode mode = PlannedPathMode::kConnectionOriented;
+  /// Intra-run engine: the per-round generation fill shards across a
+  /// worker pool under kSharded (per-(round, edge) RNG streams, so results
+  /// are bit-identical for any threads/shards). Admission/allocation stay
+  /// sequential — they are head-of-line by definition.
+  sim::TickConcurrency tick;
 };
 
 struct PlannedPathResult {

@@ -22,12 +22,54 @@
 #include "core/lp_formulation.hpp"
 #include "core/planned_path.hpp"
 #include "scenario/protocol.hpp"
+#include "sim/parallel_engine.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace poq::scenario {
 
 namespace {
+
+/// Intra-run concurrency knobs shared by the protocols ported onto the
+/// sharded tick engine (balancing, planned, hybrid). The engine default is
+/// sharded: its results are bit-identical for every threads/shards
+/// setting, so parallelism is purely a performance decision; `sequential`
+/// selects the legacy single-stream loop (different stream discipline,
+/// different numbers).
+std::vector<KnobSpec> tick_knobs() {
+  return {
+      {"engine", KnobType::kString, std::string("sharded"),
+       "tick engine: sharded (deterministic intra-run parallelism) or "
+       "sequential (legacy loop)"},
+      {"threads", KnobType::kInt, std::int64_t{1},
+       "intra-run worker threads (0 = hardware; never changes results)"},
+      {"shards", KnobType::kInt, std::int64_t{0},
+       "work shards per phase (0 = auto; never changes results)"},
+  };
+}
+
+sim::TickConcurrency tick_from_spec(const std::string& protocol,
+                                    const ScenarioSpec& spec) {
+  sim::TickConcurrency tick;
+  const std::string engine = spec.knob_string("engine", "sharded");
+  if (engine == "sharded") {
+    tick.mode = sim::TickMode::kSharded;
+  } else if (engine == "sequential") {
+    tick.mode = sim::TickMode::kSequential;
+  } else {
+    throw PreconditionError(util::str_cat(
+        protocol, ": knob 'engine' must be sharded or sequential, got '",
+        engine, "'"));
+  }
+  const std::int64_t threads = spec.knob_int("threads", 1);
+  require(threads >= 0 && threads <= 4096,
+          "knob 'threads' must be in [0, 4096]");
+  tick.threads = static_cast<std::uint32_t>(threads);
+  const std::int64_t shards = spec.knob_int("shards", 0);
+  require(shards >= 0 && shards <= 1 << 20, "knob 'shards' must be >= 0");
+  tick.shards = static_cast<std::uint32_t>(shards);
+  return tick;
+}
 
 void add_overhead_metrics(RunMetrics& metrics, double swaps,
                           double denominator_paper, double denominator_exact) {
@@ -68,6 +110,9 @@ core::BalancingConfig balancing_config(const ScenarioSpec& spec) {
   return config;
 }
 
+/// Knobs of the round-based core, without the tick-engine knobs (gossip
+/// shares the core but stays on the sequential path — §6's stale views
+/// are defined against the serial sweep).
 std::vector<KnobSpec> balancing_knobs() {
   return {
       {"distillation", KnobType::kDouble, 1.0, "distillation overhead D"},
@@ -79,17 +124,27 @@ std::vector<KnobSpec> balancing_knobs() {
   };
 }
 
+std::vector<KnobSpec> balancing_knobs_with_tick() {
+  std::vector<KnobSpec> knobs = balancing_knobs();
+  for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+  return knobs;
+}
+
 class BalancingProtocol final : public Protocol {
  public:
   std::string name() const override { return "balancing"; }
   std::string describe() const override {
     return "round-based max-min balancing (paper Sections 4-5)";
   }
-  std::vector<KnobSpec> knobs() const override { return balancing_knobs(); }
+  std::vector<KnobSpec> knobs() const override {
+    return balancing_knobs_with_tick();
+  }
   RunMetrics run(const ScenarioSpec& spec) const override {
     const ScenarioInstance instance = instantiate(spec);
-    const core::BalancingResult result = core::run_balancing(
-        instance.graph, instance.workload, balancing_config(spec));
+    core::BalancingConfig config = balancing_config(spec);
+    config.tick = tick_from_spec("balancing", spec);
+    const core::BalancingResult result =
+        core::run_balancing(instance.graph, instance.workload, config);
     RunMetrics metrics;
     add_balancing_metrics(metrics, result);
     return metrics;
@@ -103,7 +158,7 @@ class PlannedProtocol final : public Protocol {
     return "planned-path baselines (connection-oriented / connectionless)";
   }
   std::vector<KnobSpec> knobs() const override {
-    return {
+    std::vector<KnobSpec> knobs = {
         {"distillation", KnobType::kDouble, 1.0, "distillation overhead D"},
         {"mode", KnobType::kString, std::string("oriented"),
          "oriented|connectionless"},
@@ -111,6 +166,8 @@ class PlannedProtocol final : public Protocol {
          "concurrent connections window"},
         {"max-rounds", KnobType::kInt, std::int64_t{200000}, "round budget"},
     };
+    for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+    return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
     core::PlannedPathConfig config;
@@ -119,6 +176,7 @@ class PlannedProtocol final : public Protocol {
     config.max_rounds =
         static_cast<std::uint32_t>(spec.knob_int("max-rounds", 200000));
     config.seed = spec.seed;
+    config.tick = tick_from_spec("planned", spec);
     const std::string mode = spec.knob_string("mode", "oriented");
     if (mode == "connectionless") {
       config.mode = core::PlannedPathMode::kConnectionless;
@@ -155,7 +213,7 @@ class HybridProtocol final : public Protocol {
     return "balancing + entanglement-path assist (Section 6)";
   }
   std::vector<KnobSpec> knobs() const override {
-    std::vector<KnobSpec> knobs = balancing_knobs();
+    std::vector<KnobSpec> knobs = balancing_knobs_with_tick();
     knobs.push_back({"max-assist-hops", KnobType::kInt, std::int64_t{8},
                      "assist search radius in the entanglement graph"});
     return knobs;
@@ -163,6 +221,7 @@ class HybridProtocol final : public Protocol {
   RunMetrics run(const ScenarioSpec& spec) const override {
     core::HybridConfig config;
     config.base = balancing_config(spec);
+    config.base.tick = tick_from_spec("hybrid", spec);
     config.max_assist_hops =
         static_cast<std::uint32_t>(spec.knob_int("max-assist-hops", 8));
     const ScenarioInstance instance = instantiate(spec);

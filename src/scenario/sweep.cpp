@@ -1,5 +1,6 @@
 #include "scenario/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -63,9 +64,27 @@ unsigned SweepRunner::effective_threads(std::size_t task_count) const {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
+    // Auto-sizing shares the hardware with the intra-run engine: a pool of
+    // T tasks each sharding across K threads wants T*K <= hardware
+    // (intra_run_threads == 0 means each run takes the whole machine).
+    const unsigned intra =
+        options_.intra_run_threads == 0 ? threads : options_.intra_run_threads;
+    if (intra > 1) threads = std::max(1u, threads / intra);
   }
   if (threads > task_count) threads = static_cast<unsigned>(task_count);
   return threads == 0 ? 1 : threads;
+}
+
+void apply_intra_run_threads(std::vector<ScenarioSpec>& grid, unsigned threads) {
+  for (ScenarioSpec& spec : grid) {
+    if (!registry().contains(spec.protocol)) continue;
+    for (const KnobSpec& knob : registry().find(spec.protocol).knobs()) {
+      if (knob.name == "threads") {
+        spec.knobs["threads"] = static_cast<std::int64_t>(threads);
+        break;
+      }
+    }
+  }
 }
 
 std::vector<CellAggregate> SweepRunner::run(

@@ -28,6 +28,12 @@ struct SweepOptions {
   std::uint32_t seeds_per_cell = 1;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned threads = 0;
+  /// Intra-run worker threads each task is expected to spawn (the
+  /// sharded tick engine's `threads` knob). Auto-sized pools (threads ==
+  /// 0) divide the hardware budget by this so the two parallelism levels
+  /// compose without oversubscription; an explicit `threads` is taken as
+  /// is.
+  unsigned intra_run_threads = 1;
 };
 
 /// Aggregated result of one grid cell.
@@ -69,5 +75,12 @@ class SweepRunner {
  private:
   SweepOptions options_;
 };
+
+/// Set the intra-run `threads` knob on every grid spec whose protocol
+/// declares it (the ported protocols: balancing, planned, hybrid); specs
+/// of sequential-only protocols are left untouched. Callers pair this
+/// with SweepOptions::intra_run_threads so pool x intra-run threads stays
+/// within the hardware budget.
+void apply_intra_run_threads(std::vector<ScenarioSpec>& grid, unsigned threads);
 
 }  // namespace poq::scenario

@@ -1,0 +1,121 @@
+#include "sim/parallel_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace poq::sim {
+
+unsigned ParallelTickEngine::resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+std::pair<std::size_t, std::size_t> ParallelTickEngine::shard_range(
+    std::size_t items, std::size_t shard_count, std::size_t shard) {
+  require(shard_count > 0, "shard_range: shard_count must be positive");
+  require(shard < shard_count, "shard_range: shard out of range");
+  const std::size_t base = items / shard_count;
+  const std::size_t extra = items % shard_count;
+  // First `extra` shards carry one extra item; offsets stay contiguous.
+  const std::size_t begin = shard * base + std::min(shard, extra);
+  const std::size_t size = base + (shard < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+std::size_t ParallelTickEngine::resolve_shards(std::uint32_t requested,
+                                               std::size_t items) const {
+  if (requested != 0) return requested;
+  // A few shards per thread keeps the pool balanced when per-entity cost
+  // varies (hub nodes cost more in the swap scan than leaves). Shards are
+  // a pure partitioning knob, so the auto value never affects results.
+  const std::size_t auto_shards = static_cast<std::size_t>(threads_) * 4;
+  return std::max<std::size_t>(
+      1, std::min(auto_shards, std::max<std::size_t>(items, 1)));
+}
+
+ParallelTickEngine::ParallelTickEngine(unsigned threads)
+    : threads_(resolve_threads(threads)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelTickEngine::~ParallelTickEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelTickEngine::drain(const std::shared_ptr<Job>& job) {
+  // Claim shard indices off the job's counter until it drains. A stale
+  // drain (a worker waking after the job completed) claims an exhausted
+  // index and returns without touching the callback, so the callback
+  // reference is never dereferenced after run_shards returns.
+  while (true) {
+    const std::size_t shard = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= job->shards) return;
+    std::exception_ptr failure;
+    try {
+      (*job->fn)(shard);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (failure && !job->error) job->error = failure;
+      if (++job->completed == job->shards) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelTickEngine::worker_loop() {
+  std::uint64_t seen_job = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || job_id_ != seen_job; });
+      if (shutdown_) return;
+      seen_job = job_id_;
+      job = job_;
+    }
+    if (job) drain(job);
+  }
+}
+
+void ParallelTickEngine::run_shards(
+    std::size_t shard_count, const std::function<void(std::size_t)>& shard_fn) {
+  if (shard_count == 0) return;
+  if (threads_ == 1 || shard_count == 1) {
+    // Inline fast path: no atomics, no handshake. Exceptions propagate
+    // directly, matching the pooled path's first-failure semantics.
+    for (std::size_t shard = 0; shard < shard_count; ++shard) shard_fn(shard);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &shard_fn;
+  job->shards = shard_count;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  drain(job);  // the caller is a pool member too
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job->completed == job->shards; });
+    if (job_ == job) job_.reset();
+    failure = job->error;
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace poq::sim

@@ -1,0 +1,132 @@
+// Intra-run parallel tick engine.
+//
+// The round-based simulators decompose each tick into phases whose work
+// factors over independent entities (generation over edges, swap decisions
+// over nodes). ParallelTickEngine is the worker pool that executes such a
+// phase: the caller partitions the entity range into `shard_count` shards
+// and the pool runs one callback per shard across its threads, blocking
+// until every shard has finished.
+//
+// Determinism contract (leaned on by the parallel_determinism test suite
+// and the BENCH_parallel_scaling gate): the engine itself never introduces
+// nondeterminism. Shards are identified by index, randomness comes from
+// counter-based streams keyed per entity (util::Rng::keyed), and callers
+// merge shard effects in canonical shard order — so a run's results are
+// bit-identical for every thread count and every shard count. Threads and
+// shards are pure performance knobs.
+//
+// The pool threads are created once and parked on a condition variable
+// between phases, so driving ~10^4 rounds × 2 phases through the engine
+// costs two notify/wait handshakes per phase, not two thread spawns. With
+// one thread (or one shard) the engine runs inline on the caller with no
+// synchronization at all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace poq::sim {
+
+/// Which tick discipline drives a round-based simulator.
+enum class TickMode {
+  /// Legacy single-stream loop: one thread, one RNG stream per subsystem,
+  /// the swap sweep strictly sequential (each node observes every earlier
+  /// swap of the same round).
+  kSequential,
+  /// Sharded deterministic engine: generation draws from counter-based
+  /// per-(round, edge) streams, swap decisions are computed against the
+  /// post-generation snapshot (in parallel across node shards) and
+  /// committed in canonical node order with per-(round, node) streams.
+  /// Results are bit-identical for every threads/shards setting; they
+  /// differ from kSequential, whose stream discipline and in-sweep
+  /// visibility are inherently serial.
+  kSharded,
+};
+
+/// Stream tags for the counter-based RNG keying used by sharded phases:
+/// util::Rng::keyed(seed, tag, round, entity). Distinct tags keep phase
+/// streams decorrelated however rounds and entity ids collide.
+namespace stream_tag {
+inline constexpr std::uint64_t kGeneration = 0x67656E65726174ULL;  // "generat"
+inline constexpr std::uint64_t kSwap = 0x73776170ULL;              // "swap"
+}  // namespace stream_tag
+
+/// The intra-run concurrency knobs every ported simulator carries.
+struct TickConcurrency {
+  TickMode mode = TickMode::kSequential;
+  /// Worker threads for the sharded engine (0 = hardware). Never affects
+  /// results.
+  std::uint32_t threads = 1;
+  /// Work shards per phase (0 = auto). Never affects results.
+  std::uint32_t shards = 0;
+};
+
+class ParallelTickEngine {
+ public:
+  /// `threads` = worker threads the engine may use, caller included;
+  /// 0 = hardware concurrency. The pool spawns threads-1 workers.
+  explicit ParallelTickEngine(unsigned threads = 0);
+  ~ParallelTickEngine();
+
+  ParallelTickEngine(const ParallelTickEngine&) = delete;
+  ParallelTickEngine& operator=(const ParallelTickEngine&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const { return threads_; }
+
+  /// Execute `shard_fn(shard)` for every shard in [0, shard_count), fanned
+  /// across the pool (the calling thread participates). Blocks until all
+  /// shards complete; the first exception thrown by any shard is rethrown
+  /// on the caller after the phase drains. Not reentrant: a shard callback
+  /// must not call back into the same engine.
+  void run_shards(std::size_t shard_count,
+                  const std::function<void(std::size_t)>& shard_fn);
+
+  /// Resolve a threads knob: 0 = hardware concurrency (minimum 1).
+  [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+
+  /// Contiguous [begin, end) range of shard `shard` when `items` entities
+  /// are split into `shard_count` near-equal blocks. Trailing shards may
+  /// be empty when shard_count > items (n-smaller-than-shards is legal).
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> shard_range(
+      std::size_t items, std::size_t shard_count, std::size_t shard);
+
+  /// Resolve a shards knob for `items` entities: explicit values pass
+  /// through; 0 = auto (a few shards per pool thread, for balance).
+  [[nodiscard]] std::size_t resolve_shards(std::uint32_t requested,
+                                           std::size_t items) const;
+
+ private:
+  /// One run_shards call. Heap-allocated and shared so a worker waking
+  /// late for an already-finished phase operates on that phase's own
+  /// (exhausted) counter instead of racing the next phase's state.
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t shards = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;  // guarded by mutex_
+    std::exception_ptr error;   // first failure, guarded by mutex_
+  };
+
+  void worker_loop();
+  void drain(const std::shared_ptr<Job>& job);
+
+  unsigned threads_ = 1;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  std::uint64_t job_id_ = 0;     // bumps once per run_shards call
+  std::shared_ptr<Job> job_;     // current phase, guarded by mutex_
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace poq::sim

@@ -48,6 +48,22 @@ Rng Rng::fork(std::uint64_t stream_id) const {
   return child;
 }
 
+Rng Rng::keyed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+               std::uint64_t c) {
+  // Sponge-style fold: absorb each key word into the running hash through
+  // a full splitmix64 mix, so tuples differing in any word (including by
+  // swaps across positions) land on decorrelated streams.
+  std::uint64_t sm = seed;
+  std::uint64_t hash = splitmix64(sm);
+  sm = hash ^ a;
+  hash = splitmix64(sm);
+  sm = hash ^ b;
+  hash = splitmix64(sm);
+  sm = hash ^ c;
+  hash = splitmix64(sm);
+  return Rng(hash);
+}
+
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
   const std::uint64_t span =

@@ -46,6 +46,17 @@ class Rng {
   /// parent.
   [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
 
+  /// Counter-based stream derivation: an independent stream keyed by the
+  /// tuple (seed, a, b, c), with no sequential state anywhere.
+  ///
+  /// This is the primitive the sharded tick engine builds on — a stream
+  /// keyed per (phase, round, entity) can be constructed by whichever
+  /// worker processes the entity, so draws are identical for every
+  /// thread/shard partitioning of the work. Distinct tuples yield
+  /// decorrelated streams (each key word is folded through splitmix64).
+  [[nodiscard]] static Rng keyed(std::uint64_t seed, std::uint64_t a,
+                                 std::uint64_t b = 0, std::uint64_t c = 0);
+
   /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 

@@ -1,0 +1,103 @@
+#include "sim/parallel_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace poq::sim {
+namespace {
+
+TEST(ShardRange, PartitionsExactlyAndContiguously) {
+  for (const std::size_t items : {0u, 1u, 5u, 16u, 17u, 100u}) {
+    for (const std::size_t shards : {1u, 2u, 7u, 16u, 32u}) {
+      std::size_t covered = 0;
+      std::size_t previous_end = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] =
+            ParallelTickEngine::shard_range(items, shards, s);
+        EXPECT_EQ(begin, previous_end);
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+        previous_end = end;
+      }
+      EXPECT_EQ(covered, items) << items << " items over " << shards;
+      EXPECT_EQ(previous_end, items);
+    }
+  }
+}
+
+TEST(ShardRange, MoreShardsThanItemsLeavesTrailingShardsEmpty) {
+  const auto [b0, e0] = ParallelTickEngine::shard_range(3, 8, 0);
+  EXPECT_EQ(e0 - b0, 1u);
+  const auto [b7, e7] = ParallelTickEngine::shard_range(3, 8, 7);
+  EXPECT_EQ(b7, e7);  // empty
+}
+
+TEST(ShardRange, RejectsBadArguments) {
+  EXPECT_THROW((void)ParallelTickEngine::shard_range(4, 0, 0), PreconditionError);
+  EXPECT_THROW((void)ParallelTickEngine::shard_range(4, 2, 2), PreconditionError);
+}
+
+TEST(ParallelTickEngine, RunsEveryShardExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ParallelTickEngine engine(threads);
+    std::vector<std::atomic<int>> hits(23);
+    engine.run_shards(hits.size(), [&](std::size_t shard) { ++hits[shard]; });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelTickEngine, ReusableAcrossManyPhases) {
+  ParallelTickEngine engine(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int phase = 0; phase < 200; ++phase) {
+    engine.run_shards(7, [&](std::size_t shard) { total += shard; });
+  }
+  EXPECT_EQ(total.load(), 200u * (0 + 1 + 2 + 3 + 4 + 5 + 6));
+}
+
+TEST(ParallelTickEngine, ZeroShardsIsANoop) {
+  ParallelTickEngine engine(2);
+  bool touched = false;
+  engine.run_shards(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelTickEngine, ShardExceptionsPropagateAfterDraining) {
+  for (const unsigned threads : {1u, 4u}) {
+    ParallelTickEngine engine(threads);
+    EXPECT_THROW(
+        engine.run_shards(9,
+                          [&](std::size_t shard) {
+                            if (shard == 4) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The engine must stay usable after a failed phase.
+    std::atomic<int> count{0};
+    engine.run_shards(5, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 5);
+  }
+}
+
+TEST(ParallelTickEngine, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_GE(ParallelTickEngine::resolve_threads(0), 1u);
+  EXPECT_EQ(ParallelTickEngine::resolve_threads(3), 3u);
+}
+
+TEST(ParallelTickEngine, ResolveShardsAutoIsBoundedAndExplicitPassesThrough) {
+  ParallelTickEngine engine(2);
+  EXPECT_EQ(engine.resolve_shards(5, 100), 5u);
+  const std::size_t auto_shards = engine.resolve_shards(0, 100);
+  EXPECT_GE(auto_shards, 1u);
+  EXPECT_LE(auto_shards, 100u);
+  // Tiny inputs never get more auto shards than items.
+  EXPECT_LE(engine.resolve_shards(0, 3), 3u);
+}
+
+}  // namespace
+}  // namespace poq::sim

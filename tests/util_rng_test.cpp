@@ -196,6 +196,45 @@ TEST(Rng, SampleIndicesRejectsOversample) {
   EXPECT_THROW(rng.sample_indices(5, 6), PreconditionError);
 }
 
+TEST(Rng, KeyedStreamsAreDeterministic) {
+  Rng a = Rng::keyed(42, 1, 2, 3);
+  Rng b = Rng::keyed(42, 1, 2, 3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, KeyedStreamsDifferPerKeyWord) {
+  const std::uint64_t reference = Rng::keyed(42, 1, 2, 3)();
+  EXPECT_NE(Rng::keyed(43, 1, 2, 3)(), reference);
+  EXPECT_NE(Rng::keyed(42, 9, 2, 3)(), reference);
+  EXPECT_NE(Rng::keyed(42, 1, 9, 3)(), reference);
+  EXPECT_NE(Rng::keyed(42, 1, 2, 9)(), reference);
+  // Swapping key positions lands on a different stream too.
+  EXPECT_NE(Rng::keyed(42, 2, 1, 3)(), reference);
+}
+
+// Counter-based streams have no shared state: drawing from one keyed
+// stream never perturbs another, whatever the construction order.
+TEST(Rng, KeyedStreamsAreIndependentOfConstructionOrder) {
+  Rng first = Rng::keyed(7, 0, 1);
+  const std::uint64_t early = first();
+  Rng second = Rng::keyed(7, 0, 2);
+  (void)second();
+  Rng again = Rng::keyed(7, 0, 1);
+  EXPECT_EQ(again(), early);
+}
+
+// Keyed streams should look uniform, not structured, even with adjacent
+// counter values (the sharded engine keys streams by (round, entity)).
+TEST(Rng, KeyedStreamsFromAdjacentCountersLookUniform) {
+  int ones = 0;
+  const int streams = 4000;
+  for (int i = 0; i < streams; ++i) {
+    Rng rng = Rng::keyed(5, 1, static_cast<std::uint64_t>(i), 0);
+    if (rng.bernoulli(0.5)) ++ones;
+  }
+  EXPECT_NEAR(ones, streams / 2, streams * 0.05);
+}
+
 // Every element should be roughly equally likely to be sampled.
 TEST(Rng, SampleIndicesUnbiased) {
   Rng rng(61);

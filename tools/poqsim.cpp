@@ -10,8 +10,9 @@
 //   <protocol>   run one scenario (balancing, planned, hybrid, gossip,
 //                distributed, fidelity, lp — see `poqsim list`)
 //   list         registered protocols with their knobs
-//   sweep        node-count sweep through the parallel SweepRunner,
-//                table or JSON output
+//   sweep        grid sweep through the parallel SweepRunner: the
+//                --nodes axis times any --axes over frame fields or
+//                declared knobs, table or JSON output
 //
 // Common options: --topology cycle|random-grid|full-grid|erdos-renyi|
 // watts-strogatz|barabasi-albert, --nodes N, --seed S, --pairs P,
@@ -160,46 +161,188 @@ int cmd_run(const scenario::Protocol& protocol, const util::ArgParser& args) {
   return 0;
 }
 
+std::size_t parse_positive_count(const std::string& item, const std::string& what) {
+  // Digits only: std::stoull would accept "-9" (wrapping to ~1.8e19)
+  // and silently ignore trailing garbage like "9junk".
+  const bool digits = !item.empty() &&
+                      item.find_first_not_of("0123456789") == std::string::npos;
+  if (!digits || item.size() > 9) {
+    throw PreconditionError(what + " entries must be positive integers (got '" +
+                            item + "')");
+  }
+  const std::size_t value = std::stoull(item);
+  if (value == 0) throw PreconditionError(what + " entries must be positive");
+  return value;
+}
+
 std::vector<std::size_t> parse_node_list(const std::string& text) {
   std::vector<std::size_t> nodes;
   for (const std::string& field : util::split(text, ',')) {
     const std::string item(util::trim(field));
     if (item.empty()) continue;
-    // Digits only: std::stoull would accept "-9" (wrapping to ~1.8e19)
-    // and silently ignore trailing garbage like "9junk".
-    const bool digits =
-        item.find_first_not_of("0123456789") == std::string::npos;
-    if (!digits || item.size() > 9) {
-      throw PreconditionError("--nodes entries must be positive integers (got '" +
-                              item + "')");
-    }
-    const std::size_t value = std::stoull(item);
-    if (value == 0) throw PreconditionError("--nodes entries must be positive");
-    nodes.push_back(value);
+    nodes.push_back(parse_positive_count(item, "--nodes"));
   }
   if (nodes.empty()) throw PreconditionError("--nodes list is empty");
   return nodes;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep axes: a sweep is a grid product over any spec fields, written
+//   --axes "distillation=1,2,3;topology=cycle,full-grid"
+// (--nodes LIST stays as the node-count axis). Frame fields (nodes,
+// pairs, requests, seed, topology) apply to the spec frame; every other
+// axis name must be a knob the protocol declares, and its values are
+// parsed per the knob's declared type.
+// ---------------------------------------------------------------------------
+
+struct SweepAxis {
+  std::string name;
+  std::vector<std::string> values;  // raw texts, applied per cell
+};
+
+std::vector<SweepAxis> parse_axes(const std::string& text) {
+  std::vector<SweepAxis> axes;
+  for (const std::string& field : util::split(text, ';')) {
+    const std::string entry(util::trim(field));
+    if (entry.empty()) continue;
+    const std::size_t equals = entry.find('=');
+    if (equals == std::string::npos || equals == 0) {
+      throw PreconditionError("--axes entries are written name=v1,v2,... (got '" +
+                              entry + "')");
+    }
+    SweepAxis axis;
+    axis.name = std::string(util::trim(entry.substr(0, equals)));
+    for (const std::string& value : util::split(entry.substr(equals + 1), ',')) {
+      const std::string item(util::trim(value));
+      if (!item.empty()) axis.values.push_back(item);
+    }
+    if (axis.values.empty()) {
+      throw PreconditionError("--axes axis '" + axis.name + "' has no values");
+    }
+    for (const SweepAxis& existing : axes) {
+      if (existing.name == axis.name) {
+        throw PreconditionError("--axes names axis '" + axis.name + "' twice");
+      }
+    }
+    axes.push_back(std::move(axis));
+  }
+  if (axes.empty()) throw PreconditionError("--axes is empty");
+  return axes;
+}
+
+scenario::KnobValue parse_knob_text(const scenario::KnobSpec& knob,
+                                    const std::string& raw) {
+  const auto fail = [&]() -> scenario::KnobValue {
+    throw PreconditionError("axis '" + knob.name + "' expects " +
+                            scenario::knob_type_name(knob.type) +
+                            " values (got '" + raw + "')");
+  };
+  std::size_t used = 0;
+  switch (knob.type) {
+    case scenario::KnobType::kBool:
+      if (raw == "true" || raw == "1") return true;
+      if (raw == "false" || raw == "0") return false;
+      return fail();
+    case scenario::KnobType::kInt:
+      try {
+        const std::int64_t value = std::stoll(raw, &used);
+        if (used != raw.size()) return fail();
+        return value;
+      } catch (const std::exception&) {
+        return fail();
+      }
+    case scenario::KnobType::kDouble:
+      try {
+        const double value = std::stod(raw, &used);
+        if (used != raw.size()) return fail();
+        return value;
+      } catch (const std::exception&) {
+        return fail();
+      }
+    case scenario::KnobType::kString:
+      return raw;
+  }
+  return fail();
+}
+
+void apply_axis_value(scenario::ScenarioSpec& spec,
+                      const scenario::Protocol& protocol,
+                      const std::string& name, const std::string& raw) {
+  if (name == "nodes") {
+    spec.nodes = parse_positive_count(raw, "axis nodes");
+    return;
+  }
+  if (name == "pairs" || name == "consumer_pairs") {
+    spec.consumer_pairs = parse_positive_count(raw, "axis pairs");
+    return;
+  }
+  if (name == "requests") {
+    spec.requests = parse_positive_count(raw, "axis requests");
+    return;
+  }
+  if (name == "seed") {
+    spec.seed = parse_positive_count(raw, "axis seed");
+    return;
+  }
+  if (name == "topology") {
+    (void)scenario::parse_topology_family(raw);  // validates, names families
+    spec.topology = raw;
+    return;
+  }
+  for (const scenario::KnobSpec& knob : protocol.knobs()) {
+    if (knob.name == name) {
+      spec.knobs[name] = parse_knob_text(knob, raw);
+      return;
+    }
+  }
+  throw PreconditionError(
+      "axis '" + name + "' is neither a frame field (nodes, pairs, requests, "
+      "seed, topology) nor a knob of protocol " + protocol.name());
+}
+
+/// Grid product in axis declaration order (last axis varies fastest).
+std::vector<scenario::ScenarioSpec> build_axis_grid(
+    const scenario::ScenarioSpec& base, const scenario::Protocol& protocol,
+    const std::vector<SweepAxis>& axes) {
+  std::vector<scenario::ScenarioSpec> grid{base};
+  for (const SweepAxis& axis : axes) {
+    std::vector<scenario::ScenarioSpec> expanded;
+    expanded.reserve(grid.size() * axis.values.size());
+    for (const scenario::ScenarioSpec& spec : grid) {
+      for (const std::string& value : axis.values) {
+        scenario::ScenarioSpec cell = spec;
+        apply_axis_value(cell, protocol, axis.name, value);
+        expanded.push_back(std::move(cell));
+      }
+    }
+    grid = std::move(expanded);
+  }
+  return grid;
 }
 
 int cmd_sweep(const util::ArgParser& args) {
   if (args.has("help")) {
     std::cout <<
         "usage: poqsim sweep --protocol P [options] [protocol knobs]\n"
-        "Run a node-count sweep through the parallel SweepRunner.\n"
-        "  --protocol P   registered protocol (default balancing)\n"
-        "  --nodes LIST   comma-separated node counts (default 9,16,25)\n"
-        "  --seeds K      replications per cell (default 3)\n"
-        "  --threads T    worker threads (default: hardware)\n"
-        "  --json         emit the aggregated cells as JSON\n"
-        "  --metric M     table column metric (default overhead_paper)\n"
+        "Run a grid sweep through the parallel SweepRunner. The grid is the\n"
+        "product of the --nodes axis and every --axes axis.\n"
+        "  --protocol P        registered protocol (default balancing)\n"
+        "  --nodes LIST        node-count axis (default 9,16,25)\n"
+        "  --axes \"a=1,2;b=x\"  extra axes over frame fields (nodes, pairs,\n"
+        "                      requests, seed, topology) or declared knobs;\n"
+        "                      values are typed per the knob schema\n"
+        "  --seeds K           replications per cell (default 3)\n"
+        "  --threads T         sweep pool threads (default: hardware)\n"
+        "  --intra-threads K   intra-run threads per cell for ported\n"
+        "                      protocols; auto pools divide by K (default 1)\n"
+        "  --json              emit the aggregated cells as JSON\n"
+        "  --metric M          table column metric (default overhead_paper)\n"
               << kCommonOptionsHelp;
     return 0;
   }
   const std::string protocol_name =
       canonical_protocol(args.get_string("protocol", "balancing"));
   const scenario::Protocol& protocol = scenario::registry().find(protocol_name);
-  const std::vector<std::size_t> node_counts =
-      parse_node_list(args.get_string("nodes", "9,16,25"));
   const std::int64_t seeds = args.get_int("seeds", 3);
   if (seeds < 1 || seeds > 1000000) {
     throw PreconditionError("--seeds must be in [1, 1000000] (got " +
@@ -210,22 +353,58 @@ int cmd_sweep(const util::ArgParser& args) {
     throw PreconditionError("--threads must be in [0, 4096] (got " +
                             std::to_string(threads) + ")");
   }
+  const std::int64_t intra_threads = args.get_int("intra-threads", 1);
+  if (intra_threads < 0 || intra_threads > 4096) {
+    throw PreconditionError("--intra-threads must be in [0, 4096] (got " +
+                            std::to_string(intra_threads) + ")");
+  }
   scenario::SweepOptions options;
   options.seeds_per_cell = static_cast<std::uint32_t>(seeds);
   options.threads = static_cast<unsigned>(threads);
+  options.intra_run_threads =
+      intra_threads == 0 ? 0 : static_cast<unsigned>(intra_threads);
   const bool as_json = args.get_bool("json", false);
   const std::string metric = args.get_string("metric", "overhead_paper");
 
+  // Axes: --nodes is the outermost axis; --axes appends further ones.
+  std::vector<SweepAxis> axes;
+  {
+    SweepAxis nodes_axis;
+    nodes_axis.name = "nodes";
+    for (const std::size_t n : parse_node_list(args.get_string("nodes", "9,16,25"))) {
+      nodes_axis.values.push_back(std::to_string(n));
+    }
+    axes.push_back(std::move(nodes_axis));
+  }
+  if (args.has("axes")) {
+    for (SweepAxis& axis : parse_axes(args.get_string("axes", ""))) {
+      if (axis.name == "nodes") {
+        throw PreconditionError(
+            "axis 'nodes' is owned by --nodes; list the counts there");
+      }
+      axes.push_back(std::move(axis));
+    }
+  }
+
   scenario::ScenarioSpec base = parse_frame(args, protocol_name, false);
   parse_knobs(args, protocol, base);
+  // `sweep` owns --threads as the pool size; the per-protocol 'threads'
+  // knob (intra-run) is set via --intra-threads or a --axes axis, never
+  // forwarded from --threads.
+  base.knobs.erase("threads");
   check_unused(args);
 
-  std::vector<scenario::ScenarioSpec> grid;
-  grid.reserve(node_counts.size());
-  for (const std::size_t n : node_counts) {
-    scenario::ScenarioSpec spec = base;
-    spec.nodes = n;
-    grid.push_back(std::move(spec));
+  bool threads_axis = false;
+  for (const SweepAxis& axis : axes) threads_axis |= axis.name == "threads";
+  if (threads_axis && intra_threads != 1) {
+    throw PreconditionError(
+        "--intra-threads conflicts with a 'threads' axis in --axes; "
+        "pick one source for the intra-run thread count");
+  }
+
+  std::vector<scenario::ScenarioSpec> grid = build_axis_grid(base, protocol, axes);
+  if (intra_threads != 1 && !threads_axis) {
+    scenario::apply_intra_run_threads(grid, static_cast<unsigned>(intra_threads));
   }
   const scenario::SweepRunner runner(options);
   const std::vector<scenario::CellAggregate> cells = runner.run(grid);
@@ -236,16 +415,29 @@ int cmd_sweep(const util::ArgParser& args) {
     std::cout << out.dump(2);
     return 0;
   }
-  util::Table table({"nodes", metric + " (mean)", "stddev", "runs", "wall_ms"});
+  std::vector<std::string> header;
+  for (const SweepAxis& axis : axes) header.push_back(axis.name);
+  header.insert(header.end(),
+                {metric + " (mean)", "stddev", "runs", "wall_ms"});
+  util::Table table(header);
+  // Re-enumerate the axis products in grid order for the row labels.
+  std::vector<std::size_t> cursor(axes.size(), 0);
   for (const scenario::CellAggregate& cell : cells) {
+    std::vector<std::string> row;
+    for (std::size_t a = 0; a < axes.size(); ++a) row.push_back(axes[a].values[cursor[a]]);
     const bool present = cell.has(metric);
     const util::RunningStats empty;
     const util::RunningStats& stats = present ? cell.at(metric) : empty;
-    table.add_row({std::to_string(cell.spec.nodes),
-                   present ? util::format_double(stats.mean(), 4) : "n/a",
-                   present ? util::format_double(stats.stddev(), 4) : "n/a",
-                   std::to_string(stats.count()),
-                   util::format_double(cell.wall_ms, 1)});
+    row.push_back(present ? util::format_double(stats.mean(), 4) : "n/a");
+    row.push_back(present ? util::format_double(stats.stddev(), 4) : "n/a");
+    row.push_back(std::to_string(stats.count()));
+    row.push_back(util::format_double(cell.wall_ms, 1));
+    table.add_row(row);
+    // Odometer increment, last axis fastest (matches build_axis_grid).
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++cursor[a] < axes[a].values.size()) break;
+      cursor[a] = 0;
+    }
   }
   table.print(std::cout);
   return 0;
@@ -260,7 +452,7 @@ void print_usage() {
   std::cout <<
       "other subcommands:\n"
       "  list         registered protocols and their knobs\n"
-      "  sweep        parallel node-count sweep (see `poqsim sweep --help`)\n"
+      "  sweep        parallel grid sweep over any axes (see `poqsim sweep --help`)\n"
       "common options: --topology <family> --nodes N --pairs P --requests R --seed S\n"
       "families: cycle random-grid full-grid erdos-renyi watts-strogatz barabasi-albert\n";
 }

@@ -9,12 +9,15 @@
 // baseline / knowledge / fidelity studies that used to be table-only.
 //
 // Usage: run_benches [--quick] [--out-dir DIR] [--suite NAME] [--threads N]
-//                    [--check BASELINE.json] [--rel-tol X]
+//                    [--intra-threads K] [--check BASELINE.json] [--rel-tol X]
 //   --quick     smaller sweeps and one seed per cell (the `bench` target's
 //               default); omit for the full paper-scale grids
 //   --out-dir   where to write BENCH_*.json (default: current directory)
 //   --suite     run one suite (unique substring of its name; default all)
 //   --threads   sweep worker threads (default 0 = hardware concurrency)
+//   --intra-threads  intra-run threads for the ported protocols
+//               (balancing/planned/hybrid); auto-sized pools divide by
+//               this so pool x intra-run stays within the hardware budget
 //   --check     after running, diff the matching suite's cells against a
 //               committed baseline JSON with a relative tolerance; exits
 //               nonzero on regression (the CI perf/correctness gate)
@@ -62,6 +65,10 @@ struct Options {
   std::string out_dir = ".";
   std::string suite_filter;  // empty = all
   unsigned threads = 0;
+  /// Intra-run threads for ported protocols (balancing/planned/hybrid);
+  /// the sweep pool's auto size divides by this so the two parallelism
+  /// levels compose without oversubscription. Never changes the numbers.
+  unsigned intra_threads = 1;
   std::string check_path;
   double rel_tol = 0.2;
 };
@@ -71,6 +78,10 @@ SuiteRun run_grid(const std::string& name, std::vector<scenario::ScenarioSpec> g
   scenario::SweepOptions sweep;
   sweep.seeds_per_cell = seeds;
   sweep.threads = options.threads;
+  if (options.intra_threads != 1) {
+    scenario::apply_intra_run_threads(grid, options.intra_threads);
+    sweep.intra_run_threads = options.intra_threads;
+  }
   const scenario::SweepRunner runner(sweep);
   SuiteRun run;
   run.name = name;
@@ -239,6 +250,28 @@ SuiteRun suite_fidelity_decay(const Options& options) {
   return run_grid("fidelity_decay", std::move(grid), 1, options);
 }
 
+SuiteRun suite_parallel_scaling(const Options& options) {
+  // Intra-run scaling on the largest Fig. 5 cell: the physics is fixed
+  // and only the ported engine's `threads` knob sweeps, so per-cell
+  // wall_ms isolates the intra-run speedup while the metrics double as a
+  // cross-thread determinism gate (they must not move at all). The sweep
+  // pool is pinned to one task at a time for honest wall-clock numbers.
+  bench::FigureSetup setup;
+  setup.round_budget = options.quick ? 300 : 1500;
+  const std::size_t nodes = options.quick ? 49 : 100;
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const std::int64_t threads : {1, 2, 4, 8}) {
+    scenario::ScenarioSpec spec = bench::balancing_cell_spec(
+        graph::TopologyFamily::kRandomGrid, nodes, 1.0, setup);
+    spec.knobs["threads"] = threads;
+    grid.push_back(std::move(spec));
+  }
+  Options serial = options;
+  serial.threads = 1;
+  serial.intra_threads = 1;  // the grid carries its own threads axis
+  return run_grid("parallel_scaling", std::move(grid), 1, serial);
+}
+
 using SuiteFn = SuiteRun (*)(const Options&);
 const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"fig4_overhead_vs_distillation", suite_fig4},
@@ -247,6 +280,7 @@ const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"baseline_comparison", suite_baseline_comparison},
     {"ablation_knowledge", suite_ablation_knowledge},
     {"fidelity_decay", suite_fidelity_decay},
+    {"parallel_scaling", suite_parallel_scaling},
 };
 
 // ---------------------------------------------------------------------------
@@ -338,8 +372,8 @@ int main(int argc, char** argv) {
     if (args.has("help")) {
       std::cout
           << "usage: run_benches [--quick] [--out-dir DIR] [--suite NAME]\n"
-             "                   [--threads N] [--check BASELINE.json] "
-             "[--rel-tol X]\n"
+             "                   [--threads N] [--intra-threads K]\n"
+             "                   [--check BASELINE.json] [--rel-tol X]\n"
              "Runs the figure/ablation sweeps and writes unified "
              "BENCH_*.json.\nsuites:\n";
       for (const auto& [name, fn] : kSuites) std::cout << "  " << name << '\n';
@@ -355,6 +389,13 @@ int main(int argc, char** argv) {
                                    std::to_string(threads) + ")");
     }
     options.threads = static_cast<unsigned>(threads);
+    const std::int64_t intra_threads = args.get_int("intra-threads", 1);
+    if (intra_threads < 0 || intra_threads > 4096) {
+      throw poq::PreconditionError("--intra-threads must be in [0, 4096] (got " +
+                                   std::to_string(intra_threads) + ")");
+    }
+    options.intra_threads =
+        intra_threads == 0 ? 0 : static_cast<unsigned>(intra_threads);
     options.check_path = args.get_string("check", "");
     options.rel_tol = args.get_double("rel-tol", 0.2);
     const auto unused = args.unused();
