@@ -28,7 +28,7 @@ BalancingSimulation::BalancingSimulation(const graph::Graph& generation_graph,
       workload_(workload),
       config_(config),
       distances_(graph::all_pairs_distances(generation_graph)),
-      ledger_(generation_graph.node_count()),
+      state_(generation_graph, config.seed, config.tick),
       balancer_(DistillationMatrix(config.distillation), config.policy, &distances_),
       generation_rng_(util::Rng(config.seed).fork(1)),
       swap_rng_(util::Rng(config.seed).fork(2)),
@@ -44,14 +44,6 @@ BalancingSimulation::BalancingSimulation(const graph::Graph& generation_graph,
     require(distances_[pair.first][pair.second] != graph::kUnreachable,
             "BalancingSimulation: consumer pair disconnected");
   }
-  if (config_.tick.mode == sim::TickMode::kSharded) {
-    pool_ = std::make_unique<sim::ParallelTickEngine>(config_.tick.threads);
-    const std::size_t shards = pool_->resolve_shards(
-        config_.tick.shards, generation_graph_.node_count());
-    shard_scratch_.resize(shards);
-    generation_amounts_.assign(generation_graph_.edge_count(), 0);
-    candidates_.assign(generation_graph_.node_count(), std::nullopt);
-  }
 }
 
 bool BalancingSimulation::finished() const {
@@ -61,53 +53,11 @@ bool BalancingSimulation::finished() const {
 void BalancingSimulation::begin_round() { ++result_.rounds; }
 
 void BalancingSimulation::generation_phase() {
-  if (config_.tick.mode == sim::TickMode::kSharded) {
-    sharded_generation_phase();
-    return;
-  }
-  for (const graph::Edge& edge : generation_graph_.edges()) {
-    const std::uint32_t amount =
-        rounded_amount(config_.generation_per_edge_per_round, generation_rng_);
-    if (amount == 0) continue;
-    ledger_.add(edge.a(), edge.b(), amount);
-    result_.pairs_generated += amount;
-  }
-}
-
-void BalancingSimulation::sharded_generation_phase() {
-  // Each edge draws from its own counter-based stream keyed on
-  // (seed, round, edge), so the draws are identical however the edge range
-  // is partitioned. Workers fill disjoint slices of generation_amounts_;
-  // the ledger merge below runs on the caller in canonical edge order
-  // (adds commute, but a fixed order keeps the ledger internals
-  // single-threaded).
-  const std::size_t edge_count = generation_graph_.edge_count();
-  const double rate = config_.generation_per_edge_per_round;
-  const double whole = std::floor(rate);
-  const double frac = rate - whole;
-  const auto whole_amount = static_cast<std::uint32_t>(whole);
-  const std::size_t shards = shard_scratch_.size();
-  pool_->run_shards(shards, [&](std::size_t shard) {
-    const auto [begin, end] =
-        sim::ParallelTickEngine::shard_range(edge_count, shards, shard);
-    for (std::size_t e = begin; e < end; ++e) {
-      std::uint32_t amount = whole_amount;
-      if (frac > 0.0) {
-        util::Rng edge_rng = util::Rng::keyed(config_.seed,
-                                              sim::stream_tag::kGeneration,
-                                              result_.rounds, e);
-        if (edge_rng.bernoulli(frac)) ++amount;
-      }
-      generation_amounts_[e] = amount;
-    }
-  });
-  const auto& edges = generation_graph_.edges();
-  for (std::size_t e = 0; e < edge_count; ++e) {
-    const std::uint32_t amount = generation_amounts_[e];
-    if (amount == 0) continue;
-    ledger_.add(edges[e].a(), edges[e].b(), amount);
-    result_.pairs_generated += amount;
-  }
+  // Sequential mode consumes generation_rng_ edge by edge (the legacy
+  // single-stream loop); sharded mode ignores it in favor of per-(round,
+  // edge) keyed streams. Both live in the generation kernel.
+  result_.pairs_generated += state_.generate(
+      result_.rounds, config_.generation_per_edge_per_round, &generation_rng_);
 }
 
 void BalancingSimulation::swap_phase() {
@@ -118,7 +68,7 @@ void BalancingSimulation::swap_phase() {
   const auto first =
       static_cast<NodeId>(result_.rounds % generation_graph_.node_count());
   const SweepStats stats = run_swap_sweep(
-      balancer_, ledger_, first, config_.swaps_per_node_per_round, swap_rng_);
+      balancer_, ledger(), first, config_.swaps_per_node_per_round, swap_rng_);
   result_.swaps_performed += stats.swaps;
   result_.pairs_spent_on_swaps += stats.pairs_consumed;
   result_.pairs_produced_by_swaps += stats.pairs_produced;
@@ -127,47 +77,31 @@ void BalancingSimulation::swap_phase() {
 void BalancingSimulation::sharded_swap_phase() {
   // Synchronous-round semantics: every node picks its best preferable swap
   // against the frozen post-generation ledger (the expensive O(P^2) scan,
-  // fanned across node shards), then the choices are committed on the
-  // caller in canonical rotating order. A commit re-checks preferability
-  // against the live ledger, so choices invalidated by an earlier commit
-  // of the same sub-sweep are skipped — the merge order, not the worker
-  // schedule, decides every conflict. Fractional-D rounding draws come
-  // from per-(round, node, attempt) streams, consumed only on commit.
-  const auto node_count = static_cast<NodeId>(ledger_.node_count());
+  // fanned across node shards), then the choices go through the two-level
+  // commit — disjoint node triples commit in parallel, conflicting swaps
+  // serialize in canonical rotating order with preferability re-checks —
+  // so the merge order, not the worker schedule, decides every conflict.
+  // Fractional-D rounding draws come from per-(round, node, attempt)
+  // streams, consumed only on commit.
+  const auto node_count = static_cast<NodeId>(state_.node_count());
   const auto first = static_cast<NodeId>(result_.rounds % node_count);
-  const std::size_t shards = shard_scratch_.size();
   for (std::uint32_t attempt = 0; attempt < config_.swaps_per_node_per_round;
        ++attempt) {
-    pool_->run_shards(shards, [&](std::size_t shard) {
-      const auto [begin, end] =
-          sim::ParallelTickEngine::shard_range(node_count, shards, shard);
-      MaxMinBalancer::Scratch& scratch = shard_scratch_[shard];
-      for (std::size_t x = begin; x < end; ++x) {
-        candidates_[x] =
-            balancer_.best_swap(ledger_, static_cast<NodeId>(x), scratch);
-      }
+    state_.decide_swaps([&](NodeId x, MaxMinBalancer::Scratch& scratch) {
+      return balancer_.best_swap(ledger(), x, scratch);
     });
-    bool any_committed = false;
-    for (NodeId offset = 0; offset < node_count; ++offset) {
-      const auto x = static_cast<NodeId>((first + offset) % node_count);
-      const std::optional<SwapCandidate>& candidate = candidates_[x];
-      if (!candidate) continue;
-      if (!balancer_.is_preferable(ledger_, x, candidate->left, candidate->right)) {
-        continue;  // an earlier commit consumed the pairs this choice needed
-      }
-      // Key packs (attempt, round) without collision: rounds is 32-bit.
-      util::Rng commit_rng = util::Rng::keyed(
-          config_.seed, sim::stream_tag::kSwap,
-          (static_cast<std::uint64_t>(attempt) << 32) | result_.rounds, x);
-      const auto execution = balancer_.execute_swap(ledger_, x, candidate->left,
-                                                    candidate->right, commit_rng);
-      ++result_.swaps_performed;
-      result_.pairs_spent_on_swaps +=
-          execution.consumed_left + execution.consumed_right;
-      ++result_.pairs_produced_by_swaps;
-      any_committed = true;
-    }
-    if (!any_committed) break;  // a fixed point for this round
+    const sim::NetworkState::CommitStats stats = state_.commit_swaps(
+        balancer_, first, result_.rounds, attempt,
+        [&](NodeId x, const SwapCandidate& candidate) {
+          // An earlier commit of the same component may have consumed the
+          // pairs this choice needed.
+          return balancer_.is_preferable(ledger(), x, candidate.left,
+                                         candidate.right);
+        });
+    result_.swaps_performed += stats.swaps;
+    result_.pairs_spent_on_swaps += stats.pairs_consumed;
+    result_.pairs_produced_by_swaps += stats.pairs_produced;
+    if (stats.swaps == 0) break;  // a fixed point for this round
   }
 }
 
@@ -177,11 +111,11 @@ void BalancingSimulation::consumption_phase() {
     const double need = balancer_.distillation().at(pair.first, pair.second);
     // A consumption event uses (and destroys) D_{x,y} pairs (§3.2's r-).
     const auto need_ceiling = static_cast<std::uint32_t>(std::ceil(need));
-    if (ledger_.count(pair.first, pair.second) < std::max(1u, need_ceiling)) break;
+    if (ledger().count(pair.first, pair.second) < std::max(1u, need_ceiling)) break;
     const std::uint32_t amount =
         std::max(1u, rounded_amount(need, consume_rng_));
-    ledger_.remove(pair.first, pair.second,
-                   std::min(amount, ledger_.count(pair.first, pair.second)));
+    ledger().remove(pair.first, pair.second,
+                    std::min(amount, ledger().count(pair.first, pair.second)));
     result_.pairs_consumed += amount;
     ++result_.requests_satisfied;
     const std::uint32_t hops = distances_[pair.first][pair.second];

@@ -21,8 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <optional>
 #include <vector>
 
 #include "core/ledger.hpp"
@@ -30,6 +28,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/network_state.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -105,8 +104,12 @@ class BalancingSimulation {
   void consumption_phase();
   void begin_round();  // bookkeeping: increments the round counter
 
-  [[nodiscard]] PairLedger& ledger() { return ledger_; }
-  [[nodiscard]] const PairLedger& ledger() const { return ledger_; }
+  [[nodiscard]] PairLedger& ledger() { return state_.ledger(); }
+  [[nodiscard]] const PairLedger& ledger() const { return state_.ledger(); }
+  /// The shared phase-kernel substrate (ledger + pool + keyed streams);
+  /// protocol variants (gossip) drive their own decide/commit kernels
+  /// through it.
+  [[nodiscard]] sim::NetworkState& state() { return state_; }
   [[nodiscard]] const BalancingResult& result() const { return result_; }
   [[nodiscard]] const MaxMinBalancer& balancer() const { return balancer_; }
   [[nodiscard]] std::uint32_t round() const { return result_.rounds; }
@@ -123,15 +126,15 @@ class BalancingSimulation {
   }
 
  private:
-  // --- sharded-engine phases (sim::TickMode::kSharded) ---
-  void sharded_generation_phase();
+  // --- sharded-engine swap phase (sim::TickMode::kSharded): decide +
+  // two-level commit kernels on the NetworkState ---
   void sharded_swap_phase();
 
   const graph::Graph& generation_graph_;
   const Workload& workload_;
   BalancingConfig config_;
   std::vector<std::vector<std::uint32_t>> distances_;
-  PairLedger ledger_;
+  sim::NetworkState state_;
   MaxMinBalancer balancer_;
   util::Rng generation_rng_;
   util::Rng swap_rng_;
@@ -139,12 +142,6 @@ class BalancingSimulation {
   BalancingResult result_;
   std::size_t head_ = 0;          // index of the head-of-line request
   std::uint32_t head_since_ = 0;  // round the current head became head
-
-  // Sharded-engine state (null/empty on the sequential path).
-  std::unique_ptr<sim::ParallelTickEngine> pool_;
-  std::vector<MaxMinBalancer::Scratch> shard_scratch_;     // one per shard
-  std::vector<std::uint32_t> generation_amounts_;          // per edge index
-  std::vector<std::optional<SwapCandidate>> candidates_;   // per node
 };
 
 /// Convenience wrapper: build the simulation and run to completion.

@@ -1,6 +1,8 @@
 #include "core/fidelity_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <vector>
 
 #include "core/ledger.hpp"
@@ -8,6 +10,7 @@
 #include "quantum/distillation.hpp"
 #include "quantum/werner.hpp"
 #include "sim/engine.hpp"
+#include "sim/network_state.hpp"
 #include "util/error.hpp"
 
 namespace poq::core {
@@ -24,107 +27,65 @@ double FidelitySimResult::realized_distillation_overhead() const {
 
 namespace {
 
-/// One stored Bell pair: when it was created and at what fidelity.
-struct StoredPair {
-  double created = 0.0;
-  double initial_fidelity = 1.0;
+sim::DecayModel decay_model(const FidelitySimConfig& config) {
+  return sim::DecayModel{config.memory_time_constant, config.usable_fidelity};
+}
+
+/// Head-of-line consumption against the tracked-pair state; shared by
+/// both engines (the sequential engine calls it on a timer, the sharded
+/// engine at every slice boundary).
+struct Consumer {
+  const Workload& workload;
+  const FidelitySimConfig& config;
+  sim::NetworkState& state;
+  FidelitySimResult& result;
+  std::size_t head = 0;
+  double head_since = 0.0;
+
+  void try_consume(double now) {
+    while (head < workload.request_count()) {
+      const NodePair& pair = workload.request(head);
+      result.pairs_decayed += state.purge_pair_type(pair.first, pair.second, now);
+      if (state.best_fidelity(pair.first, pair.second, now) < config.app_fidelity) {
+        break;
+      }
+      const sim::TrackedPair used =
+          state.take_pair(pair.first, pair.second, now, /*freshest=*/true);
+      result.consumed_fidelity.add(state.fidelity_now(used, now));
+      result.storage_age_at_use.add(now - used.created);
+      result.request_latency.add(now - head_since);
+      ++result.requests_satisfied;
+      ++head;
+      head_since = now;
+    }
+  }
 };
 
-/// All stored pairs plus a mirrored usable-count ledger so the §4
-/// preferability logic can be reused unchanged.
-class Storage {
- public:
-  Storage(std::size_t node_count, const FidelitySimConfig& config)
-      : node_count_(node_count), config_(config), counts_(node_count),
-        pairs_(node_count * (node_count - 1) / 2) {}
-
-  [[nodiscard]] PairLedger& counts() { return counts_; }
-
-  [[nodiscard]] double fidelity_now(const StoredPair& pair, double now) const {
-    return quantum::decohered_fidelity(pair.initial_fidelity, now - pair.created,
-                                       config_.memory_time_constant);
-  }
-
-  /// Drop pairs of (x,y) that decohered below the usable threshold.
-  /// Returns how many were dropped.
-  std::uint64_t purge(NodeId x, NodeId y, double now) {
-    auto& bucket = pairs_[index(x, y)];
-    std::uint64_t dropped = 0;
-    for (std::size_t i = bucket.size(); i-- > 0;) {
-      if (fidelity_now(bucket[i], now) < config_.usable_fidelity) {
-        bucket.erase(bucket.begin() + static_cast<long>(i));
-        counts_.remove(x, y, 1);
-        ++dropped;
-      }
+/// The distillation target at x when no swap is preferable: the partner
+/// whose best pair is furthest below the application target but still
+/// distillable (and has a spare copy). Returns x when none qualifies.
+NodeId pick_distill_peer(const sim::NetworkState& state,
+                         const FidelitySimConfig& config, NodeId x, double now) {
+  NodeId best_peer = x;
+  double worst_best = config.app_fidelity;
+  for (NodeId y : state.ledger().partners(x)) {
+    if (state.ledger().count(x, y) < 2) continue;
+    const double best = state.best_fidelity(x, y, now);
+    if (best > quantum::kDistillableThreshold && best < worst_best) {
+      worst_best = best;
+      best_peer = y;
     }
-    return dropped;
   }
+  return best_peer;
+}
 
-  void add(NodeId x, NodeId y, double now, double fidelity) {
-    pairs_[index(x, y)].push_back(StoredPair{now, fidelity});
-    counts_.add(x, y, 1);
-  }
-
-  [[nodiscard]] bool empty(NodeId x, NodeId y) const {
-    return pairs_[index(x, y)].empty();
-  }
-
-  /// Remove and return the pair chosen by `policy`; bucket must be
-  /// non-empty (callers check via the mirrored counts).
-  StoredPair take(NodeId x, NodeId y, double now, PairingPolicy policy) {
-    auto& bucket = pairs_[index(x, y)];
-    ensure(!bucket.empty(), "fidelity_sim: take from empty bucket");
-    std::size_t chosen = 0;
-    for (std::size_t i = 1; i < bucket.size(); ++i) {
-      if (policy == PairingPolicy::kFreshest
-              ? fidelity_now(bucket[i], now) > fidelity_now(bucket[chosen], now)
-              : bucket[i].created < bucket[chosen].created) {
-        chosen = i;
-      }
-    }
-    const StoredPair pair = bucket[chosen];
-    bucket.erase(bucket.begin() + static_cast<long>(chosen));
-    counts_.remove(x, y, 1);
-    return pair;
-  }
-
-  /// Best current fidelity of the (x,y) bucket (0 when empty).
-  [[nodiscard]] double best_fidelity(NodeId x, NodeId y, double now) const {
-    const auto& bucket = pairs_[index(x, y)];
-    double best = 0.0;
-    for (const StoredPair& pair : bucket) {
-      best = std::max(best, fidelity_now(pair, now));
-    }
-    return best;
-  }
-
-  [[nodiscard]] std::uint64_t total_pairs() const { return counts_.total_pairs(); }
-
- private:
-  [[nodiscard]] std::size_t index(NodeId x, NodeId y) const {
-    if (x > y) std::swap(x, y);
-    return static_cast<std::size_t>(x) * (2 * node_count_ - x - 1) / 2 + (y - x - 1);
-  }
-
-  std::size_t node_count_;
-  const FidelitySimConfig& config_;
-  PairLedger counts_;
-  std::vector<std::vector<StoredPair>> pairs_;
-};
-
-}  // namespace
-
-FidelitySimResult run_fidelity_sim(const graph::Graph& generation_graph,
-                                   const Workload& workload,
-                                   const FidelitySimConfig& config) {
-  require(config.raw_fidelity > config.usable_fidelity,
-          "fidelity_sim: raw pairs must be usable when fresh");
-  require(config.duration > 0.0, "fidelity_sim: duration must be positive");
+FidelitySimResult run_fidelity_sequential(const graph::Graph& generation_graph,
+                                          const Workload& workload,
+                                          const FidelitySimConfig& config) {
   const std::size_t n = generation_graph.node_count();
-  require(n >= 3, "fidelity_sim: need at least 3 nodes");
-
   sim::Engine engine(config.seed);
-  Storage storage(n, config);
+  sim::NetworkState state(generation_graph, config.seed, config.tick,
+                          decay_model(config));
   FidelitySimResult result;
   util::Rng decision_rng = engine.rng().fork(0xF1DE);
 
@@ -132,87 +93,60 @@ FidelitySimResult run_fidelity_sim(const graph::Graph& generation_graph,
   // distillation is explicit here, not folded into the counts.
   const MaxMinBalancer balancer{DistillationMatrix(1.0)};
 
-  std::size_t head = 0;
-  double head_since = 0.0;
+  Consumer consumer{workload, config, state, result};
 
   const auto purge_node = [&](NodeId x) {
     const double now = engine.now();
     // Copy: purge mutates the partner list.
-    const auto partner_list = storage.counts().partners(x);
+    const auto partner_list = state.ledger().partners(x);
     const std::vector<NodeId> partner_copy(partner_list.begin(), partner_list.end());
-    for (NodeId y : partner_copy) result.pairs_decayed += storage.purge(x, y, now);
-  };
-
-  const auto try_consume = [&] {
-    const double now = engine.now();
-    while (head < workload.request_count()) {
-      const NodePair& pair = workload.request(head);
-      result.pairs_decayed += storage.purge(pair.first, pair.second, now);
-      if (storage.best_fidelity(pair.first, pair.second, now) < config.app_fidelity) {
-        break;
-      }
-      const StoredPair used =
-          storage.take(pair.first, pair.second, now, PairingPolicy::kFreshest);
-      result.consumed_fidelity.add(storage.fidelity_now(used, now));
-      result.storage_age_at_use.add(now - used.created);
-      result.request_latency.add(now - head_since);
-      ++result.requests_satisfied;
-      ++head;
-      head_since = now;
+    for (NodeId y : partner_copy) {
+      result.pairs_decayed += state.purge_pair_type(x, y, now);
     }
   };
 
   // Poisson generation per edge.
   for (const graph::Edge& edge : generation_graph.edges()) {
     engine.poisson_process(config.generation_rate, [&, edge] {
-      storage.add(edge.a(), edge.b(), engine.now(), config.raw_fidelity);
+      state.add_pair(edge.a(), edge.b(), engine.now(), config.raw_fidelity);
       ++result.pairs_generated;
       return true;
     });
   }
 
   // Per-node swap/distill scans.
+  const bool freshest = config.policy == PairingPolicy::kFreshest;
   for (NodeId x = 0; x < n; ++x) {
     engine.poisson_process(config.scan_rate, [&, x] {
       const double now = engine.now();
       purge_node(x);
-      const auto candidate = balancer.best_swap(storage.counts(), x);
+      const auto candidate = balancer.best_swap(state.ledger(), x);
       if (candidate) {
-        const StoredPair left = storage.take(x, candidate->left, now, config.policy);
-        const StoredPair right =
-            storage.take(x, candidate->right, now, config.policy);
-        const double fused = quantum::swap_fidelity(storage.fidelity_now(left, now),
-                                                    storage.fidelity_now(right, now));
+        const sim::TrackedPair left =
+            state.take_pair(x, candidate->left, now, freshest);
+        const sim::TrackedPair right =
+            state.take_pair(x, candidate->right, now, freshest);
+        const double fused = quantum::swap_fidelity(state.fidelity_now(left, now),
+                                                    state.fidelity_now(right, now));
         ++result.swaps;
         if (fused >= config.usable_fidelity) {
-          storage.add(candidate->left, candidate->right, now, fused);
+          state.add_pair(candidate->left, candidate->right, now, fused);
         } else {
           ++result.swap_outputs_discarded;
         }
         return true;
       }
       if (!config.distillation_enabled) return true;
-      // No preferable swap: boost a weak pair type instead. Pick the
-      // partner whose best pair is furthest below the application target
-      // but still distillable.
-      NodeId best_peer = x;
-      double worst_best = config.app_fidelity;
-      for (NodeId y : storage.counts().partners(x)) {
-        if (storage.counts().count(x, y) < 2) continue;
-        const double best = storage.best_fidelity(x, y, now);
-        if (best > quantum::kDistillableThreshold && best < worst_best) {
-          worst_best = best;
-          best_peer = y;
-        }
-      }
+      // No preferable swap: boost a weak pair type instead.
+      const NodeId best_peer = pick_distill_peer(state, config, x, now);
       if (best_peer == x) return true;
-      const StoredPair a = storage.take(x, best_peer, now, config.policy);
-      const StoredPair b = storage.take(x, best_peer, now, config.policy);
+      const sim::TrackedPair a = state.take_pair(x, best_peer, now, freshest);
+      const sim::TrackedPair b = state.take_pair(x, best_peer, now, freshest);
       const quantum::DistillationStep step = quantum::bbpssw(
-          storage.fidelity_now(a, now), storage.fidelity_now(b, now));
+          state.fidelity_now(a, now), state.fidelity_now(b, now));
       if (decision_rng.bernoulli(step.success_probability) &&
           step.output_fidelity >= config.usable_fidelity) {
-        storage.add(x, best_peer, now, step.output_fidelity);
+        state.add_pair(x, best_peer, now, step.output_fidelity);
         ++result.distillations;
       } else {
         ++result.distillation_failures;
@@ -223,13 +157,210 @@ FidelitySimResult run_fidelity_sim(const graph::Graph& generation_graph,
 
   // Head-of-line consumption check, frequent relative to the scan rate.
   engine.every(0.25 / config.scan_rate, [&] {
-    try_consume();
+    consumer.try_consume(engine.now());
     return true;
   });
 
   engine.run(config.duration);
-  result.pairs_in_storage_at_end = storage.total_pairs();
+  result.pairs_in_storage_at_end = state.ledger().total_pairs();
   return result;
+}
+
+/// Sharded fidelity: the same physics as fixed time slices of phase
+/// kernels. Per slice: decohere (sharded per-bucket purge) -> generate
+/// (per-edge Poisson arrivals from keyed streams, merged in canonical
+/// edge order) -> decide (per-node scan events drawn from keyed streams,
+/// decisions computed against the slice snapshot across node shards) ->
+/// commit (all scan events executed serially in canonical (timestamp,
+/// node id) order, each re-validated against the live state) -> consume
+/// (head-of-line at the slice boundary). Every draw is keyed per (slice,
+/// entity[, event]) so results are bit-identical for every threads/shards
+/// setting.
+FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
+                                       const Workload& workload,
+                                       const FidelitySimConfig& config) {
+  const std::size_t n = generation_graph.node_count();
+  sim::NetworkState state(generation_graph, config.seed, config.tick,
+                          decay_model(config));
+  const MaxMinBalancer balancer{DistillationMatrix(1.0)};
+  FidelitySimResult result;
+  Consumer consumer{workload, config, state, result};
+  const bool freshest = config.policy == PairingPolicy::kFreshest;
+
+  // Slice width mirrors the sequential consumption-check cadence; it is a
+  // semantic constant of the sharded discipline, not a tuning knob.
+  const double dt = 0.25 / config.scan_rate;
+  const auto slices =
+      static_cast<std::uint64_t>(std::ceil(config.duration / dt));
+
+  /// A node's slice decision, computed against the slice snapshot: either
+  /// a swap candidate or a distillation peer (peer == node when neither).
+  struct NodeDecision {
+    std::optional<SwapCandidate> swap;
+    NodeId distill_peer = 0;
+  };
+  const std::size_t edge_count = generation_graph.edge_count();
+  std::vector<std::vector<double>> edge_arrivals(edge_count);
+  std::vector<std::vector<double>> node_scans(n);
+  std::vector<NodeDecision> decisions(n);
+  std::vector<MaxMinBalancer::Scratch> shard_scratch(state.shard_count());
+
+  struct ScanEvent {
+    double time = 0.0;
+    NodeId node = 0;
+    std::uint32_t index = 0;  // per-node event index within the slice
+  };
+  std::vector<ScanEvent> events;
+
+  for (std::uint64_t s = 0; s < slices; ++s) {
+    const double t0 = static_cast<double>(s) * dt;
+    const double t1 = std::min(config.duration, t0 + dt);
+    const double span = t1 - t0;
+
+    // 1. Decohere kernel: purge every bucket at the slice start.
+    result.pairs_decayed += state.decohere_all(t0);
+
+    // 2. Generation kernel: per-edge Poisson arrivals from streams keyed
+    // (seed, generation-tag, slice, edge); merged in canonical edge order.
+    state.pool().run_shards(state.shard_count(), [&](std::size_t shard) {
+      const auto [begin, end] = sim::ParallelTickEngine::shard_range(
+          edge_count, state.shard_count(), shard);
+      for (std::size_t e = begin; e < end; ++e) {
+        util::Rng rng =
+            util::Rng::keyed(config.seed, sim::stream_tag::kGeneration, s, e);
+        const std::uint64_t arrivals = rng.poisson(config.generation_rate * span);
+        edge_arrivals[e].clear();
+        for (std::uint64_t k = 0; k < arrivals; ++k) {
+          edge_arrivals[e].push_back(t0 + rng.uniform_double() * span);
+        }
+        std::sort(edge_arrivals[e].begin(), edge_arrivals[e].end());
+      }
+    });
+    const auto& edges = generation_graph.edges();
+    for (std::size_t e = 0; e < edge_count; ++e) {
+      for (const double t : edge_arrivals[e]) {
+        state.add_pair(edges[e].a(), edges[e].b(), t, config.raw_fidelity);
+        ++result.pairs_generated;
+      }
+    }
+
+    // 3. Decide kernel: per-node scan times from streams keyed (seed,
+    // event-tag, slice, node), and the node's decision against the
+    // post-generation snapshot, fanned across node shards.
+    state.pool().run_shards(state.shard_count(), [&](std::size_t shard) {
+      const auto [begin, end] = sim::ParallelTickEngine::shard_range(
+          n, state.shard_count(), shard);
+      MaxMinBalancer::Scratch& scratch = shard_scratch[shard];
+      for (std::size_t node = begin; node < end; ++node) {
+        const auto x = static_cast<NodeId>(node);
+        util::Rng rng =
+            util::Rng::keyed(config.seed, sim::stream_tag::kEventTimes, s, x);
+        const std::uint64_t scans = rng.poisson(config.scan_rate * span);
+        node_scans[x].clear();
+        for (std::uint64_t k = 0; k < scans; ++k) {
+          node_scans[x].push_back(t0 + rng.uniform_double() * span);
+        }
+        std::sort(node_scans[x].begin(), node_scans[x].end());
+        decisions[x] = NodeDecision{std::nullopt, x};
+        if (node_scans[x].empty()) continue;
+        decisions[x].swap = balancer.best_swap(state.ledger(), x, scratch);
+        if (!decisions[x].swap && config.distillation_enabled) {
+          decisions[x].distill_peer = pick_distill_peer(state, config, x, t0);
+        }
+      }
+    });
+
+    // 4. Commit kernel: all scan events in canonical order — ascending
+    // timestamp, ties broken by node id then per-node event index (the
+    // stable sort keeps the canonical node-major insertion order).
+    events.clear();
+    for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
+      for (std::size_t k = 0; k < node_scans[x].size(); ++k) {
+        events.push_back(ScanEvent{node_scans[x][k], x,
+                                   static_cast<std::uint32_t>(k)});
+      }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ScanEvent& lhs, const ScanEvent& rhs) {
+                       return lhs.time < rhs.time;
+                     });
+    for (const ScanEvent& event : events) {
+      const NodeId x = event.node;
+      const double now = event.time;
+      // Lazy purge of x's buckets at the event time (mirrors the
+      // sequential scan handler).
+      const auto partner_list = state.ledger().partners(x);
+      const std::vector<NodeId> partner_copy(partner_list.begin(),
+                                             partner_list.end());
+      for (NodeId y : partner_copy) {
+        result.pairs_decayed += state.purge_pair_type(x, y, now);
+      }
+      const NodeDecision& decision = decisions[x];
+      if (decision.swap) {
+        const SwapCandidate& candidate = *decision.swap;
+        // Re-validate against the live state: an earlier commit or purge
+        // may have consumed the pairs the slice decision relied on.
+        if (!balancer.is_preferable(state.ledger(), x, candidate.left,
+                                    candidate.right)) {
+          continue;
+        }
+        const sim::TrackedPair left =
+            state.take_pair(x, candidate.left, now, freshest);
+        const sim::TrackedPair right =
+            state.take_pair(x, candidate.right, now, freshest);
+        const double fused = quantum::swap_fidelity(
+            state.fidelity_now(left, now), state.fidelity_now(right, now));
+        ++result.swaps;
+        if (fused >= config.usable_fidelity) {
+          state.add_pair(candidate.left, candidate.right, now, fused);
+        } else {
+          ++result.swap_outputs_discarded;
+        }
+        continue;
+      }
+      if (decision.distill_peer == x) continue;
+      const NodeId peer = decision.distill_peer;
+      if (state.ledger().count(x, peer) < 2) continue;  // decision went stale
+      const sim::TrackedPair a = state.take_pair(x, peer, now, freshest);
+      const sim::TrackedPair b = state.take_pair(x, peer, now, freshest);
+      const quantum::DistillationStep step =
+          quantum::bbpssw(state.fidelity_now(a, now), state.fidelity_now(b, now));
+      // Success draw keyed per (slice, node, event) so it is consumed only
+      // by this event, wherever the slice boundaries fall.
+      util::Rng draw = util::Rng::keyed(
+          config.seed, sim::stream_tag::kEventDraw,
+          (s << 20) | event.index, x);
+      if (draw.bernoulli(step.success_probability) &&
+          step.output_fidelity >= config.usable_fidelity) {
+        state.add_pair(x, peer, now, step.output_fidelity);
+        ++result.distillations;
+      } else {
+        ++result.distillation_failures;
+      }
+    }
+
+    // 5. Consumption kernel at the slice boundary.
+    consumer.try_consume(t1);
+  }
+
+  result.pairs_in_storage_at_end = state.ledger().total_pairs();
+  return result;
+}
+
+}  // namespace
+
+FidelitySimResult run_fidelity_sim(const graph::Graph& generation_graph,
+                                   const Workload& workload,
+                                   const FidelitySimConfig& config) {
+  require(config.raw_fidelity > config.usable_fidelity,
+          "fidelity_sim: raw pairs must be usable when fresh");
+  require(config.duration > 0.0, "fidelity_sim: duration must be positive");
+  require(config.scan_rate > 0.0, "fidelity_sim: scan rate must be positive");
+  require(generation_graph.node_count() >= 3, "fidelity_sim: need at least 3 nodes");
+  if (config.tick.mode == sim::TickMode::kSharded) {
+    return run_fidelity_sharded(generation_graph, workload, config);
+  }
+  return run_fidelity_sequential(generation_graph, workload, config);
 }
 
 }  // namespace poq::core

@@ -12,9 +12,16 @@
 // remaining coherence times with those that have longer times" — is a
 // policy knob.
 //
-// Runs on the deterministic event engine (sim::Engine): Poisson pair
-// generation per edge, Poisson swap/distill scans per node, head-of-line
-// consumption.
+// Two engines drive it (config.tick.mode). The sequential path runs on
+// the deterministic event engine (sim::Engine): Poisson pair generation
+// per edge, Poisson swap/distill scans per node, head-of-line
+// consumption. The sharded path re-expresses the same physics as phase
+// kernels over sim::NetworkState in fixed time slices: per-node event
+// sharding draws each entity's Poisson event times from counter-based
+// keyed streams, decisions are computed against the slice snapshot in
+// parallel, and commits execute in canonical (timestamp, node id) order
+// — so results are bit-identical for every threads/shards setting (they
+// differ from the sequential event-interleaved discipline).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/parallel_engine.hpp"
 #include "util/stats.hpp"
 
 namespace poq::core {
@@ -53,6 +61,9 @@ struct FidelitySimConfig {
   /// Simulated duration.
   double duration = 500.0;
   std::uint64_t seed = 1;
+  /// Intra-run engine selection (sequential event loop vs the sharded
+  /// slice-kernel engine) plus its threads/shards knobs.
+  sim::TickConcurrency tick;
 };
 
 struct FidelitySimResult {

@@ -9,6 +9,13 @@
 // latency, and swap decisions read *stale views* for beneficiary counts
 // (a node's own counts are always ground truth — it owns those qubits).
 // Classical overhead is accounted in encoded bytes per message.
+//
+// Two tick engines drive the round (config.base.tick.mode): the legacy
+// sequential loop, and the sharded phase-kernel path — deterministic
+// per-round message merge in canonical sender order, swap decisions
+// fanned over node shards against the frozen ledger, and the two-level
+// commit — whose results are bit-identical for every threads/shards
+// setting (see docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstdint>

@@ -36,7 +36,7 @@ void PairLedger::add(NodeId x, NodeId y, std::uint32_t amount) {
   }
   forward += amount;
   counts_[index(y, x)] = forward;
-  total_ += amount;
+  total_.fetch_add(amount, std::memory_order_relaxed);
 }
 
 void PairLedger::remove(NodeId x, NodeId y, std::uint32_t amount) {
@@ -46,7 +46,7 @@ void PairLedger::remove(NodeId x, NodeId y, std::uint32_t amount) {
   require(forward >= amount, "PairLedger::remove: count underflow");
   forward -= amount;
   counts_[index(y, x)] = forward;
-  total_ -= amount;
+  total_.fetch_sub(amount, std::memory_order_relaxed);
   if (forward == 0) {
     auto erase_sorted = [](std::vector<NodeId>& list, NodeId value) {
       list.erase(std::lower_bound(list.begin(), list.end(), value));

@@ -8,6 +8,7 @@
 // and doubles as the instantaneous entanglement graph (§6).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -33,7 +34,9 @@ class PairLedger {
   void remove(NodeId x, NodeId y, std::uint32_t amount = 1);
 
   /// Total pairs currently stored (each pair counted once).
-  [[nodiscard]] std::uint64_t total_pairs() const { return total_; }
+  [[nodiscard]] std::uint64_t total_pairs() const {
+    return total_.load(std::memory_order_relaxed);
+  }
 
   /// Nodes y with count(x, y) > 0, ascending.
   [[nodiscard]] std::span<const NodeId> partners(NodeId x) const;
@@ -54,7 +57,11 @@ class PairLedger {
   std::size_t node_count_;
   std::vector<std::uint32_t> counts_;           // dense symmetric matrix
   std::vector<std::vector<NodeId>> partners_;   // sorted nonzero partners
-  std::uint64_t total_ = 0;
+  /// Atomic so the two-level swap commit may mutate node-disjoint entries
+  /// from concurrent workers (counts_/partners_ slots are disjoint then;
+  /// the running total is the one shared word). Relaxed is enough: the
+  /// commit's phase barrier orders everything else.
+  std::atomic<std::uint64_t> total_{0};
 };
 
 }  // namespace poq::core

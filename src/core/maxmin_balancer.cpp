@@ -28,14 +28,22 @@ bool MaxMinBalancer::detour_allowed(NodeId x, NodeId a, NodeId b) const {
 
 bool MaxMinBalancer::is_preferable(const PairLedger& ledger, NodeId x, NodeId left,
                                    NodeId right) const {
+  return is_preferable_given_beneficiary(ledger, x, left, right,
+                                         ledger.count(left, right));
+}
+
+bool MaxMinBalancer::is_preferable_given_beneficiary(
+    const PairLedger& ledger, NodeId x, NodeId left, NodeId right,
+    std::uint32_t beneficiary) const {
   require(left != right && left != x && right != x,
           "is_preferable: swap endpoints must be three distinct nodes");
   const double cap_right =
       static_cast<double>(ledger.count(x, right)) - distillation_.at(x, right);
   const double cap_left =
       static_cast<double>(ledger.count(x, left)) - distillation_.at(x, left);
-  const double beneficiary = ledger.count(left, right);
-  if (beneficiary + 1.0 > std::min(cap_left, cap_right)) return false;
+  if (static_cast<double>(beneficiary) + 1.0 > std::min(cap_left, cap_right)) {
+    return false;
+  }
   return detour_allowed(x, left, right);
 }
 

@@ -61,6 +61,14 @@ class MaxMinBalancer {
   [[nodiscard]] bool is_preferable(const PairLedger& ledger, NodeId x, NodeId left,
                                    NodeId right) const;
 
+  /// Preferability with the beneficiary count supplied by the caller
+  /// (stale-view protocols re-check commits against live *own* counts but
+  /// a frozen view of C_left(right)); x's capacities read `ledger`.
+  [[nodiscard]] bool is_preferable_given_beneficiary(const PairLedger& ledger,
+                                                     NodeId x, NodeId left,
+                                                     NodeId right,
+                                                     std::uint32_t beneficiary) const;
+
   /// A partner x holds enough pairs toward to spend on a swap.
   struct Eligible {
     NodeId node;

@@ -190,20 +190,29 @@ std::string family_name(TopologyFamily family) {
 }
 
 std::size_t min_topology_nodes(TopologyFamily family) {
+  return min_topology_nodes(family, TopologyParams{});
+}
+
+std::size_t min_topology_nodes(TopologyFamily family,
+                               const TopologyParams& params) {
   switch (family) {
     case TopologyFamily::kCycle: return 3;
     case TopologyFamily::kRandomGrid: return 9;
     case TopologyFamily::kFullGrid: return 9;
     case TopologyFamily::kErdosRenyi: return 2;
-    // Defaults below must track make_topology: WS k=2 needs n > 2k,
-    // BA m=2 needs n > m.
-    case TopologyFamily::kWattsStrogatz: return 5;
-    case TopologyFamily::kBarabasiAlbert: return 3;
+    // make_watts_strogatz needs n > 2k; make_barabasi_albert needs n > m.
+    case TopologyFamily::kWattsStrogatz: return 2 * params.ws_k.value_or(2) + 1;
+    case TopologyFamily::kBarabasiAlbert: return params.ba_m.value_or(2) + 1;
   }
   throw PreconditionError("min_topology_nodes: unknown family");
 }
 
 Graph make_topology(TopologyFamily family, std::size_t n, util::Rng& rng) {
+  return make_topology(family, n, rng, TopologyParams{});
+}
+
+Graph make_topology(TopologyFamily family, std::size_t n, util::Rng& rng,
+                    const TopologyParams& params) {
   switch (family) {
     case TopologyFamily::kCycle:
       return make_cycle(n);
@@ -212,13 +221,16 @@ Graph make_topology(TopologyFamily family, std::size_t n, util::Rng& rng) {
     case TopologyFamily::kFullGrid:
       return make_torus_grid(n);
     case TopologyFamily::kErdosRenyi: {
-      const double p = 2.0 * std::log(static_cast<double>(n)) / static_cast<double>(n);
-      return make_erdos_renyi(n, std::min(1.0, p), rng, /*force_connected=*/true);
+      const double default_p =
+          2.0 * std::log(static_cast<double>(n)) / static_cast<double>(n);
+      const double p = params.er_p.value_or(std::min(1.0, default_p));
+      return make_erdos_renyi(n, p, rng, /*force_connected=*/true);
     }
     case TopologyFamily::kWattsStrogatz:
-      return make_watts_strogatz(n, 2, 0.2, rng);
+      return make_watts_strogatz(n, params.ws_k.value_or(2),
+                                 params.ws_beta.value_or(0.2), rng);
     case TopologyFamily::kBarabasiAlbert:
-      return make_barabasi_albert(n, 2, rng);
+      return make_barabasi_albert(n, params.ba_m.value_or(2), rng);
   }
   throw PreconditionError("make_topology: unknown family");
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 #include "graph/graph.hpp"
@@ -66,14 +67,37 @@ enum class TopologyFamily {
 
 [[nodiscard]] std::string family_name(TopologyFamily family);
 
+/// Optional per-family parameter overrides for make_topology. Unset
+/// fields fall back to the family defaults (ER: p = 2 ln n / n, connected;
+/// WS: k=2, beta=0.2; BA: m=2). Parameters for other families are simply
+/// ignored here; callers that surface them to users (the scenario frame)
+/// reject mismatched parameters with a named error.
+struct TopologyParams {
+  std::optional<double> er_p;        // Erdos-Renyi edge probability
+  std::optional<std::size_t> ws_k;   // Watts-Strogatz neighbours per side
+  std::optional<double> ws_beta;     // Watts-Strogatz rewiring probability
+  std::optional<std::size_t> ba_m;   // Barabasi-Albert edges per arrival
+};
+
 /// Smallest node count make_topology accepts for `family` with its default
 /// parameters. Grid families additionally require n to be a perfect square;
 /// callers validating user input should check that separately.
 [[nodiscard]] std::size_t min_topology_nodes(TopologyFamily family);
 
+/// Parameter-aware minimum (WS with k needs n > 2k, BA with m needs n > m).
+[[nodiscard]] std::size_t min_topology_nodes(TopologyFamily family,
+                                             const TopologyParams& params);
+
 /// Build a topology of `family` over n nodes with default family
 /// parameters (ER: p = 2 ln n / n, connected; WS: k=2, beta=0.2; BA: m=2).
 [[nodiscard]] Graph make_topology(TopologyFamily family, std::size_t n,
                                   util::Rng& rng);
+
+/// Build a topology with explicit parameter overrides; unset fields keep
+/// the defaults above. ER always resamples until connected (the protocol
+/// simulators require connected consumer pairs); a p too small for that
+/// to terminate fails with a named error.
+[[nodiscard]] Graph make_topology(TopologyFamily family, std::size_t n,
+                                  util::Rng& rng, const TopologyParams& params);
 
 }  // namespace poq::graph

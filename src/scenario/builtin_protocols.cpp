@@ -30,23 +30,37 @@ namespace poq::scenario {
 
 namespace {
 
-/// Intra-run concurrency knobs shared by the protocols ported onto the
-/// sharded tick engine (balancing, planned, hybrid). The engine default is
-/// sharded: its results are bit-identical for every threads/shards
-/// setting, so parallelism is purely a performance decision; `sequential`
-/// selects the legacy single-stream loop (different stream discipline,
-/// different numbers).
-std::vector<KnobSpec> tick_knobs() {
+/// Intra-run concurrency knobs shared by every protocol ported onto the
+/// phase-kernel engine (balancing, planned, hybrid, gossip, fidelity).
+/// The engine default is sharded: its results are bit-identical for every
+/// threads/shards setting, so parallelism is purely a performance
+/// decision; `sequential` selects the legacy single-stream loop
+/// (different stream discipline, different numbers).
+std::vector<KnobSpec> tick_knobs(bool kernelized = true) {
   return {
       {"engine", KnobType::kString, std::string("sharded"),
-       "tick engine: sharded (deterministic intra-run parallelism) or "
-       "sequential (legacy loop)"},
+       kernelized
+           ? "tick engine: sharded (deterministic intra-run parallelism) or "
+             "sequential (legacy loop)"
+           : "accepted for registry uniformity (sharded|sequential); this "
+             "protocol is causally serial, results never depend on it"},
       {"threads", KnobType::kInt, std::int64_t{1},
-       "intra-run worker threads (0 = hardware; never changes results)"},
+       kernelized
+           ? "intra-run worker threads (0 = hardware; never changes results)"
+           : "accepted for registry uniformity; never changes results"},
       {"shards", KnobType::kInt, std::int64_t{0},
-       "work shards per phase (0 = auto; never changes results)"},
+       kernelized ? "work shards per phase (0 = auto; never changes results)"
+                  : "accepted for registry uniformity; never changes results"},
   };
 }
+
+/// Tick knobs for the causally serial protocols (distributed, lp): the
+/// registry contract is that every protocol accepts engine/threads/shards,
+/// but these simulations are a single causal event stream (respectively a
+/// deterministic solve), so both engines run the same code and the knobs
+/// never change results. Same names/types/defaults as tick_knobs — only
+/// the help text differs.
+std::vector<KnobSpec> tick_knobs_serial() { return tick_knobs(false); }
 
 sim::TickConcurrency tick_from_spec(const std::string& protocol,
                                     const ScenarioSpec& spec) {
@@ -110,9 +124,7 @@ core::BalancingConfig balancing_config(const ScenarioSpec& spec) {
   return config;
 }
 
-/// Knobs of the round-based core, without the tick-engine knobs (gossip
-/// shares the core but stays on the sequential path — §6's stale views
-/// are defined against the serial sweep).
+/// Knobs of the round-based core, without the tick-engine knobs.
 std::vector<KnobSpec> balancing_knobs() {
   return {
       {"distillation", KnobType::kDouble, 1.0, "distillation overhead D"},
@@ -245,7 +257,7 @@ class GossipProtocol final : public Protocol {
     return "partial-knowledge balancing via count gossip (Section 6)";
   }
   std::vector<KnobSpec> knobs() const override {
-    std::vector<KnobSpec> knobs = balancing_knobs();
+    std::vector<KnobSpec> knobs = balancing_knobs_with_tick();
     knobs.push_back({"fanout", KnobType::kInt, std::int64_t{2},
                      "rotating peers contacted per round"});
     knobs.push_back({"optimistic-peer", KnobType::kBool, true,
@@ -257,6 +269,7 @@ class GossipProtocol final : public Protocol {
   RunMetrics run(const ScenarioSpec& spec) const override {
     core::GossipConfig config;
     config.base = balancing_config(spec);
+    config.base.tick = tick_from_spec("gossip", spec);
     config.fanout = static_cast<std::uint32_t>(spec.knob_int("fanout", 2));
     config.optimistic_peer = spec.knob_bool("optimistic-peer", true);
     config.latency_per_hop = spec.knob_double("latency", 1.0);
@@ -280,7 +293,7 @@ class DistributedProtocol final : public Protocol {
     return "belief-based protocol with classical latency (Section 2)";
   }
   std::vector<KnobSpec> knobs() const override {
-    return {
+    std::vector<KnobSpec> knobs = {
         {"latency", KnobType::kDouble, 0.1, "classical latency per hop"},
         {"duration", KnobType::kDouble, 400.0, "simulated duration"},
         {"report-rate", KnobType::kDouble, 1.0, "belief report rate"},
@@ -288,8 +301,14 @@ class DistributedProtocol final : public Protocol {
          "Poisson pair generation rate per edge"},
         {"scan-rate", KnobType::kDouble, 1.0, "per-node swap scan rate"},
     };
+    for (KnobSpec& knob : tick_knobs_serial()) knobs.push_back(std::move(knob));
+    return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
+    // Validate (and deliberately ignore) the tick knobs: the belief
+    // protocol is one causal event stream, so both engines run the same
+    // deterministic loop and threads/shards never change results.
+    (void)tick_from_spec("distributed", spec);
     core::DistributedConfig config;
     config.latency_per_hop = spec.knob_double("latency", 0.1);
     config.duration = spec.knob_double("duration", 400.0);
@@ -324,7 +343,7 @@ class FidelityProtocol final : public Protocol {
     return "fidelity-aware event simulation (Section 3.2)";
   }
   std::vector<KnobSpec> knobs() const override {
-    return {
+    std::vector<KnobSpec> knobs = {
         {"raw-fidelity", KnobType::kDouble, 0.97, "generated-pair fidelity"},
         {"app-fidelity", KnobType::kDouble, 0.80, "application target fidelity"},
         {"usable-fidelity", KnobType::kDouble, 0.70, "discard threshold"},
@@ -334,6 +353,8 @@ class FidelityProtocol final : public Protocol {
         {"pairing", KnobType::kString, std::string("freshest"),
          "freshest|oldest pairing policy"},
     };
+    for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+    return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
     core::FidelitySimConfig config;
@@ -344,6 +365,7 @@ class FidelityProtocol final : public Protocol {
     config.duration = spec.knob_double("duration", 500.0);
     config.distillation_enabled = spec.knob_bool("distill", true);
     config.seed = spec.seed;
+    config.tick = tick_from_spec("fidelity", spec);
     const std::string pairing = spec.knob_string("pairing", "freshest");
     if (pairing == "oldest") {
       config.policy = core::PairingPolicy::kOldest;
@@ -386,7 +408,7 @@ class LpProtocol final : public Protocol {
     return "steady-state linear program (Section 3)";
   }
   std::vector<KnobSpec> knobs() const override {
-    return {
+    std::vector<KnobSpec> knobs = {
         {"gamma", KnobType::kDouble, 1.0, "generation capacity per edge"},
         {"kappa", KnobType::kDouble, 0.1, "demand per consumer pair"},
         {"distillation", KnobType::kDouble, 1.0, "distillation matrix scalar"},
@@ -396,8 +418,13 @@ class LpProtocol final : public Protocol {
          "min-generation|min-max-generation|max-consumption|"
          "max-min-consumption|max-scale"},
     };
+    for (KnobSpec& knob : tick_knobs_serial()) knobs.push_back(std::move(knob));
+    return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
+    // Validate (and deliberately ignore) the tick knobs: the steady-state
+    // solve is deterministic whatever the engine selection.
+    (void)tick_from_spec("lp", spec);
     const ScenarioInstance instance = instantiate(spec);
     core::SteadyStateSpec lp_spec;
     lp_spec.node_count = instance.graph.node_count();

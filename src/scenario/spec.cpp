@@ -105,6 +105,13 @@ util::json::Value ScenarioSpec::to_json() const {
   Value out = Value::object();
   out.set("protocol", protocol);
   out.set("topology", topology);
+  // Emitted only when set so parameter-free specs round-trip byte-for-byte
+  // with pre-parameter baselines.
+  if (!topology_params.empty()) {
+    Value params = Value::object();
+    for (const auto& [name, value] : topology_params) params.set(name, value);
+    out.set("topology_params", std::move(params));
+  }
   out.set("nodes", nodes);
   out.set("consumer_pairs", consumer_pairs);
   out.set("requests", requests);
@@ -128,6 +135,11 @@ ScenarioSpec ScenarioSpec::from_json(const util::json::Value& value) {
   ScenarioSpec spec;
   spec.protocol = value.at("protocol").as_string();
   spec.topology = value.at("topology").as_string();
+  if (value.contains("topology_params")) {
+    for (const auto& [name, param] : value.at("topology_params").members()) {
+      spec.topology_params.emplace(name, param.as_number());
+    }
+  }
   spec.nodes = static_cast<std::size_t>(value.at("nodes").as_number());
   spec.consumer_pairs =
       static_cast<std::size_t>(value.at("consumer_pairs").as_number());
@@ -163,9 +175,66 @@ graph::TopologyFamily parse_topology_family(const std::string& name) {
                                   "' (valid families: ", kFamilyNames, ")"));
 }
 
+namespace {
+
+/// Parameter names each family defines (the spec's topology_params keys).
+std::vector<std::string> family_param_names(graph::TopologyFamily family) {
+  switch (family) {
+    case graph::TopologyFamily::kErdosRenyi: return {"p"};
+    case graph::TopologyFamily::kWattsStrogatz: return {"k", "beta"};
+    case graph::TopologyFamily::kBarabasiAlbert: return {"m"};
+    default: return {};
+  }
+}
+
+/// Require an integral parameter value >= 1 (k, m).
+std::size_t integral_param(const std::string& name, double value) {
+  if (value < 1.0 || value != std::floor(value) || value > 1.0e9) {
+    throw PreconditionError(util::str_cat("topology parameter '", name,
+                                          "' must be a positive integer (got ",
+                                          util::json::dump_number(value), ")"));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Typed view of the spec's topology_params overlay (already validated
+/// against the family by validate_frame).
+graph::TopologyParams topology_params_of(const ScenarioSpec& spec) {
+  graph::TopologyParams params;
+  for (const auto& [name, value] : spec.topology_params) {
+    if (name == "p") {
+      params.er_p = value;
+    } else if (name == "k") {
+      params.ws_k = integral_param(name, value);
+    } else if (name == "beta") {
+      params.ws_beta = value;
+    } else if (name == "m") {
+      params.ba_m = integral_param(name, value);
+    }
+  }
+  return params;
+}
+
+}  // namespace
+
 void validate_frame(const ScenarioSpec& spec) {
   const graph::TopologyFamily family = parse_topology_family(spec.topology);
-  const std::size_t min_nodes = graph::min_topology_nodes(family);
+  const std::vector<std::string> param_names = family_param_names(family);
+  for (const auto& [name, value] : spec.topology_params) {
+    if (std::find(param_names.begin(), param_names.end(), name) ==
+        param_names.end()) {
+      throw PreconditionError(util::str_cat(
+          "topology ", spec.topology, " does not define parameter '", name,
+          "' (valid: er p; ws k, beta; ba m)"));
+    }
+    if ((name == "p" || name == "beta") && (value < 0.0 || value > 1.0)) {
+      throw PreconditionError(util::str_cat("topology parameter '", name,
+                                            "' must be in [0, 1] (got ",
+                                            util::json::dump_number(value), ")"));
+    }
+  }
+  const graph::TopologyParams params = topology_params_of(spec);
+  const std::size_t min_nodes = graph::min_topology_nodes(family, params);
   const bool grid = family == graph::TopologyFamily::kRandomGrid ||
                     family == graph::TopologyFamily::kFullGrid;
   const auto fail = [&](const std::string& requirement, std::size_t nearest) {
@@ -196,7 +265,8 @@ ScenarioInstance instantiate(const ScenarioSpec& spec) {
   const graph::TopologyFamily family = parse_topology_family(spec.topology);
   ScenarioInstance instance;
   util::Rng rng(spec.seed);
-  instance.graph = graph::make_topology(family, spec.nodes, rng);
+  instance.graph =
+      graph::make_topology(family, spec.nodes, rng, topology_params_of(spec));
   const std::size_t max_pairs = spec.nodes * (spec.nodes - 1) / 2;
   const std::size_t pairs = std::min(spec.consumer_pairs, max_pairs);
   util::Rng workload_rng = rng.fork(42);

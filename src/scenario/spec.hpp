@@ -50,6 +50,14 @@ struct ScenarioSpec {
   std::string protocol = "balancing";
   /// Topology family name (graph::family_name vocabulary).
   std::string topology = "random-grid";
+  /// Topology family parameter overrides, keyed by the family's parameter
+  /// name: "p" (erdos-renyi edge probability), "k" / "beta"
+  /// (watts-strogatz neighbours per side / rewiring probability), "m"
+  /// (barabasi-albert edges per arrival). Keys a family does not define
+  /// are rejected by validate_frame; unset keys keep the make_topology
+  /// defaults. Part of the frame (not the knob overlay) because the
+  /// generation graph is protocol-independent.
+  std::map<std::string, double> topology_params;
   std::size_t nodes = 25;
   /// Consumer pairs drawn from C(nodes, 2); clamped when n is small.
   std::size_t consumer_pairs = 35;

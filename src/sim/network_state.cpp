@@ -1,0 +1,295 @@
+#include "sim/network_state.hpp"
+
+#include <cmath>
+
+#include "quantum/werner.hpp"
+#include "util/error.hpp"
+
+namespace poq::sim {
+
+NetworkState::NetworkState(const graph::Graph& generation_graph,
+                           std::uint64_t seed, const TickConcurrency& tick,
+                           std::optional<DecayModel> decay)
+    : graph_(generation_graph),
+      seed_(seed),
+      tick_(tick),
+      ledger_(generation_graph.node_count()),
+      decay_(decay) {
+  if (tick_.mode == TickMode::kSharded) {
+    pool_ = std::make_unique<ParallelTickEngine>(tick_.threads);
+    shard_count_ = pool_->resolve_shards(tick_.shards, graph_.node_count());
+    shard_scratch_.resize(shard_count_);
+    generation_amounts_.assign(graph_.edge_count(), 0);
+    candidates_.assign(graph_.node_count(), std::nullopt);
+    committed_.assign(graph_.node_count(), 0);
+    executions_.resize(graph_.node_count());
+    uf_parent_.resize(graph_.node_count());
+    group_of_root_.assign(graph_.node_count(), -1);
+  }
+  if (decay_) {
+    const std::size_t n = graph_.node_count();
+    pair_meta_.resize(n * (n - 1) / 2);
+    purge_dropped_.assign(pair_meta_.size(), 0);
+  }
+}
+
+ParallelTickEngine& NetworkState::pool() {
+  require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
+  return *pool_;
+}
+
+std::size_t NetworkState::shard_count() const { return shard_count_; }
+
+std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
+                                     util::Rng* sequential_rng) {
+  const double whole = std::floor(rate);
+  const double frac = rate - whole;
+  const auto whole_amount = static_cast<std::uint32_t>(whole);
+  std::uint64_t generated = 0;
+  if (!sharded()) {
+    require(sequential_rng != nullptr,
+            "NetworkState::generate: sequential mode needs an RNG stream");
+    for (const graph::Edge& edge : graph_.edges()) {
+      std::uint32_t amount = whole_amount;
+      if (frac > 0.0 && sequential_rng->bernoulli(frac)) ++amount;
+      if (amount == 0) continue;
+      ledger_.add(edge.a(), edge.b(), amount);
+      generated += amount;
+    }
+    return generated;
+  }
+  // Each edge draws from its own stream keyed (seed, round, edge), so the
+  // draws are identical however the edge range is partitioned. Workers
+  // fill disjoint slices of generation_amounts_; the ledger merge below
+  // runs on the caller in canonical edge order (adds commute, but a fixed
+  // order keeps the ledger internals single-threaded here).
+  const std::size_t edge_count = graph_.edge_count();
+  pool_->run_shards(shard_count_, [&](std::size_t shard) {
+    const auto [begin, end] =
+        ParallelTickEngine::shard_range(edge_count, shard_count_, shard);
+    for (std::size_t e = begin; e < end; ++e) {
+      std::uint32_t amount = whole_amount;
+      if (frac > 0.0) {
+        util::Rng edge_rng =
+            util::Rng::keyed(seed_, stream_tag::kGeneration, round, e);
+        if (edge_rng.bernoulli(frac)) ++amount;
+      }
+      generation_amounts_[e] = amount;
+    }
+  });
+  const auto& edges = graph_.edges();
+  for (std::size_t e = 0; e < edge_count; ++e) {
+    const std::uint32_t amount = generation_amounts_[e];
+    if (amount == 0) continue;
+    ledger_.add(edges[e].a(), edges[e].b(), amount);
+    generated += amount;
+  }
+  return generated;
+}
+
+void NetworkState::decide_swaps(const DecideFn& decide) {
+  require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
+  const std::size_t node_count = graph_.node_count();
+  pool_->run_shards(shard_count_, [&](std::size_t shard) {
+    const auto [begin, end] =
+        ParallelTickEngine::shard_range(node_count, shard_count_, shard);
+    core::MaxMinBalancer::Scratch& scratch = shard_scratch_[shard];
+    for (std::size_t x = begin; x < end; ++x) {
+      candidates_[x] = decide(static_cast<core::NodeId>(x), scratch);
+    }
+  });
+}
+
+NetworkState::CommitStats NetworkState::commit_swaps(
+    const core::MaxMinBalancer& balancer, core::NodeId first,
+    std::uint32_t round, std::uint32_t attempt, const RecheckFn& recheck,
+    const ObserveFn& observe) {
+  require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
+  const auto node_count = static_cast<core::NodeId>(graph_.node_count());
+
+  // Level-1 grouping: union the node triple of every candidate; swaps in
+  // different components touch disjoint ledger entries (a pair entry
+  // (a, b) is touched only when both endpoints are in the triple), so
+  // components are fully independent and their commits commute.
+  for (core::NodeId x = 0; x < node_count; ++x) uf_parent_[x] = x;
+  const auto find = [&](core::NodeId x) {
+    while (uf_parent_[x] != x) {
+      uf_parent_[x] = uf_parent_[uf_parent_[x]];  // path halving
+      x = uf_parent_[x];
+    }
+    return x;
+  };
+  const auto unite = [&](core::NodeId a, core::NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) uf_parent_[b] = a;
+  };
+  bool any_candidate = false;
+  for (core::NodeId x = 0; x < node_count; ++x) {
+    committed_[x] = 0;
+    if (!candidates_[x]) continue;
+    any_candidate = true;
+    unite(x, candidates_[x]->left);
+    unite(x, candidates_[x]->right);
+  }
+  CommitStats stats;
+  if (!any_candidate) return stats;
+
+  // Enumerate components in canonical rotating order of their first
+  // member, members in rotating order too — grouping depends only on the
+  // candidate table, never on the worker schedule.
+  groups_.clear();
+  std::vector<core::NodeId> touched_roots;
+  for (core::NodeId offset = 0; offset < node_count; ++offset) {
+    const auto x = static_cast<core::NodeId>((first + offset) % node_count);
+    if (!candidates_[x]) continue;
+    const core::NodeId root = find(x);
+    if (group_of_root_[root] < 0) {
+      group_of_root_[root] = static_cast<std::int32_t>(groups_.size());
+      groups_.emplace_back();
+      touched_roots.push_back(root);
+    }
+    groups_[static_cast<std::size_t>(group_of_root_[root])].push_back(x);
+  }
+  for (const core::NodeId root : touched_roots) group_of_root_[root] = -1;
+
+  // Level 2: each component commits serially in its canonical member
+  // order; disjoint components fan across the pool. Re-checks read only
+  // entries within the member's triple, so concurrent components never
+  // interfere, and the outcome equals the fully serial canonical commit.
+  pool_->run_shards(groups_.size(), [&](std::size_t group) {
+    for (const core::NodeId x : groups_[group]) {
+      const core::SwapCandidate& candidate = *candidates_[x];
+      if (!recheck(x, candidate)) continue;
+      // Key packs (attempt, round) without collision: rounds is 32-bit.
+      util::Rng commit_rng = util::Rng::keyed(
+          seed_, stream_tag::kSwap,
+          (static_cast<std::uint64_t>(attempt) << 32) | round, x);
+      executions_[x] = balancer.execute_swap(ledger_, x, candidate.left,
+                                             candidate.right, commit_rng);
+      committed_[x] = 1;
+    }
+  });
+
+  // Serial canonical walk: accumulate stats and report executed swaps in
+  // exactly the order a serial commit would have produced them, so even
+  // floating-point accumulation in `observe` is schedule-independent.
+  for (core::NodeId offset = 0; offset < node_count; ++offset) {
+    const auto x = static_cast<core::NodeId>((first + offset) % node_count);
+    if (!committed_[x]) continue;
+    ++stats.swaps;
+    stats.pairs_consumed +=
+        executions_[x].consumed_left + executions_[x].consumed_right;
+    ++stats.pairs_produced;
+    if (observe) observe(CommittedSwap{x, *candidates_[x], executions_[x]});
+  }
+  return stats;
+}
+
+const DecayModel& NetworkState::decay() const {
+  require(decay_.has_value(), "NetworkState: no decay model configured");
+  return *decay_;
+}
+
+std::size_t NetworkState::bucket_index(core::NodeId x, core::NodeId y) const {
+  if (x > y) std::swap(x, y);
+  const std::size_t n = graph_.node_count();
+  return static_cast<std::size_t>(x) * (2 * n - x - 1) / 2 + (y - x - 1);
+}
+
+double NetworkState::fidelity_now(const TrackedPair& pair, double now) const {
+  // The sharded slice kernels apply a whole slice's arrivals up front, so
+  // an event earlier in the slice can observe a pair time-stamped after
+  // it; such a pair simply has not decayed yet.
+  const double elapsed = std::max(0.0, now - pair.created);
+  return quantum::decohered_fidelity(pair.initial_fidelity, elapsed,
+                                     decay().memory_time_constant);
+}
+
+void NetworkState::add_pair(core::NodeId x, core::NodeId y, double now,
+                            double fidelity) {
+  require(decay_.has_value(), "NetworkState::add_pair: decay tracking is off");
+  pair_meta_[bucket_index(x, y)].push_back(TrackedPair{now, fidelity});
+  ledger_.add(x, y, 1);
+}
+
+TrackedPair NetworkState::take_pair(core::NodeId x, core::NodeId y, double now,
+                                    bool freshest) {
+  auto& bucket = pair_meta_[bucket_index(x, y)];
+  ensure(!bucket.empty(), "NetworkState::take_pair: bucket empty");
+  std::size_t chosen = 0;
+  for (std::size_t i = 1; i < bucket.size(); ++i) {
+    if (freshest ? fidelity_now(bucket[i], now) > fidelity_now(bucket[chosen], now)
+                 : bucket[i].created < bucket[chosen].created) {
+      chosen = i;
+    }
+  }
+  const TrackedPair pair = bucket[chosen];
+  bucket.erase(bucket.begin() + static_cast<long>(chosen));
+  ledger_.remove(x, y, 1);
+  return pair;
+}
+
+double NetworkState::best_fidelity(core::NodeId x, core::NodeId y,
+                                   double now) const {
+  double best = 0.0;
+  for (const TrackedPair& pair : pair_meta_[bucket_index(x, y)]) {
+    best = std::max(best, fidelity_now(pair, now));
+  }
+  return best;
+}
+
+std::uint64_t NetworkState::purge_pair_type(core::NodeId x, core::NodeId y,
+                                            double now) {
+  auto& bucket = pair_meta_[bucket_index(x, y)];
+  std::uint64_t dropped = 0;
+  for (std::size_t i = bucket.size(); i-- > 0;) {
+    if (fidelity_now(bucket[i], now) < decay().usable_fidelity) {
+      bucket.erase(bucket.begin() + static_cast<long>(i));
+      ledger_.remove(x, y, 1);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+std::uint64_t NetworkState::decohere_all(double now) {
+  require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
+  require(decay_.has_value(), "NetworkState::decohere_all: decay tracking off");
+  // Phase 1 (sharded over buckets): the exp()-heavy fidelity scan;
+  // each bucket compacts its own metadata vector, a bucket-local effect.
+  const std::size_t buckets = pair_meta_.size();
+  const double usable = decay().usable_fidelity;
+  pool_->run_shards(shard_count_, [&](std::size_t shard) {
+    const auto [begin, end] =
+        ParallelTickEngine::shard_range(buckets, shard_count_, shard);
+    for (std::size_t b = begin; b < end; ++b) {
+      auto& bucket = pair_meta_[b];
+      std::uint32_t dropped = 0;
+      for (std::size_t i = bucket.size(); i-- > 0;) {
+        if (fidelity_now(bucket[i], now) < usable) {
+          bucket.erase(bucket.begin() + static_cast<long>(i));
+          ++dropped;
+        }
+      }
+      purge_dropped_[b] = dropped;
+    }
+  });
+  // Phase 2 (serial, canonical bucket order): ledger updates — buckets
+  // sharing an endpoint touch the same partner list, so these stay on the
+  // caller.
+  std::uint64_t total_dropped = 0;
+  const auto n = static_cast<core::NodeId>(graph_.node_count());
+  std::size_t b = 0;
+  for (core::NodeId x = 0; x < n; ++x) {
+    for (core::NodeId y = x + 1; y < n; ++y, ++b) {
+      if (purge_dropped_[b] > 0) {
+        ledger_.remove(x, y, purge_dropped_[b]);
+        total_dropped += purge_dropped_[b];
+      }
+    }
+  }
+  return total_dropped;
+}
+
+}  // namespace poq::sim

@@ -1,0 +1,189 @@
+// Shared simulation substrate for the phase-kernel protocols.
+//
+// Every round/slice-based protocol in the repo decomposes into the same
+// ordered phase kernels over one network state:
+//
+//   generate -> observe/message-merge -> decide -> commit -> decohere
+//
+// NetworkState owns the state those kernels share — the Bell-pair count
+// ledger, optional per-pair decay metadata (creation time + fidelity),
+// the ParallelTickEngine worker pool, and the counter-based keyed RNG
+// streams — so the protocol drivers in core/ (balancing, gossip, hybrid,
+// fidelity) are reduced to sequencing kernels and supplying the
+// protocol-defining decide/observe callbacks. The scheduling/ordering of
+// swaps is the protocol's degree of freedom; the substrate is common.
+//
+// Determinism contract (inherited from the PR 3 engine): kernels draw
+// randomness from streams keyed per (phase-tag, round, entity), shard
+// work over contiguous index ranges, and merge all effects in canonical
+// entity order — so results are bit-identical for every threads/shards
+// setting. The two-level swap commit extends the contract: swaps whose
+// node triples are disjoint commit in parallel (they touch disjoint
+// ledger entries), conflicting swaps serialize in canonical rotating
+// order, and the outcome equals the fully serial canonical commit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "core/maxmin_balancer.hpp"
+#include "graph/graph.hpp"
+#include "sim/parallel_engine.hpp"
+#include "util/rng.hpp"
+
+namespace poq::sim {
+
+/// One stored Bell pair's decay metadata: when it was created and at what
+/// fidelity (F(t) = 1/4 + (F0 - 1/4) e^{-t/T} under storage).
+struct TrackedPair {
+  double created = 0.0;
+  double initial_fidelity = 1.0;
+};
+
+/// Decay model for tracked pairs (fidelity-aware protocols).
+struct DecayModel {
+  /// Memory decoherence time constant T (simulation time units).
+  double memory_time_constant = 50.0;
+  /// Below this fidelity a stored pair is useless and discarded.
+  double usable_fidelity = 0.70;
+};
+
+class NetworkState {
+ public:
+  /// `tick` selects the engine: kSharded spins up the worker pool and the
+  /// keyed-stream kernels; kSequential keeps the state passive (the
+  /// legacy single-stream loops drive the ledger directly). Pass `decay`
+  /// to track per-pair creation time/fidelity (the decohere kernel).
+  NetworkState(const graph::Graph& generation_graph, std::uint64_t seed,
+               const TickConcurrency& tick,
+               std::optional<DecayModel> decay = std::nullopt);
+
+  [[nodiscard]] bool sharded() const { return pool_ != nullptr; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t node_count() const { return ledger_.node_count(); }
+  [[nodiscard]] const graph::Graph& generation_graph() const { return graph_; }
+  [[nodiscard]] core::PairLedger& ledger() { return ledger_; }
+  [[nodiscard]] const core::PairLedger& ledger() const { return ledger_; }
+  /// Worker pool; requires sharded().
+  [[nodiscard]] ParallelTickEngine& pool();
+  /// Node shards resolved for this network (1 when sequential).
+  [[nodiscard]] std::size_t shard_count() const;
+
+  // --- generation kernel ----------------------------------------------
+  /// Add `rate` Bell pairs per generation edge (fractional rates use
+  /// Bernoulli rounding). Sharded mode draws each edge's amount from a
+  /// stream keyed (seed, generation-tag, round, edge) and merges into the
+  /// ledger in canonical edge order; sequential mode consumes
+  /// `sequential_rng` edge by edge, reproducing the legacy loop bit for
+  /// bit. Returns the number of pairs generated.
+  std::uint64_t generate(std::uint32_t round, double rate,
+                         util::Rng* sequential_rng);
+
+  // --- swap decide kernel ---------------------------------------------
+  /// Per-node swap choice against the frozen (post-generation) state.
+  /// Must be pure on shared state; each invocation gets a caller-owned
+  /// scratch. Requires sharded().
+  using DecideFn = std::function<std::optional<core::SwapCandidate>(
+      core::NodeId, core::MaxMinBalancer::Scratch&)>;
+  /// Fan `decide` across node shards into the candidate table.
+  void decide_swaps(const DecideFn& decide);
+  [[nodiscard]] const std::vector<std::optional<core::SwapCandidate>>&
+  candidates() const {
+    return candidates_;
+  }
+
+  // --- two-level swap commit kernel -----------------------------------
+  /// Re-validation of a decided swap against the live ledger, invoked
+  /// immediately before execution. May run concurrently with re-checks
+  /// and executions of swaps whose node triples are disjoint, so it must
+  /// only read ledger entries among {node, left, right} (every §4-style
+  /// predicate does) plus immutable protocol state.
+  using RecheckFn =
+      std::function<bool(core::NodeId, const core::SwapCandidate&)>;
+  /// One executed swap, reported to `observe` in canonical rotating order.
+  struct CommittedSwap {
+    core::NodeId node = 0;
+    core::SwapCandidate candidate;
+    core::MaxMinBalancer::Execution execution;
+  };
+  using ObserveFn = std::function<void(const CommittedSwap&)>;
+  struct CommitStats {
+    std::uint64_t swaps = 0;
+    std::uint64_t pairs_consumed = 0;  // donor pairs destroyed
+    std::uint64_t pairs_produced = 0;  // one per swap
+  };
+  /// Commit the decided candidates. Level 1: candidates are grouped into
+  /// conflict components (union-find over their node triples) and
+  /// disjoint components commit in parallel across the pool. Level 2:
+  /// within a component, members commit serially in canonical rotating
+  /// order from `first`, each re-checked via `recheck` against the live
+  /// ledger. Fractional-D rounding draws come from streams keyed
+  /// (seed, swap-tag, attempt|round, node), so the outcome — including
+  /// the stats and the `observe` callback sequence, both produced by a
+  /// serial canonical walk afterwards — is bit-identical for every
+  /// threads/shards setting and equal to a fully serial canonical commit.
+  /// Requires sharded().
+  CommitStats commit_swaps(const core::MaxMinBalancer& balancer,
+                           core::NodeId first, std::uint32_t round,
+                           std::uint32_t attempt, const RecheckFn& recheck,
+                           const ObserveFn& observe = {});
+
+  // --- decay state + decohere kernel (decay model required) ------------
+  [[nodiscard]] bool tracks_pairs() const { return decay_.has_value(); }
+  [[nodiscard]] const DecayModel& decay() const;
+  /// Current fidelity of a tracked pair under the decay model.
+  [[nodiscard]] double fidelity_now(const TrackedPair& pair, double now) const;
+  /// Store one pair between x and y (ledger count + metadata).
+  void add_pair(core::NodeId x, core::NodeId y, double now, double fidelity);
+  /// Remove and return the (x, y) pair chosen by the pairing policy:
+  /// freshest = highest current fidelity, otherwise oldest creation time.
+  /// The bucket must be non-empty (check the ledger count first).
+  TrackedPair take_pair(core::NodeId x, core::NodeId y, double now,
+                        bool freshest);
+  /// Best current fidelity of the (x, y) bucket (0 when empty).
+  [[nodiscard]] double best_fidelity(core::NodeId x, core::NodeId y,
+                                     double now) const;
+  /// Drop (x, y) pairs decayed below usable_fidelity at `now`; returns
+  /// how many were dropped.
+  std::uint64_t purge_pair_type(core::NodeId x, core::NodeId y, double now);
+  /// Decohere kernel: purge every bucket at `now`. The per-pair fidelity
+  /// scan fans across bucket shards (buckets own their metadata vectors);
+  /// the ledger updates apply on the caller in canonical bucket order.
+  /// Returns the total pairs dropped. Requires sharded().
+  std::uint64_t decohere_all(double now);
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(core::NodeId x, core::NodeId y) const;
+
+  const graph::Graph& graph_;
+  std::uint64_t seed_;
+  TickConcurrency tick_;
+  core::PairLedger ledger_;
+
+  // Sharded-engine state (null/empty when sequential).
+  std::unique_ptr<ParallelTickEngine> pool_;
+  std::size_t shard_count_ = 1;
+  std::vector<core::MaxMinBalancer::Scratch> shard_scratch_;  // one per shard
+  std::vector<std::uint32_t> generation_amounts_;             // per edge
+  std::vector<std::optional<core::SwapCandidate>> candidates_;  // per node
+  // Per-node commit outcome slots (filled by concurrent groups, read by
+  // the canonical walk; a node belongs to exactly one conflict group).
+  std::vector<std::uint8_t> committed_;
+  std::vector<core::MaxMinBalancer::Execution> executions_;
+  // commit_swaps scratch: union-find + group membership.
+  std::vector<core::NodeId> uf_parent_;
+  std::vector<std::int32_t> group_of_root_;
+  std::vector<std::vector<core::NodeId>> groups_;
+
+  // Decay state (tracks_pairs() only): one metadata bucket per unordered
+  // node pair, mirroring the ledger counts.
+  std::optional<DecayModel> decay_;
+  std::vector<std::vector<TrackedPair>> pair_meta_;
+  std::vector<std::uint32_t> purge_dropped_;  // per bucket, decohere scratch
+};
+
+}  // namespace poq::sim

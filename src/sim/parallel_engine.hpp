@@ -56,6 +56,9 @@ enum class TickMode {
 namespace stream_tag {
 inline constexpr std::uint64_t kGeneration = 0x67656E65726174ULL;  // "generat"
 inline constexpr std::uint64_t kSwap = 0x73776170ULL;              // "swap"
+inline constexpr std::uint64_t kGossip = 0x676F73736970ULL;        // "gossip"
+inline constexpr std::uint64_t kEventTimes = 0x6576656E74ULL;      // "event"
+inline constexpr std::uint64_t kEventDraw = 0x64726177ULL;         // "draw"
 }  // namespace stream_tag
 
 /// The intra-run concurrency knobs every ported simulator carries.

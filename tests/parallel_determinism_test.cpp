@@ -1,8 +1,11 @@
 // The intra-run determinism contract (docs/ARCHITECTURE.md): for every
-// protocol ported onto the sharded tick engine, RunMetrics are
-// bit-identical across intra-run thread counts and shard counts — threads
-// and shards are pure performance knobs. These tests compare full
-// RunMetrics JSON dumps (labels, scalars, stats) for exact equality.
+// protocol in the registry, RunMetrics are bit-identical across intra-run
+// thread counts and shard counts — threads and shards are pure
+// performance knobs. These tests compare full RunMetrics JSON dumps
+// (labels, scalars, stats) for exact equality, across the full registry:
+// the phase-kernel protocols (balancing, planned, hybrid, gossip,
+// fidelity) exercise the sharded engine for real, while the causally
+// serial ones (distributed, lp) must accept the knobs and ignore them.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -17,8 +20,14 @@
 namespace poq::scenario {
 namespace {
 
-const std::vector<std::string> kPortedProtocols = {"balancing", "planned",
-                                                   "hybrid"};
+/// Protocols with a real sharded phase-kernel path.
+const std::vector<std::string> kPortedProtocols = {
+    "balancing", "planned", "hybrid", "gossip", "fidelity"};
+
+/// The full registry: every protocol must accept the tick knobs and be
+/// threads/shards-invariant (trivially so for the serial ones).
+const std::vector<std::string> kAllProtocols = {
+    "balancing", "planned", "hybrid", "gossip", "distributed", "fidelity", "lp"};
 
 ScenarioSpec base_spec(const std::string& protocol, std::size_t nodes = 25) {
   ScenarioSpec spec;
@@ -30,6 +39,13 @@ ScenarioSpec base_spec(const std::string& protocol, std::size_t nodes = 25) {
   spec.seed = 11;
   spec.knobs["max-rounds"] = std::int64_t{5000};
   if (protocol == "planned") spec.knobs.erase("max-rounds");
+  if (protocol == "fidelity" || protocol == "distributed") {
+    // Event-driven protocols take a duration, not a round budget; keep it
+    // short enough for the full threads x shards cross product.
+    spec.knobs.erase("max-rounds");
+    spec.knobs["duration"] = 60.0;
+  }
+  if (protocol == "lp") spec.knobs.erase("max-rounds");
   return spec;
 }
 
@@ -38,7 +54,7 @@ std::string run_dump(const ScenarioSpec& spec) {
 }
 
 TEST(ParallelDeterminism, ThreadsNeverChangeResults) {
-  for (const std::string& protocol : kPortedProtocols) {
+  for (const std::string& protocol : kAllProtocols) {
     ScenarioSpec spec = base_spec(protocol);
     spec.knobs["threads"] = std::int64_t{1};
     const std::string reference = run_dump(spec);
@@ -61,7 +77,7 @@ TEST(ParallelDeterminism, AutoThreadsMatchExplicit) {
 }
 
 TEST(ParallelDeterminism, ShardCountNeverChangesResults) {
-  for (const std::string& protocol : kPortedProtocols) {
+  for (const std::string& protocol : kAllProtocols) {
     ScenarioSpec spec = base_spec(protocol);
     spec.knobs["threads"] = std::int64_t{2};
     spec.knobs["shards"] = std::int64_t{1};
@@ -74,12 +90,38 @@ TEST(ParallelDeterminism, ShardCountNeverChangesResults) {
   }
 }
 
+TEST(ParallelDeterminism, FullThreadShardCrossProduct) {
+  // The acceptance grid: threads {1,2,8} x shards {1,3,16} must agree on
+  // every ported protocol (smaller spec to keep the 9-way product cheap).
+  for (const std::string& protocol : kPortedProtocols) {
+    ScenarioSpec spec = base_spec(protocol, 16);
+    spec.consumer_pairs = 10;
+    spec.requests = 20;
+    if (protocol == "fidelity") spec.knobs["duration"] = 40.0;
+    std::string reference;
+    for (const std::int64_t threads : {1, 2, 8}) {
+      for (const std::int64_t shards : {1, 3, 16}) {
+        spec.knobs["threads"] = threads;
+        spec.knobs["shards"] = shards;
+        const std::string dump = run_dump(spec);
+        if (reference.empty()) {
+          reference = dump;
+        } else {
+          EXPECT_EQ(dump, reference) << protocol << " drifted at threads="
+                                     << threads << " shards=" << shards;
+        }
+      }
+    }
+  }
+}
+
 TEST(ParallelDeterminism, MoreShardsThanNodesIsLegalAndIdentical) {
   // n = 9 nodes with 32 shards: trailing shards are empty ranges.
   for (const std::string& protocol : kPortedProtocols) {
     ScenarioSpec spec = base_spec(protocol, 9);
     spec.consumer_pairs = 8;
     spec.requests = 10;
+    if (protocol == "fidelity") spec.knobs["duration"] = 40.0;
     spec.knobs["shards"] = std::int64_t{1};
     const std::string reference = run_dump(spec);
     spec.knobs["shards"] = std::int64_t{32};
@@ -102,6 +144,51 @@ TEST(ParallelDeterminism, FractionalRatesStayDeterministic) {
   for (const std::int64_t threads : {2, 8}) {
     spec.knobs["threads"] = threads;
     EXPECT_EQ(run_dump(spec), reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, GossipStaleViewRoundsStayDeterministic) {
+  // Slow gossip (fanout 1, two-round latency) keeps beneficiary views
+  // genuinely stale across rounds, exercising the canonical message-merge
+  // and the view-based two-level commit re-check.
+  ScenarioSpec spec = base_spec("gossip");
+  spec.knobs["fanout"] = std::int64_t{1};
+  spec.knobs["latency"] = 2.0;
+  spec.knobs["threads"] = std::int64_t{1};
+  const std::string reference = run_dump(spec);
+  const RunMetrics reference_metrics = registry().run("gossip", spec);
+  EXPECT_GT(reference_metrics.scalar("view_age"), 0.0)
+      << "spec too easy: views never went stale";
+  for (const std::int64_t threads : {2, 8}) {
+    for (const std::int64_t shards : {3, 16}) {
+      spec.knobs["threads"] = threads;
+      spec.knobs["shards"] = shards;
+      EXPECT_EQ(run_dump(spec), reference)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, FidelityEventOrderingStaysDeterministic) {
+  // A dense event schedule (high scan activity over a long horizon) makes
+  // the canonical (timestamp, node id) commit order carry real weight.
+  ScenarioSpec spec = base_spec("fidelity", 16);
+  spec.consumer_pairs = 10;
+  spec.requests = 10000;  // never drains: events keep flowing all run
+  spec.knobs["duration"] = 120.0;
+  spec.knobs["memory-T"] = 30.0;  // fast decay keeps the purge kernels busy
+  spec.knobs["threads"] = std::int64_t{1};
+  const std::string reference = run_dump(spec);
+  const RunMetrics reference_metrics = registry().run("fidelity", spec);
+  EXPECT_GT(reference_metrics.scalar("swaps"), 0.0);
+  EXPECT_GT(reference_metrics.scalar("pairs_decayed"), 0.0);
+  for (const std::int64_t threads : {2, 8}) {
+    for (const std::int64_t shards : {3, 16}) {
+      spec.knobs["threads"] = threads;
+      spec.knobs["shards"] = shards;
+      EXPECT_EQ(run_dump(spec), reference)
+          << "threads=" << threads << " shards=" << shards;
+    }
   }
 }
 
@@ -152,10 +239,28 @@ TEST(ParallelDeterminism, SequentialEngineStaysLegacy) {
             static_cast<double>(direct.requests_satisfied));
 }
 
+TEST(ParallelDeterminism, EveryProtocolAcceptsBothEngines) {
+  for (const std::string& protocol : kAllProtocols) {
+    ScenarioSpec spec = base_spec(protocol, 16);
+    spec.consumer_pairs = 10;
+    spec.requests = 15;
+    if (protocol == "fidelity" || protocol == "distributed") {
+      spec.knobs["duration"] = 30.0;
+    }
+    for (const char* engine : {"sharded", "sequential"}) {
+      spec.knobs["engine"] = std::string(engine);
+      EXPECT_NO_THROW((void)registry().run(protocol, spec))
+          << protocol << " rejected engine=" << engine;
+    }
+  }
+}
+
 TEST(ParallelDeterminism, EngineKnobRejectsUnknownValues) {
-  ScenarioSpec spec = base_spec("balancing");
-  spec.knobs["engine"] = std::string("warp-drive");
-  EXPECT_THROW((void)registry().run("balancing", spec), PreconditionError);
+  for (const std::string& protocol : kAllProtocols) {
+    ScenarioSpec spec = base_spec(protocol);
+    spec.knobs["engine"] = std::string("warp-drive");
+    EXPECT_THROW((void)registry().run(protocol, spec), PreconditionError);
+  }
 }
 
 }  // namespace

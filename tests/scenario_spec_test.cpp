@@ -128,6 +128,66 @@ TEST(ScenarioSpec, JsonRoundTripPreservesEverything) {
   EXPECT_EQ(round.knobs, spec.knobs);
 }
 
+TEST(ScenarioSpec, TopologyParamsRoundTripAndStayOptional) {
+  ScenarioSpec spec;
+  spec.topology = "watts-strogatz";
+  spec.nodes = 12;
+  spec.topology_params["k"] = 3;
+  spec.topology_params["beta"] = 0.4;
+  const ScenarioSpec round = ScenarioSpec::from_json(
+      util::json::Value::parse(spec.to_json().dump(2)));
+  EXPECT_EQ(round.topology_params, spec.topology_params);
+  // Parameter-free specs must serialize without the key, so pre-parameter
+  // baseline JSON keeps matching cell by cell.
+  ScenarioSpec plain;
+  EXPECT_EQ(plain.to_json().dump().find("topology_params"), std::string::npos);
+  // And pre-parameter JSON (no key) must still parse.
+  const ScenarioSpec legacy = ScenarioSpec::from_json(
+      util::json::Value::parse(plain.to_json().dump()));
+  EXPECT_TRUE(legacy.topology_params.empty());
+}
+
+TEST(ScenarioSpec, TopologyParamsValidatePerFamily) {
+  ScenarioSpec spec;
+  spec.topology = "cycle";
+  spec.nodes = 12;
+  spec.topology_params["p"] = 0.5;
+  EXPECT_NE(message_of([&] { validate_frame(spec); })
+                .find("does not define parameter 'p'"),
+            std::string::npos);
+  spec.topology = "erdos-renyi";
+  EXPECT_NO_THROW(validate_frame(spec));
+  spec.topology_params["p"] = 1.5;  // out of range
+  EXPECT_THROW(validate_frame(spec), PreconditionError);
+  spec.topology_params.clear();
+  spec.topology = "watts-strogatz";
+  spec.topology_params["k"] = 2.5;  // not integral
+  EXPECT_THROW(validate_frame(spec), PreconditionError);
+  spec.topology_params["k"] = 5;  // needs n > 2k = 10; 12 is fine
+  EXPECT_NO_THROW(validate_frame(spec));
+  spec.nodes = 10;
+  EXPECT_THROW(validate_frame(spec), PreconditionError);
+}
+
+TEST(ScenarioSpec, TopologyParamsShapeTheInstance) {
+  ScenarioSpec sparse;
+  sparse.topology = "erdos-renyi";
+  sparse.nodes = 20;
+  sparse.seed = 3;
+  sparse.topology_params["p"] = 0.3;
+  ScenarioSpec dense = sparse;
+  dense.topology_params["p"] = 0.9;
+  EXPECT_LT(instantiate(sparse).graph.edge_count(),
+            instantiate(dense).graph.edge_count());
+
+  ScenarioSpec ba;
+  ba.topology = "barabasi-albert";
+  ba.nodes = 20;
+  ba.topology_params["m"] = 4;
+  // n nodes, m edges per arrival after an m-star seed: m + (n-m-1)*m edges.
+  EXPECT_EQ(instantiate(ba).graph.edge_count(), 4u + 15u * 4u);
+}
+
 TEST(ScenarioSpec, InstantiateIsDeterministic) {
   ScenarioSpec spec;
   spec.nodes = 16;

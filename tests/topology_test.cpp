@@ -153,6 +153,42 @@ TEST(Topology, FamilyDispatchProducesConnectedGraphs) {
   }
 }
 
+TEST(Topology, FamilyParamsOverrideDefaults) {
+  util::Rng rng(13);
+  TopologyParams params;
+  params.ws_k = 3;
+  params.ws_beta = 0.0;
+  // WS with beta=0 is the pure ring lattice: exactly n*k edges.
+  const Graph ws = make_topology(TopologyFamily::kWattsStrogatz, 20, rng, params);
+  EXPECT_EQ(ws.edge_count(), 20u * 3u);
+  params = TopologyParams{};
+  params.ba_m = 1;
+  // BA with m=1 grows a tree: n-1 edges.
+  const Graph ba = make_topology(TopologyFamily::kBarabasiAlbert, 20, rng, params);
+  EXPECT_EQ(ba.edge_count(), 19u);
+  params = TopologyParams{};
+  params.er_p = 1.0;
+  const Graph er = make_topology(TopologyFamily::kErdosRenyi, 10, rng, params);
+  EXPECT_EQ(er.edge_count(), 45u);  // complete graph
+  // Defaults unchanged when no params are passed.
+  EXPECT_EQ(make_topology(TopologyFamily::kWattsStrogatz, 20, rng,
+                          TopologyParams{})
+                .node_count(),
+            20u);
+}
+
+TEST(Topology, ParamAwareMinimumNodes) {
+  TopologyParams params;
+  params.ws_k = 4;
+  EXPECT_EQ(min_topology_nodes(TopologyFamily::kWattsStrogatz, params), 9u);
+  params = TopologyParams{};
+  params.ba_m = 6;
+  EXPECT_EQ(min_topology_nodes(TopologyFamily::kBarabasiAlbert, params), 7u);
+  // The default-parameter overload is unchanged.
+  EXPECT_EQ(min_topology_nodes(TopologyFamily::kWattsStrogatz), 5u);
+  EXPECT_EQ(min_topology_nodes(TopologyFamily::kBarabasiAlbert), 3u);
+}
+
 TEST(Topology, FamilyNamesDistinct) {
   EXPECT_EQ(family_name(TopologyFamily::kCycle), "cycle");
   EXPECT_EQ(family_name(TopologyFamily::kRandomGrid), "random-grid");

@@ -18,7 +18,9 @@
 // watts-strogatz|barabasi-albert, --nodes N, --seed S, --pairs P,
 // --requests R. Run `poqsim <protocol> --help` for the knob list.
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,11 @@ std::string canonical_protocol(const std::string& command) {
   return command;
 }
 
+/// Topology family parameters as CLI options: --topo-<name> sets the
+/// spec's topology_params["<name>"]; validate_frame rejects parameters
+/// the chosen family does not define.
+constexpr const char* kTopologyParamNames[] = {"p", "k", "beta", "m"};
+
 /// Fill the experiment frame from the common options. `sweep` owns the
 /// --nodes axis itself (comma list), so it asks to skip that field.
 scenario::ScenarioSpec parse_frame(const util::ArgParser& args,
@@ -48,6 +55,12 @@ scenario::ScenarioSpec parse_frame(const util::ArgParser& args,
   scenario::ScenarioSpec spec;
   spec.protocol = protocol;
   spec.topology = args.get_string("topology", "random-grid");
+  for (const char* name : kTopologyParamNames) {
+    const std::string option = std::string("topo-") + name;
+    if (args.has(option)) {
+      spec.topology_params[name] = args.get_double(option, 0.0);
+    }
+  }
   if (read_nodes) {
     const std::int64_t nodes = args.get_int("nodes", 25);
     if (nodes < 1) {
@@ -128,6 +141,10 @@ constexpr const char* kCommonOptionsHelp =
     "common options:\n"
     "  --topology F   cycle|random-grid|full-grid|erdos-renyi|\n"
     "                 watts-strogatz|barabasi-albert (default random-grid)\n"
+    "  --topo-p X     erdos-renyi edge probability (default 2 ln n / n)\n"
+    "  --topo-k K     watts-strogatz neighbours per side (default 2)\n"
+    "  --topo-beta X  watts-strogatz rewiring probability (default 0.2)\n"
+    "  --topo-m M     barabasi-albert edges per arrival (default 2)\n"
     "  --nodes N      node count (default 25; grid families need a\n"
     "                 perfect square >= 9)\n"
     "  --pairs P      consumer pairs (default 35, clamped to C(N,2))\n"
@@ -158,6 +175,38 @@ int cmd_run(const scenario::Protocol& protocol, const util::ArgParser& args) {
   parse_knobs(args, protocol, spec);
   check_unused(args);
   print_metrics(scenario::registry().run(protocol.name(), spec));
+  return 0;
+}
+
+/// `poqsim run --spec file.json`: fully file-driven experiments. The file
+/// holds one ScenarioSpec as JSON (the same object `sweep --json` echoes
+/// per cell), including the protocol, so an experiment is reproducible
+/// from the file alone; --seed optionally overrides for replication.
+int cmd_run_spec(const util::ArgParser& args) {
+  if (args.has("help")) {
+    std::cout <<
+        "usage: poqsim run --spec FILE.json [--seed S]\n"
+        "Run the scenario described by a ScenarioSpec JSON file:\n"
+        "  {\"protocol\": ..., \"topology\": ..., \"nodes\": ...,\n"
+        "   \"consumer_pairs\": ..., \"requests\": ..., \"seed\": ...,\n"
+        "   \"knobs\": {...}}  (+ optional \"topology_params\")\n"
+        "  --spec FILE   the spec file (required)\n"
+        "  --seed S      override the file's seed\n";
+    return 0;
+  }
+  const std::string path = args.get_string("spec", "");
+  if (path.empty()) throw PreconditionError("run: --spec FILE.json is required");
+  std::ifstream file(path);
+  if (!file) throw PreconditionError("run: cannot read spec file " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::from_json(util::json::Value::parse(buffer.str()));
+  if (args.has("seed")) {
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  }
+  check_unused(args);
+  print_metrics(scenario::registry().run(spec.protocol, spec));
   return 0;
 }
 
@@ -289,6 +338,19 @@ void apply_axis_value(scenario::ScenarioSpec& spec,
     spec.topology = raw;
     return;
   }
+  for (const char* param : kTopologyParamNames) {
+    if (name != std::string("topo-") + param) continue;
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(raw, &used);
+      if (used != raw.size()) throw std::invalid_argument(raw);
+      spec.topology_params[param] = value;
+    } catch (const std::exception&) {
+      throw PreconditionError("axis '" + name + "' expects numeric values (got '" +
+                              raw + "')");
+    }
+    return;
+  }
   for (const scenario::KnobSpec& knob : protocol.knobs()) {
     if (knob.name == name) {
       spec.knobs[name] = parse_knob_text(knob, raw);
@@ -297,7 +359,8 @@ void apply_axis_value(scenario::ScenarioSpec& spec,
   }
   throw PreconditionError(
       "axis '" + name + "' is neither a frame field (nodes, pairs, requests, "
-      "seed, topology) nor a knob of protocol " + protocol.name());
+      "seed, topology, topo-p/k/beta/m) nor a knob of protocol " +
+      protocol.name());
 }
 
 /// Grid product in axis declaration order (last axis varies fastest).
@@ -337,6 +400,9 @@ int cmd_sweep(const util::ArgParser& args) {
         "                      protocols; auto pools divide by K (default 1)\n"
         "  --json              emit the aggregated cells as JSON\n"
         "  --metric M          table column metric (default overhead_paper)\n"
+        "  --grid              pivot two axes into a 2-D table (rows x\n"
+        "                      columns, like the paper figures); requires\n"
+        "                      exactly two axes with more than one value\n"
               << kCommonOptionsHelp;
     return 0;
   }
@@ -364,7 +430,11 @@ int cmd_sweep(const util::ArgParser& args) {
   options.intra_run_threads =
       intra_threads == 0 ? 0 : static_cast<unsigned>(intra_threads);
   const bool as_json = args.get_bool("json", false);
+  const bool as_grid = args.get_bool("grid", false);
   const std::string metric = args.get_string("metric", "overhead_paper");
+  if (as_json && as_grid) {
+    throw PreconditionError("--grid renders a table; drop --json");
+  }
 
   // Axes: --nodes is the outermost axis; --axes appends further ones.
   std::vector<SweepAxis> axes;
@@ -415,6 +485,56 @@ int cmd_sweep(const util::ArgParser& args) {
     std::cout << out.dump(2);
     return 0;
   }
+  if (as_grid) {
+    // 2-D pivot, like the paper figures: the two axes with more than one
+    // value become rows x columns; singleton axes are fixed context.
+    std::vector<std::size_t> multi;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      if (axes[a].values.size() > 1) multi.push_back(a);
+    }
+    if (multi.size() != 2) {
+      throw PreconditionError(
+          "--grid needs exactly two axes with more than one value (got " +
+          std::to_string(multi.size()) +
+          "); pin the others to single values");
+    }
+    const SweepAxis& row_axis = axes[multi[0]];
+    const SweepAxis& col_axis = axes[multi[1]];
+    std::cout << metric << " (mean), " << row_axis.name << " rows x "
+              << col_axis.name << " columns";
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      if (axes[a].values.size() == 1) {
+        std::cout << ", " << axes[a].name << "=" << axes[a].values.front();
+      }
+    }
+    std::cout << '\n';
+    std::vector<std::string> header{row_axis.name + "\\" + col_axis.name};
+    header.insert(header.end(), col_axis.values.begin(), col_axis.values.end());
+    util::Table table(header);
+    // Each (row, col) pair occurs exactly once in the grid product (the
+    // other axes are singletons), so the odometer walk fills the matrix.
+    std::vector<std::vector<std::string>> matrix(
+        row_axis.values.size(),
+        std::vector<std::string>(col_axis.values.size(), "n/a"));
+    std::vector<std::size_t> cursor(axes.size(), 0);
+    for (const scenario::CellAggregate& cell : cells) {
+      if (cell.has(metric)) {
+        matrix[cursor[multi[0]]][cursor[multi[1]]] =
+            util::format_double(cell.at(metric).mean(), 4);
+      }
+      for (std::size_t a = axes.size(); a-- > 0;) {
+        if (++cursor[a] < axes[a].values.size()) break;
+        cursor[a] = 0;
+      }
+    }
+    for (std::size_t r = 0; r < row_axis.values.size(); ++r) {
+      std::vector<std::string> row{row_axis.values[r]};
+      row.insert(row.end(), matrix[r].begin(), matrix[r].end());
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    return 0;
+  }
   std::vector<std::string> header;
   for (const SweepAxis& axis : axes) header.push_back(axis.name);
   header.insert(header.end(),
@@ -452,8 +572,10 @@ void print_usage() {
   std::cout <<
       "other subcommands:\n"
       "  list         registered protocols and their knobs\n"
+      "  run          run a ScenarioSpec JSON file (see `poqsim run --help`)\n"
       "  sweep        parallel grid sweep over any axes (see `poqsim sweep --help`)\n"
       "common options: --topology <family> --nodes N --pairs P --requests R --seed S\n"
+      "               --topo-p X --topo-k K --topo-beta X --topo-m M (family params)\n"
       "families: cycle random-grid full-grid erdos-renyi watts-strogatz barabasi-albert\n";
 }
 
@@ -468,6 +590,7 @@ int main(int argc, char** argv) {
     const util::ArgParser args(argc - 1, argv + 1);
     const std::string command = canonical_protocol(argv[1]);
     if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run_spec(args);
     if (command == "sweep") return cmd_sweep(args);
     if (!scenario::registry().contains(command)) {
       std::cerr << "unknown subcommand '" << command << "'\n";

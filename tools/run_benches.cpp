@@ -256,6 +256,9 @@ SuiteRun suite_parallel_scaling(const Options& options) {
   // wall_ms isolates the intra-run speedup while the metrics double as a
   // cross-thread determinism gate (they must not move at all). The sweep
   // pool is pinned to one task at a time for honest wall-clock numbers.
+  // Gossip and fidelity cells extend the gate to the full phase-kernel
+  // registry: their sharded paths (canonical message merge, per-node
+  // event sharding) must be thread-invariant too.
   bench::FigureSetup setup;
   setup.round_budget = options.quick ? 300 : 1500;
   const std::size_t nodes = options.quick ? 49 : 100;
@@ -263,6 +266,31 @@ SuiteRun suite_parallel_scaling(const Options& options) {
   for (const std::int64_t threads : {1, 2, 4, 8}) {
     scenario::ScenarioSpec spec = bench::balancing_cell_spec(
         graph::TopologyFamily::kRandomGrid, nodes, 1.0, setup);
+    spec.knobs["threads"] = threads;
+    grid.push_back(std::move(spec));
+  }
+  for (const std::int64_t threads : {1, 2, 4, 8}) {
+    scenario::ScenarioSpec spec;
+    spec.protocol = "gossip";
+    spec.topology = "random-grid";
+    spec.nodes = options.quick ? 25 : 49;
+    spec.consumer_pairs = 20;
+    spec.requests = options.quick ? 40 : 150;
+    spec.seed = 71;
+    spec.knobs["max-rounds"] = std::int64_t{400000};
+    spec.knobs["threads"] = threads;
+    grid.push_back(std::move(spec));
+  }
+  for (const std::int64_t threads : {1, 2, 4, 8}) {
+    scenario::ScenarioSpec spec;
+    spec.protocol = "fidelity";
+    spec.topology = "random-grid";
+    spec.nodes = 16;
+    spec.consumer_pairs = 12;
+    spec.requests = 100000;
+    spec.seed = 72;
+    spec.knobs["duration"] = options.quick ? 120.0 : 400.0;
+    spec.knobs["memory-T"] = 50.0;
     spec.knobs["threads"] = threads;
     grid.push_back(std::move(spec));
   }
