@@ -14,6 +14,7 @@
 #include "graph/topology.hpp"
 #include "quantum/circuits.hpp"
 #include "quantum/gates.hpp"
+#include "sim/network_state.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -51,6 +52,100 @@ void BM_BestSwapScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BestSwapScan)->Arg(25)->Arg(49)->Arg(100);
+
+void BM_LedgerPartnerChurn(benchmark::State& state) {
+  // CSR partner-arena in-place insert/erase: every iteration flips one
+  // pair between 0 and 1, forcing a sorted-row insert and erase.
+  core::PairLedger ledger(64);
+  util::Rng rng(2);
+  for (core::NodeId x = 0; x < 64; ++x) {
+    for (core::NodeId y = x + 1; y < 64; ++y) {
+      if (rng.bernoulli(0.3)) ledger.add(x, y);
+    }
+  }
+  util::Rng pick(3);
+  for (auto _ : state) {
+    const auto x = static_cast<core::NodeId>(pick.uniform_index(64));
+    auto y = static_cast<core::NodeId>(pick.uniform_index(64));
+    if (y == x) y = (y + 1) % 64;
+    if (ledger.count(x, y) == 0) {
+      ledger.add(x, y);
+    } else {
+      ledger.remove(x, y, ledger.count(x, y));
+    }
+  }
+}
+BENCHMARK(BM_LedgerPartnerChurn);
+
+void BM_LedgerPartnersScan(benchmark::State& state) {
+  core::PairLedger ledger(128);
+  util::Rng rng(4);
+  for (core::NodeId x = 0; x < 128; ++x) {
+    for (core::NodeId y = x + 1; y < 128; ++y) {
+      if (rng.bernoulli(0.25)) ledger.add(x, y);
+    }
+  }
+  core::NodeId node = 0;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const core::NodeId y : ledger.partners(node)) sum += y;
+    benchmark::DoNotOptimize(sum);
+    node = (node + 1) % 128;
+  }
+}
+BENCHMARK(BM_LedgerPartnersScan);
+
+/// Decide-kernel cost per round, dirty-set vs full rescan: a warmed-up
+/// NetworkState where each iteration dirties only a few nodes (range(1))
+/// out of n (range(0)) before re-deciding — the steady-state shape the
+/// BENCH_hotpath suite measures end to end.
+void decide_kernel_bench(benchmark::State& state, bool incremental) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dirty_per_round = static_cast<std::size_t>(state.range(1));
+  util::Rng topo_rng(3);
+  const graph::Graph graph = graph::make_random_connected_grid(n, topo_rng);
+  sim::TickConcurrency tick;
+  tick.mode = sim::TickMode::kSharded;
+  tick.threads = 1;
+  tick.incremental_decide = incremental;
+  sim::NetworkState net(graph, 1, tick);
+  net.ledger().set_reader_threshold(2);
+  util::Rng fill(7);
+  for (core::NodeId x = 0; x < n; ++x) {
+    for (core::NodeId y = x + 1; y < n; ++y) {
+      if (fill.bernoulli(0.3)) {
+        net.ledger().add(x, y, 1 + static_cast<std::uint32_t>(fill.uniform_index(4)));
+      }
+    }
+  }
+  const core::MaxMinBalancer balancer((core::DistillationMatrix(1.0)));
+  const auto decide = [&](core::NodeId x, core::MaxMinBalancer::Scratch& s) {
+    return balancer.best_swap(net.ledger(), x, s);
+  };
+  net.decide_swaps(decide);  // warm the candidate cache
+  util::Rng touch(9);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < dirty_per_round; ++k) {
+      const auto x = static_cast<core::NodeId>(touch.uniform_index(n));
+      auto y = static_cast<core::NodeId>(touch.uniform_index(n));
+      if (y == x) y = static_cast<core::NodeId>((y + 1) % n);
+      net.ledger().add(x, y, 2);
+      net.ledger().remove(x, y, 2);
+    }
+    net.decide_swaps(decide);
+    benchmark::DoNotOptimize(net.candidates().data());
+  }
+}
+
+void BM_DecideKernelDirtySet(benchmark::State& state) {
+  decide_kernel_bench(state, /*incremental=*/true);
+}
+BENCHMARK(BM_DecideKernelDirtySet)->Args({100, 4})->Args({225, 4});
+
+void BM_DecideKernelFullRescan(benchmark::State& state) {
+  decide_kernel_bench(state, /*incremental=*/false);
+}
+BENCHMARK(BM_DecideKernelFullRescan)->Args({100, 4})->Args({225, 4});
 
 void BM_BalancingRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -36,6 +36,12 @@ BalancingSimulation::BalancingSimulation(const graph::Graph& generation_graph,
   require(config.distillation >= 0.0, "BalancingConfig: D must be >= 0");
   require(config.generation_per_edge_per_round >= 0.0,
           "BalancingConfig: generation rate must be >= 0");
+  // Uniform distillation: a partner is eligible for the §4 scan only from
+  // count ceil(D + 1) (the smallest integer C with C - D >= 1), which
+  // lets the incremental decide skip marking for mutations no decision
+  // can observe.
+  state_.ledger().set_reader_threshold(
+      static_cast<std::uint32_t>(std::ceil(config.distillation + 1.0)));
   require(generation_graph.node_count() >= 3,
           "BalancingSimulation: need at least 3 nodes to swap");
   for (const NodePair& pair : workload.pairs) {
@@ -67,6 +73,9 @@ void BalancingSimulation::swap_phase() {
   }
   const auto first =
       static_cast<NodeId>(result_.rounds % generation_graph_.node_count());
+  // The sequential sweep fuses decide and commit per node; attribute the
+  // whole sweep to the decide timer (the best-swap scans dominate it).
+  const sim::PhaseStopwatch stopwatch(state_.timers().decide_ns);
   const SweepStats stats = run_swap_sweep(
       balancer_, ledger(), first, config_.swaps_per_node_per_round, swap_rng_);
   result_.swaps_performed += stats.swaps;
@@ -139,7 +148,7 @@ BalancingResult BalancingSimulation::run() {
   // Requests may already be satisfiable at round 0 (e.g. adjacent pairs
   // after the first generation round); the loop handles that naturally.
   while (!finished()) step_round();
-  return result_;
+  return result();
 }
 
 BalancingResult run_balancing(const graph::Graph& generation_graph,

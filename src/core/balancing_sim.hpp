@@ -70,6 +70,10 @@ struct BalancingResult {
   double denominator_exact = 0.0;
   /// Rounds each satisfied request spent at the head of the queue.
   util::RunningStats head_wait_rounds;
+  /// Cumulative wall-clock per phase kernel (observability only — outside
+  /// the determinism contract). The sequential engine's fused swap sweep
+  /// is attributed to the decide phase.
+  sim::PhaseTimers phase;
 
   [[nodiscard]] double swap_overhead_paper() const {
     return denominator_paper > 0.0
@@ -110,7 +114,11 @@ class BalancingSimulation {
   /// protocol variants (gossip) drive their own decide/commit kernels
   /// through it.
   [[nodiscard]] sim::NetworkState& state() { return state_; }
-  [[nodiscard]] const BalancingResult& result() const { return result_; }
+  /// Result snapshot; syncs the per-phase timers from the substrate.
+  [[nodiscard]] const BalancingResult& result() {
+    result_.phase = state_.timers();
+    return result_;
+  }
   [[nodiscard]] const MaxMinBalancer& balancer() const { return balancer_; }
   [[nodiscard]] std::uint32_t round() const { return result_.rounds; }
   [[nodiscard]] std::size_t head_request() const { return head_; }

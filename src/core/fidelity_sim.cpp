@@ -183,6 +183,9 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
   sim::NetworkState state(generation_graph, config.seed, config.tick,
                           decay_model(config));
   const MaxMinBalancer balancer{DistillationMatrix(1.0)};
+  // The swap rule runs at D = 1: partners are eligible from count 2, so
+  // marking for the cached best_swap can skip sub-threshold mutations.
+  state.ledger().set_reader_threshold(2);
   FidelitySimResult result;
   Consumer consumer{workload, config, state, result};
   const bool freshest = config.policy == PairingPolicy::kFreshest;
@@ -204,6 +207,14 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
   std::vector<std::vector<double>> node_scans(n);
   std::vector<NodeDecision> decisions(n);
   std::vector<MaxMinBalancer::Scratch> shard_scratch(state.shard_count());
+  for (MaxMinBalancer::Scratch& scratch : shard_scratch) scratch.reserve(n);
+  // Incremental decide: cache each node's count-based best_swap and
+  // recompute it only when the ledger's dirty bit says a count the node
+  // reads changed since its last computation (generation merges, commits,
+  // purges — every mutation funnels through the ledger). The distill-peer
+  // fallback reads time-varying fidelities, so it is never cached.
+  const bool incremental = config.tick.incremental_decide;
+  std::vector<std::optional<SwapCandidate>> swap_cache(n);
 
   struct ScanEvent {
     double time = 0.0;
@@ -217,125 +228,148 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
     const double t1 = std::min(config.duration, t0 + dt);
     const double span = t1 - t0;
 
-    // 1. Decohere kernel: purge every bucket at the slice start.
+    // 1. Decohere kernel: purge every bucket at the slice start. The
+    // slice boundary is also the marking-epoch boundary for the cached
+    // best_swap dirty bits (fidelity clears bits per scanned node, so it
+    // resets the budget explicitly instead of draining).
+    state.ledger().reset_marking_budget();
     result.pairs_decayed += state.decohere_all(t0);
 
     // 2. Generation kernel: per-edge Poisson arrivals from streams keyed
     // (seed, generation-tag, slice, edge); merged in canonical edge order.
-    state.pool().run_shards(state.shard_count(), [&](std::size_t shard) {
-      const auto [begin, end] = sim::ParallelTickEngine::shard_range(
-          edge_count, state.shard_count(), shard);
-      for (std::size_t e = begin; e < end; ++e) {
-        util::Rng rng =
-            util::Rng::keyed(config.seed, sim::stream_tag::kGeneration, s, e);
-        const std::uint64_t arrivals = rng.poisson(config.generation_rate * span);
-        edge_arrivals[e].clear();
-        for (std::uint64_t k = 0; k < arrivals; ++k) {
-          edge_arrivals[e].push_back(t0 + rng.uniform_double() * span);
+    {
+      const sim::PhaseStopwatch stopwatch(state.timers().generate_ns);
+      state.pool().run_shards(state.shard_count(), [&](std::size_t shard) {
+        const auto [begin, end] = sim::ParallelTickEngine::shard_range(
+            edge_count, state.shard_count(), shard);
+        for (std::size_t e = begin; e < end; ++e) {
+          util::Rng rng =
+              util::Rng::keyed(config.seed, sim::stream_tag::kGeneration, s, e);
+          const std::uint64_t arrivals =
+              rng.poisson(config.generation_rate * span);
+          edge_arrivals[e].clear();
+          for (std::uint64_t k = 0; k < arrivals; ++k) {
+            edge_arrivals[e].push_back(t0 + rng.uniform_double() * span);
+          }
+          std::sort(edge_arrivals[e].begin(), edge_arrivals[e].end());
         }
-        std::sort(edge_arrivals[e].begin(), edge_arrivals[e].end());
-      }
-    });
-    const auto& edges = generation_graph.edges();
-    for (std::size_t e = 0; e < edge_count; ++e) {
-      for (const double t : edge_arrivals[e]) {
-        state.add_pair(edges[e].a(), edges[e].b(), t, config.raw_fidelity);
-        ++result.pairs_generated;
+      });
+      const auto& edges = generation_graph.edges();
+      for (std::size_t e = 0; e < edge_count; ++e) {
+        for (const double t : edge_arrivals[e]) {
+          state.add_pair(edges[e].a(), edges[e].b(), t, config.raw_fidelity);
+          ++result.pairs_generated;
+        }
       }
     }
 
     // 3. Decide kernel: per-node scan times from streams keyed (seed,
     // event-tag, slice, node), and the node's decision against the
-    // post-generation snapshot, fanned across node shards.
-    state.pool().run_shards(state.shard_count(), [&](std::size_t shard) {
-      const auto [begin, end] = sim::ParallelTickEngine::shard_range(
-          n, state.shard_count(), shard);
-      MaxMinBalancer::Scratch& scratch = shard_scratch[shard];
-      for (std::size_t node = begin; node < end; ++node) {
-        const auto x = static_cast<NodeId>(node);
-        util::Rng rng =
-            util::Rng::keyed(config.seed, sim::stream_tag::kEventTimes, s, x);
-        const std::uint64_t scans = rng.poisson(config.scan_rate * span);
-        node_scans[x].clear();
-        for (std::uint64_t k = 0; k < scans; ++k) {
-          node_scans[x].push_back(t0 + rng.uniform_double() * span);
+    // post-generation snapshot, fanned across node shards. The count-based
+    // best_swap comes from the per-node cache unless the node is dirty; an
+    // unchanged readable view implies an unchanged decision, so this is
+    // exactly the full recomputation.
+    {
+      const sim::PhaseStopwatch stopwatch(state.timers().decide_ns);
+      state.pool().run_shards(state.shard_count(), [&](std::size_t shard) {
+        const auto [begin, end] = sim::ParallelTickEngine::shard_range(
+            n, state.shard_count(), shard);
+        MaxMinBalancer::Scratch& scratch = shard_scratch[shard];
+        for (std::size_t node = begin; node < end; ++node) {
+          const auto x = static_cast<NodeId>(node);
+          util::Rng rng =
+              util::Rng::keyed(config.seed, sim::stream_tag::kEventTimes, s, x);
+          const std::uint64_t scans = rng.poisson(config.scan_rate * span);
+          node_scans[x].clear();
+          for (std::uint64_t k = 0; k < scans; ++k) {
+            node_scans[x].push_back(t0 + rng.uniform_double() * span);
+          }
+          std::sort(node_scans[x].begin(), node_scans[x].end());
+          decisions[x] = NodeDecision{std::nullopt, x};
+          if (node_scans[x].empty()) continue;
+          if (incremental && !state.ledger().dirty(x)) {
+            decisions[x].swap = swap_cache[x];
+          } else {
+            state.ledger().clear_dirty(x);
+            swap_cache[x] = balancer.best_swap(state.ledger(), x, scratch);
+            decisions[x].swap = swap_cache[x];
+          }
+          if (!decisions[x].swap && config.distillation_enabled) {
+            decisions[x].distill_peer = pick_distill_peer(state, config, x, t0);
+          }
         }
-        std::sort(node_scans[x].begin(), node_scans[x].end());
-        decisions[x] = NodeDecision{std::nullopt, x};
-        if (node_scans[x].empty()) continue;
-        decisions[x].swap = balancer.best_swap(state.ledger(), x, scratch);
-        if (!decisions[x].swap && config.distillation_enabled) {
-          decisions[x].distill_peer = pick_distill_peer(state, config, x, t0);
-        }
-      }
-    });
+      });
+    }
 
     // 4. Commit kernel: all scan events in canonical order — ascending
     // timestamp, ties broken by node id then per-node event index (the
     // stable sort keeps the canonical node-major insertion order).
-    events.clear();
-    for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
-      for (std::size_t k = 0; k < node_scans[x].size(); ++k) {
-        events.push_back(ScanEvent{node_scans[x][k], x,
-                                   static_cast<std::uint32_t>(k)});
+    {
+      const sim::PhaseStopwatch stopwatch(state.timers().commit_ns);
+      events.clear();
+      for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
+        for (std::size_t k = 0; k < node_scans[x].size(); ++k) {
+          events.push_back(ScanEvent{node_scans[x][k], x,
+                                     static_cast<std::uint32_t>(k)});
+        }
       }
-    }
-    std::stable_sort(events.begin(), events.end(),
-                     [](const ScanEvent& lhs, const ScanEvent& rhs) {
-                       return lhs.time < rhs.time;
-                     });
-    for (const ScanEvent& event : events) {
-      const NodeId x = event.node;
-      const double now = event.time;
-      // Lazy purge of x's buckets at the event time (mirrors the
-      // sequential scan handler).
-      const auto partner_list = state.ledger().partners(x);
-      const std::vector<NodeId> partner_copy(partner_list.begin(),
-                                             partner_list.end());
-      for (NodeId y : partner_copy) {
-        result.pairs_decayed += state.purge_pair_type(x, y, now);
-      }
-      const NodeDecision& decision = decisions[x];
-      if (decision.swap) {
-        const SwapCandidate& candidate = *decision.swap;
-        // Re-validate against the live state: an earlier commit or purge
-        // may have consumed the pairs the slice decision relied on.
-        if (!balancer.is_preferable(state.ledger(), x, candidate.left,
-                                    candidate.right)) {
+      std::stable_sort(events.begin(), events.end(),
+                       [](const ScanEvent& lhs, const ScanEvent& rhs) {
+                         return lhs.time < rhs.time;
+                       });
+      for (const ScanEvent& event : events) {
+        const NodeId x = event.node;
+        const double now = event.time;
+        // Lazy purge of x's buckets at the event time (mirrors the
+        // sequential scan handler).
+        const auto partner_list = state.ledger().partners(x);
+        const std::vector<NodeId> partner_copy(partner_list.begin(),
+                                               partner_list.end());
+        for (NodeId y : partner_copy) {
+          result.pairs_decayed += state.purge_pair_type(x, y, now);
+        }
+        const NodeDecision& decision = decisions[x];
+        if (decision.swap) {
+          const SwapCandidate& candidate = *decision.swap;
+          // Re-validate against the live state: an earlier commit or purge
+          // may have consumed the pairs the slice decision relied on.
+          if (!balancer.is_preferable(state.ledger(), x, candidate.left,
+                                      candidate.right)) {
+            continue;
+          }
+          const sim::TrackedPair left =
+              state.take_pair(x, candidate.left, now, freshest);
+          const sim::TrackedPair right =
+              state.take_pair(x, candidate.right, now, freshest);
+          const double fused = quantum::swap_fidelity(
+              state.fidelity_now(left, now), state.fidelity_now(right, now));
+          ++result.swaps;
+          if (fused >= config.usable_fidelity) {
+            state.add_pair(candidate.left, candidate.right, now, fused);
+          } else {
+            ++result.swap_outputs_discarded;
+          }
           continue;
         }
-        const sim::TrackedPair left =
-            state.take_pair(x, candidate.left, now, freshest);
-        const sim::TrackedPair right =
-            state.take_pair(x, candidate.right, now, freshest);
-        const double fused = quantum::swap_fidelity(
-            state.fidelity_now(left, now), state.fidelity_now(right, now));
-        ++result.swaps;
-        if (fused >= config.usable_fidelity) {
-          state.add_pair(candidate.left, candidate.right, now, fused);
+        if (decision.distill_peer == x) continue;
+        const NodeId peer = decision.distill_peer;
+        if (state.ledger().count(x, peer) < 2) continue;  // decision went stale
+        const sim::TrackedPair a = state.take_pair(x, peer, now, freshest);
+        const sim::TrackedPair b = state.take_pair(x, peer, now, freshest);
+        const quantum::DistillationStep step =
+            quantum::bbpssw(state.fidelity_now(a, now), state.fidelity_now(b, now));
+        // Success draw keyed per (slice, node, event) so it is consumed only
+        // by this event, wherever the slice boundaries fall.
+        util::Rng draw = util::Rng::keyed(
+            config.seed, sim::stream_tag::kEventDraw,
+            (s << 20) | event.index, x);
+        if (draw.bernoulli(step.success_probability) &&
+            step.output_fidelity >= config.usable_fidelity) {
+          state.add_pair(x, peer, now, step.output_fidelity);
+          ++result.distillations;
         } else {
-          ++result.swap_outputs_discarded;
+          ++result.distillation_failures;
         }
-        continue;
-      }
-      if (decision.distill_peer == x) continue;
-      const NodeId peer = decision.distill_peer;
-      if (state.ledger().count(x, peer) < 2) continue;  // decision went stale
-      const sim::TrackedPair a = state.take_pair(x, peer, now, freshest);
-      const sim::TrackedPair b = state.take_pair(x, peer, now, freshest);
-      const quantum::DistillationStep step =
-          quantum::bbpssw(state.fidelity_now(a, now), state.fidelity_now(b, now));
-      // Success draw keyed per (slice, node, event) so it is consumed only
-      // by this event, wherever the slice boundaries fall.
-      util::Rng draw = util::Rng::keyed(
-          config.seed, sim::stream_tag::kEventDraw,
-          (s << 20) | event.index, x);
-      if (draw.bernoulli(step.success_probability) &&
-          step.output_fidelity >= config.usable_fidelity) {
-        state.add_pair(x, peer, now, step.output_fidelity);
-        ++result.distillations;
-      } else {
-        ++result.distillation_failures;
       }
     }
 
@@ -344,6 +378,7 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
   }
 
   result.pairs_in_storage_at_end = state.ledger().total_pairs();
+  result.phase = state.timers();
   return result;
 }
 

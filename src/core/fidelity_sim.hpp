@@ -92,6 +92,11 @@ struct FidelitySimResult {
   util::RunningStats consumed_fidelity;   // fidelity at consumption time
   util::RunningStats request_latency;     // head-of-line wait per request
   util::RunningStats storage_age_at_use;  // how long used pairs sat in memory
+
+  /// Cumulative wall-clock per slice kernel (sharded engine only; the
+  /// sequential event loop is fused and leaves these at zero).
+  /// Observability only — outside the determinism contract.
+  sim::PhaseTimers phase;
 };
 
 /// Run the fidelity-aware simulation of `workload` (head-of-line request

@@ -166,6 +166,11 @@ GossipResult run_gossip_sharded(const graph::Graph& generation_graph,
       if (message.due <= now) {
         knowledge.install(message.target, message.sender, *message.row,
                           message.version);
+        // An install changes what the owner reads at decide time (its
+        // beneficiary views, including the freshness tie-break), so the
+        // incremental decide must re-run it even if no ledger count it
+        // reads moved.
+        sim.ledger().mark_dirty(message.target);
         continue;
       }
       if (kept != i) pending[kept] = std::move(message);

@@ -6,11 +6,29 @@
 
 namespace poq::core {
 
+namespace {
+
+/// Relaxed atomic view of a plain byte/word the two-level commit may touch
+/// from concurrent workers. Phase barriers order everything else.
+template <typename T>
+std::atomic_ref<T> relaxed(T& value) {
+  return std::atomic_ref<T>(value);
+}
+
+}  // namespace
+
 PairLedger::PairLedger(std::size_t node_count)
     : node_count_(node_count),
+      row_stride_(node_count - 1),
       counts_(node_count * node_count, 0),
-      partners_(node_count) {
+      partner_arena_(node_count * (node_count - 1), 0),
+      degree_(node_count, 0),
+      min_histogram_(kMinHistogramCap + 1) {
   require(node_count >= 2, "PairLedger: need at least 2 nodes");
+  // Every unordered pair starts at count 0.
+  min_histogram_[0].store(
+      static_cast<std::uint64_t>(node_count) * (node_count - 1) / 2,
+      std::memory_order_relaxed);
 }
 
 void PairLedger::check(NodeId x, NodeId y) const {
@@ -23,20 +41,98 @@ std::uint32_t PairLedger::count(NodeId x, NodeId y) const {
   return counts_[index(x, y)];
 }
 
+std::uint32_t PairLedger::degree(NodeId x) const {
+  require(x < node_count_, "PairLedger::degree: node out of range");
+  return degree_[x];
+}
+
+void PairLedger::insert_partner(NodeId x, NodeId y) {
+  NodeId* row = partner_row(x);
+  NodeId* end = row + degree_[x];
+  NodeId* pos = std::lower_bound(row, end, y);
+  std::copy_backward(pos, end, end + 1);
+  *pos = y;
+  ++degree_[x];
+}
+
+void PairLedger::erase_partner(NodeId x, NodeId y) {
+  NodeId* row = partner_row(x);
+  NodeId* end = row + degree_[x];
+  NodeId* pos = std::lower_bound(row, end, y);
+  std::copy(pos + 1, end, pos);
+  --degree_[x];
+}
+
+void PairLedger::histogram_move(std::uint32_t from, std::uint32_t to) {
+  const std::uint32_t from_bucket = std::min(from, kMinHistogramCap);
+  const std::uint32_t to_bucket = std::min(to, kMinHistogramCap);
+  if (from_bucket == to_bucket) return;
+  min_histogram_[from_bucket].fetch_sub(1, std::memory_order_relaxed);
+  min_histogram_[to_bucket].fetch_add(1, std::memory_order_relaxed);
+  // Keep the hint a lower bound on the true minimum: a pair landing below
+  // it drags it down; it is only ever raised by a quiescent query.
+  std::uint32_t hint = min_hint_.load(std::memory_order_relaxed);
+  while (to_bucket < hint &&
+         !min_hint_.compare_exchange_weak(hint, to_bucket,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+void PairLedger::mark_pair_readers(NodeId x, NodeId y, std::uint32_t before,
+                                   std::uint32_t after) {
+  if (mark_overflow_.load(std::memory_order_relaxed) != 0) return;
+  // The endpoints read C_x(y) (eligibility + donor capacity) only once it
+  // can reach the eligibility threshold; below it, the scan consults the
+  // count solely through the threshold predicate, which this move left
+  // false on both sides.
+  if (before >= reader_threshold_ || after >= reader_threshold_) {
+    mark_dirty(x);
+    mark_dirty(y);
+  }
+  if (dirty_count_.load(std::memory_order_relaxed) == node_count_) return;
+  // The other readers of C_x(y) are the nodes holding *eligible* pairs
+  // toward both x and y (they see its exact value as a beneficiary
+  // count, at any magnitude). Scan the smaller partner row; membership
+  // and eligibility in the other row are O(1) matrix probes. Under the
+  // two-level commit only the component owning {x, y} mutates these rows,
+  // so the scan never races a concurrent writer.
+  NodeId small = x;
+  NodeId big = y;
+  if (degree_[big] < degree_[small]) std::swap(small, big);
+  const NodeId* row = partner_row(small);
+  const std::uint32_t deg = degree_[small];
+  // Precision has a per-epoch budget; once the scans have cost more than
+  // O(n) this epoch, latch everything-dirty and stop paying (dense
+  // regimes re-decide everything anyway).
+  if (mark_budget_.fetch_sub(deg, std::memory_order_relaxed) -
+          static_cast<std::int64_t>(deg) <=
+      0) {
+    mark_overflow_.store(1, std::memory_order_relaxed);
+    return;
+  }
+  for (std::uint32_t i = 0; i < deg; ++i) {
+    const NodeId z = row[i];
+    if (z != big && counts_[index(small, z)] >= reader_threshold_ &&
+        counts_[index(big, z)] >= reader_threshold_) {
+      mark_dirty(z);
+    }
+  }
+}
+
 void PairLedger::add(NodeId x, NodeId y, std::uint32_t amount) {
   check(x, y);
   if (amount == 0) return;
   std::uint32_t& forward = counts_[index(x, y)];
   if (forward == 0) {
-    auto insert_sorted = [](std::vector<NodeId>& list, NodeId value) {
-      list.insert(std::lower_bound(list.begin(), list.end(), value), value);
-    };
-    insert_sorted(partners_[x], y);
-    insert_sorted(partners_[y], x);
+    insert_partner(x, y);
+    insert_partner(y, x);
   }
+  const std::uint32_t before = forward;
   forward += amount;
   counts_[index(y, x)] = forward;
   total_.fetch_add(amount, std::memory_order_relaxed);
+  histogram_move(before, forward);
+  if (!dirty_.empty()) mark_pair_readers(x, y, before, forward);
 }
 
 void PairLedger::remove(NodeId x, NodeId y, std::uint32_t amount) {
@@ -44,29 +140,37 @@ void PairLedger::remove(NodeId x, NodeId y, std::uint32_t amount) {
   if (amount == 0) return;
   std::uint32_t& forward = counts_[index(x, y)];
   require(forward >= amount, "PairLedger::remove: count underflow");
+  const std::uint32_t before = forward;
   forward -= amount;
   counts_[index(y, x)] = forward;
   total_.fetch_sub(amount, std::memory_order_relaxed);
+  histogram_move(before, forward);
+  if (!dirty_.empty()) mark_pair_readers(x, y, before, forward);
   if (forward == 0) {
-    auto erase_sorted = [](std::vector<NodeId>& list, NodeId value) {
-      list.erase(std::lower_bound(list.begin(), list.end(), value));
-    };
-    erase_sorted(partners_[x], y);
-    erase_sorted(partners_[y], x);
+    erase_partner(x, y);
+    erase_partner(y, x);
   }
 }
 
 std::span<const NodeId> PairLedger::partners(NodeId x) const {
   require(x < node_count_, "PairLedger::partners: node out of range");
-  return partners_[x];
+  return {partner_row(x), degree_[x]};
 }
 
 std::uint32_t PairLedger::minimum_pair_count() const {
+  std::uint32_t bucket = min_hint_.load(std::memory_order_relaxed);
+  while (bucket < kMinHistogramCap &&
+         min_histogram_[bucket].load(std::memory_order_relaxed) == 0) {
+    ++bucket;
+  }
+  min_hint_.store(bucket, std::memory_order_relaxed);
+  if (bucket < kMinHistogramCap) return bucket;
+  // Every pair count is >= the histogram cap: the exact minimum needs the
+  // dense scan (rare — it means every unordered pair holds 256+ pairs).
   std::uint32_t minimum = UINT32_MAX;
   for (NodeId x = 0; x < node_count_; ++x) {
-    for (NodeId y = x + 1; y < node_count_; ++y) {
+    for (NodeId y = static_cast<NodeId>(x + 1); y < node_count_; ++y) {
       minimum = std::min(minimum, counts_[index(x, y)]);
-      if (minimum == 0) return 0;
     }
   }
   return minimum;
@@ -75,11 +179,86 @@ std::uint32_t PairLedger::minimum_pair_count() const {
 graph::Graph PairLedger::entanglement_graph(std::uint32_t threshold) const {
   graph::Graph result(node_count_);
   for (NodeId x = 0; x < node_count_; ++x) {
-    for (NodeId y : partners_[x]) {
+    for (NodeId y : partners(x)) {
       if (y > x && counts_[index(x, y)] >= threshold) result.add_edge(x, y);
     }
   }
   return result;
+}
+
+void PairLedger::enable_dirty_tracking() {
+  if (!dirty_.empty()) return;
+  dirty_.assign(node_count_, 0);
+  mark_budget_.store(
+      kMarkingBudgetPerNode * static_cast<std::int64_t>(node_count_),
+      std::memory_order_relaxed);
+  mark_all_dirty();
+}
+
+void PairLedger::reset_marking_budget() {
+  if (dirty_.empty()) return;
+  // Marks were skipped while the overflow latch was up, so converting the
+  // latch back to bits must be conservative: everything dirty.
+  if (mark_overflow_.load(std::memory_order_relaxed) != 0) {
+    mark_all_dirty();
+    mark_overflow_.store(0, std::memory_order_relaxed);
+  }
+  mark_budget_.store(
+      kMarkingBudgetPerNode * static_cast<std::int64_t>(node_count_),
+      std::memory_order_relaxed);
+}
+
+void PairLedger::set_reader_threshold(std::uint32_t minimum_eligible_count) {
+  require(minimum_eligible_count >= 1,
+          "PairLedger: reader threshold must be >= 1");
+  reader_threshold_ = minimum_eligible_count;
+}
+
+void PairLedger::mark_dirty(NodeId x) {
+  if (dirty_.empty()) return;
+  if (relaxed(dirty_[x]).exchange(1, std::memory_order_relaxed) == 0) {
+    dirty_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PairLedger::mark_all_dirty() {
+  if (dirty_.empty()) return;
+  std::fill(dirty_.begin(), dirty_.end(), 1);
+  dirty_count_.store(node_count_, std::memory_order_relaxed);
+}
+
+void PairLedger::clear_dirty(NodeId x) {
+  if (dirty_.empty()) return;
+  if (relaxed(dirty_[x]).exchange(0, std::memory_order_relaxed) == 1) {
+    dirty_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t PairLedger::drain_dirty(std::vector<NodeId>& out) {
+  if (dirty_.empty()) return 0;
+  mark_budget_.store(
+      kMarkingBudgetPerNode * static_cast<std::int64_t>(node_count_),
+      std::memory_order_relaxed);
+  if (mark_overflow_.load(std::memory_order_relaxed) != 0) {
+    // The epoch overflowed: marks were latched, not recorded — the whole
+    // network is the frontier.
+    mark_overflow_.store(0, std::memory_order_relaxed);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    dirty_count_.store(0, std::memory_order_relaxed);
+    for (NodeId x = 0; x < node_count_; ++x) out.push_back(x);
+    return node_count_;
+  }
+  if (dirty_count_.load(std::memory_order_relaxed) == 0) return 0;
+  std::size_t appended = 0;
+  for (NodeId x = 0; x < node_count_; ++x) {
+    if (dirty_[x] != 0) {
+      dirty_[x] = 0;
+      out.push_back(x);
+      ++appended;
+    }
+  }
+  dirty_count_.store(0, std::memory_order_relaxed);
+  return appended;
 }
 
 }  // namespace poq::core

@@ -6,6 +6,24 @@
 // a symmetric count matrix is the complete state. PairLedger is that
 // matrix plus per-node partner sets for fast swap-candidate enumeration,
 // and doubles as the instantaneous entanglement graph (§6).
+//
+// Hot-path layout: the partner sets live in one flat CSR-style arena
+// (node-major rows of stride node_count-1, sorted, with in-place
+// insert/erase), so steady-state add/remove never allocates. The ledger
+// also maintains two incremental structures:
+//
+//   * a count-of-counts histogram (bucketed at kMinHistogramCap) backing
+//     minimum_pair_count() without the O(n^2) matrix scan — the dense
+//     scan remains only as the fallback when every pair count has
+//     overflowed the histogram range;
+//   * an optional per-node dirty set for the incremental swap-decide
+//     kernel: when enabled, every count mutation marks exactly the nodes
+//     whose readable state changed — the two endpoints (they own the
+//     counts) plus the common partners of the changed pair (the nodes
+//     that read C_x(y) as a §4 beneficiary count). An unchanged readable
+//     view implies an unchanged best-swap decision, so a decide kernel
+//     that re-runs only over the dirty frontier is exactly equivalent to
+//     a full rescan (sim::NetworkState::decide_swaps leans on this).
 #pragma once
 
 #include <atomic>
@@ -41,27 +59,137 @@ class PairLedger {
   /// Nodes y with count(x, y) > 0, ascending.
   [[nodiscard]] std::span<const NodeId> partners(NodeId x) const;
 
+  /// Number of partners of x (the length of partners(x)).
+  [[nodiscard]] std::uint32_t degree(NodeId x) const;
+
   /// Smallest count over all (unordered) node pairs, including zeroes.
+  /// Served from the incremental count histogram; falls back to the dense
+  /// matrix scan only when every pair count is >= kMinHistogramCap.
+  /// Like count(), exact when no commit phase is in flight.
   [[nodiscard]] std::uint32_t minimum_pair_count() const;
 
   /// Snapshot of pairs with count >= threshold as an undirected graph
   /// (the entanglement graph the hybrid protocol routes over, §6).
   [[nodiscard]] graph::Graph entanglement_graph(std::uint32_t threshold = 1) const;
 
+  // --- incremental-decide dirty set ------------------------------------
+  // Disabled (and free) by default; sim::NetworkState enables it for the
+  // sharded phase-kernel engine. Marking may run concurrently from the
+  // two-level commit's disjoint components (marks are relaxed atomic
+  // set-bits); draining/clearing is a serial phase operation.
+
+  /// Turn on dirty tracking; every node starts dirty.
+  void enable_dirty_tracking();
+  [[nodiscard]] bool dirty_tracking() const { return !dirty_.empty(); }
+  /// Minimum count at which a partner becomes *eligible* for the §4 scan
+  /// (the smallest integer C with C - D >= 1, i.e. ceil(D + 1) for a
+  /// uniform distillation D). Tightens the marking: a node reads a
+  /// partner's exact count only once that partner is eligible, and it
+  /// reads a beneficiary count C_x(y) only when both x and y are eligible
+  /// partners — so a mutation that stays strictly below the threshold on
+  /// both sides marks no endpoint, and beneficiary readers are filtered
+  /// by their own eligibility toward the pair. The default (1) assumes
+  /// nothing (any nonzero count may be read) and is always safe; callers
+  /// with a uniform D may raise it. Protocol-exact, not a heuristic:
+  /// under-threshold counts are consulted only through the >= threshold
+  /// predicate itself, which such a mutation cannot flip.
+  void set_reader_threshold(std::uint32_t minimum_eligible_count);
+  [[nodiscard]] std::uint32_t reader_threshold() const {
+    return reader_threshold_;
+  }
+  [[nodiscard]] bool dirty(NodeId x) const {
+    return !dirty_.empty() &&
+           (mark_overflow_.load(std::memory_order_relaxed) != 0 ||
+            dirty_[x] != 0);
+  }
+  /// Currently dirty nodes (0 when tracking is off; node_count when the
+  /// marking epoch overflowed and everything counts as dirty).
+  [[nodiscard]] std::size_t dirty_count() const {
+    if (dirty_.empty()) return 0;
+    if (mark_overflow_.load(std::memory_order_relaxed) != 0) {
+      return node_count_;
+    }
+    return dirty_count_.load(std::memory_order_relaxed);
+  }
+  /// Mark one node dirty (e.g. a gossip view install changed what the
+  /// node would read at decide time). No-op when tracking is off.
+  void mark_dirty(NodeId x);
+  void mark_all_dirty();
+  /// Clear one node's bit: the caller has just recomputed its decision.
+  void clear_dirty(NodeId x);
+  /// Append the dirty nodes (ascending) to `out`, clearing their bits.
+  /// Returns how many were appended. Serial contexts only. Starts a new
+  /// marking epoch (see kMarkingBudgetPerNode).
+  std::size_t drain_dirty(std::vector<NodeId>& out);
+  /// Start a new marking epoch without draining (consumers that clear
+  /// bits node by node, like the fidelity slice kernels, call this at
+  /// their serial phase boundary). If the previous epoch overflowed its
+  /// budget, every node is re-marked dirty first. Serial contexts only.
+  void reset_marking_budget();
+
+  /// Precise reader marking is itself O(min-degree) per mutation; in
+  /// dense regimes (every node's counts moving every round) that work
+  /// buys nothing — everything ends up dirty anyway. Each marking epoch
+  /// (decide-to-decide) therefore has a probe budget of
+  /// kMarkingBudgetPerNode * node_count; once spent, the ledger latches
+  /// "everything dirty" and marking becomes O(1) per mutation for the
+  /// rest of the epoch. Over-marking is always safe (dirty nodes just
+  /// recompute), so this bounds the marking overhead at O(n) per epoch
+  /// without touching the equivalence proof. Sparse steady states never
+  /// come close to the budget.
+  static constexpr std::int64_t kMarkingBudgetPerNode = 8;
+
+  /// Histogram range for minimum_pair_count maintenance: counts at or
+  /// above the cap share one overflow bucket.
+  static constexpr std::uint32_t kMinHistogramCap = 256;
+
  private:
   [[nodiscard]] std::size_t index(NodeId x, NodeId y) const {
     return static_cast<std::size_t>(x) * node_count_ + y;
   }
   void check(NodeId x, NodeId y) const;
+  [[nodiscard]] NodeId* partner_row(NodeId x) {
+    return partner_arena_.data() + static_cast<std::size_t>(x) * row_stride_;
+  }
+  [[nodiscard]] const NodeId* partner_row(NodeId x) const {
+    return partner_arena_.data() + static_cast<std::size_t>(x) * row_stride_;
+  }
+  void insert_partner(NodeId x, NodeId y);
+  void erase_partner(NodeId x, NodeId y);
+  /// Move one unordered pair between histogram buckets + maintain the
+  /// lower-bound hint. Relaxed atomics: safe under the two-level commit.
+  void histogram_move(std::uint32_t from, std::uint32_t to);
+  /// Mark everything that reads C_x(y) as it moves before -> after: the
+  /// endpoints (unless the count stays strictly under the reader
+  /// threshold on both sides) and the eligible common partners.
+  void mark_pair_readers(NodeId x, NodeId y, std::uint32_t before,
+                         std::uint32_t after);
 
   std::size_t node_count_;
+  std::size_t row_stride_;                      // node_count_ - 1
   std::vector<std::uint32_t> counts_;           // dense symmetric matrix
-  std::vector<std::vector<NodeId>> partners_;   // sorted nonzero partners
+  std::vector<NodeId> partner_arena_;           // CSR rows, sorted, in-place
+  std::vector<std::uint32_t> degree_;           // live entries per row
   /// Atomic so the two-level swap commit may mutate node-disjoint entries
-  /// from concurrent workers (counts_/partners_ slots are disjoint then;
+  /// from concurrent workers (counts_/partner rows are disjoint then;
   /// the running total is the one shared word). Relaxed is enough: the
   /// commit's phase barrier orders everything else.
   std::atomic<std::uint64_t> total_{0};
+
+  /// count value -> number of unordered pairs holding it (counts >=
+  /// kMinHistogramCap collapse into the last bucket). Relaxed atomics for
+  /// the same reason as total_.
+  std::vector<std::atomic<std::uint64_t>> min_histogram_;
+  /// Lower bound on the true minimum; raised only at quiescent queries.
+  mutable std::atomic<std::uint32_t> min_hint_{0};
+
+  // Dirty set (empty vector = tracking off).
+  std::vector<std::uint8_t> dirty_;             // relaxed atomic_ref marks
+  std::atomic<std::size_t> dirty_count_{0};
+  std::uint32_t reader_threshold_ = 1;
+  /// Probes left in this marking epoch; overflow latches all-dirty.
+  std::atomic<std::int64_t> mark_budget_{0};
+  std::atomic<std::uint8_t> mark_overflow_{0};
 };
 
 }  // namespace poq::core

@@ -81,6 +81,12 @@ class MaxMinBalancer {
   /// Scratch.
   struct Scratch {
     std::vector<Eligible> eligible;
+
+    /// Pre-size for networks of `node_count` nodes (at most node_count-1
+    /// partners are ever eligible), so the per-node scan never allocates.
+    void reserve(std::size_t node_count) {
+      eligible.reserve(node_count > 0 ? node_count - 1 : 0);
+    }
   };
 
   /// Best preferable swap at x under true (global) knowledge; nullopt when

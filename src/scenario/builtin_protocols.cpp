@@ -51,6 +51,12 @@ std::vector<KnobSpec> tick_knobs(bool kernelized = true) {
       {"shards", KnobType::kInt, std::int64_t{0},
        kernelized ? "work shards per phase (0 = auto; never changes results)"
                   : "accepted for registry uniformity; never changes results"},
+      {"decide", KnobType::kString, std::string("incremental"),
+       kernelized
+           ? "swap-decide mode: incremental (dirty-set candidate cache) or "
+             "full (rescan every node); never changes results"
+           : "accepted for registry uniformity (incremental|full); never "
+             "changes results"},
   };
 }
 
@@ -82,7 +88,26 @@ sim::TickConcurrency tick_from_spec(const std::string& protocol,
   const std::int64_t shards = spec.knob_int("shards", 0);
   require(shards >= 0 && shards <= 1 << 20, "knob 'shards' must be >= 0");
   tick.shards = static_cast<std::uint32_t>(shards);
+  const std::string decide = spec.knob_string("decide", "incremental");
+  if (decide == "incremental") {
+    tick.incremental_decide = true;
+  } else if (decide == "full") {
+    tick.incremental_decide = false;
+  } else {
+    throw PreconditionError(util::str_cat(
+        protocol, ": knob 'decide' must be incremental or full, got '", decide,
+        "'"));
+  }
   return tick;
+}
+
+/// Surface the phase-kernel wall-clock (RunMetrics timings; excluded from
+/// every determinism/regression comparison, like wall_ms).
+void add_phase_timings(RunMetrics& metrics, const sim::PhaseTimers& phase) {
+  metrics.set_timing("phase_ms.generate", static_cast<double>(phase.generate_ns) / 1e6);
+  metrics.set_timing("phase_ms.decide", static_cast<double>(phase.decide_ns) / 1e6);
+  metrics.set_timing("phase_ms.commit", static_cast<double>(phase.commit_ns) / 1e6);
+  metrics.set_timing("phase_ms.decohere", static_cast<double>(phase.decohere_ns) / 1e6);
 }
 
 void add_overhead_metrics(RunMetrics& metrics, double swaps,
@@ -107,6 +132,7 @@ void add_balancing_metrics(RunMetrics& metrics, const core::BalancingResult& res
                        result.denominator_paper, result.denominator_exact);
   metrics.set_scalar("mean_head_wait", result.head_wait_rounds.mean());
   metrics.set_stats("head_wait_rounds", result.head_wait_rounds);
+  add_phase_timings(metrics, result.phase);
 }
 
 core::BalancingConfig balancing_config(const ScenarioSpec& spec) {
@@ -397,6 +423,7 @@ class FidelityProtocol final : public Protocol {
     metrics.set_stats("consumed_fidelity", result.consumed_fidelity);
     metrics.set_stats("request_latency", result.request_latency);
     metrics.set_stats("storage_age_at_use", result.storage_age_at_use);
+    add_phase_timings(metrics, result.phase);
     return metrics;
   }
 };

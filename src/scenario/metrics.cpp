@@ -54,6 +54,14 @@ void RunMetrics::set_stats(const std::string& name,
   stats_.emplace_back(name, stats);
 }
 
+void RunMetrics::set_timing(const std::string& name, double ms) {
+  if (double* existing = find_entry(timings_, name)) {
+    *existing = ms;
+    return;
+  }
+  timings_.emplace_back(name, ms);
+}
+
 bool RunMetrics::has_label(const std::string& name) const {
   return find_entry(labels_, name) != nullptr;
 }
@@ -84,6 +92,16 @@ const util::RunningStats& RunMetrics::stats(const std::string& name) const {
   return *value;
 }
 
+bool RunMetrics::has_timing(const std::string& name) const {
+  return find_entry(timings_, name) != nullptr;
+}
+
+double RunMetrics::timing(const std::string& name) const {
+  const double* value = find_entry(timings_, name);
+  if (!value) throw PreconditionError(util::str_cat("no timing metric '", name, "'"));
+  return *value;
+}
+
 util::json::Value stats_to_json(const util::RunningStats& stats) {
   using util::json::Value;
   Value out = Value::object();
@@ -95,7 +113,7 @@ util::json::Value stats_to_json(const util::RunningStats& stats) {
   return out;
 }
 
-util::json::Value RunMetrics::to_json() const {
+util::json::Value RunMetrics::to_json(bool include_timings) const {
   using util::json::Value;
   Value out = Value::object();
   Value labels = Value::object();
@@ -107,6 +125,11 @@ util::json::Value RunMetrics::to_json() const {
   Value stats = Value::object();
   for (const auto& [name, value] : stats_) stats.set(name, stats_to_json(value));
   out.set("stats", std::move(stats));
+  if (include_timings && !timings_.empty()) {
+    Value timings = Value::object();
+    for (const auto& [name, value] : timings_) timings.set(name, value);
+    out.set("timings", std::move(timings));
+  }
   return out;
 }
 
@@ -125,6 +148,11 @@ RunMetrics RunMetrics::from_json(const util::json::Value& value) {
                                 count, summary.at("mean").as_number(),
                                 stddev * stddev, summary.at("min").as_number(),
                                 summary.at("max").as_number()));
+  }
+  if (value.contains("timings")) {
+    for (const auto& [name, timing] : value.at("timings").members()) {
+      metrics.set_timing(name, timing.as_number());
+    }
   }
   return metrics;
 }

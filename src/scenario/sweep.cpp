@@ -51,6 +51,13 @@ util::json::Value CellAggregate::to_json() const {
     metric_object.set(name, stats_to_json(stats));
   }
   out.set("metrics", std::move(metric_object));
+  if (!timings.empty()) {
+    Value timing_object = Value::object();
+    for (const auto& [name, stats] : timings) {
+      timing_object.set(name, stats_to_json(stats));
+    }
+    out.set("timings", std::move(timing_object));
+  }
   out.set("wall_ms", wall_ms);
   return out;
 }
@@ -152,19 +159,23 @@ std::vector<CellAggregate> SweepRunner::run(
           }
         }
       }
+      const auto accumulate =
+          [](std::vector<std::pair<std::string, util::RunningStats>>& into,
+             const std::string& name, double value) {
+            for (auto& [key, existing] : into) {
+              if (key == name) {
+                existing.add(value);
+                return;
+              }
+            }
+            into.emplace_back(name, util::RunningStats{});
+            into.back().second.add(value);
+          };
       for (const auto& [name, value] : result.metrics.scalars()) {
-        util::RunningStats* stats = nullptr;
-        for (auto& [key, existing] : aggregate.scalars) {
-          if (key == name) {
-            stats = &existing;
-            break;
-          }
-        }
-        if (!stats) {
-          aggregate.scalars.emplace_back(name, util::RunningStats{});
-          stats = &aggregate.scalars.back().second;
-        }
-        stats->add(value);
+        accumulate(aggregate.scalars, name, value);
+      }
+      for (const auto& [name, value] : result.metrics.timings()) {
+        accumulate(aggregate.timings, name, value);
       }
     }
     aggregates.push_back(std::move(aggregate));

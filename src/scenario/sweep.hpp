@@ -47,6 +47,9 @@ struct CellAggregate {
   /// order. A scalar a run omits (e.g. overhead of a starved run) simply
   /// contributes no sample.
   std::vector<std::pair<std::string, util::RunningStats>> scalars;
+  /// Per-timing aggregation (phase_ms.* wall-clock): observability only,
+  /// excluded — like wall_ms — from every determinism/regression compare.
+  std::vector<std::pair<std::string, util::RunningStats>> timings;
   /// Wall-clock spent running this cell's replications, summed (ms).
   double wall_ms = 0.0;
 
@@ -55,7 +58,8 @@ struct CellAggregate {
   [[nodiscard]] const util::RunningStats& at(const std::string& name) const;
 
   /// {"spec": ..., "seeds": n, "labels": {...},
-  ///  "metrics": {name: {count, mean, stddev, min, max}}, "wall_ms": t}
+  ///  "metrics": {name: {count, mean, stddev, min, max}},
+  ///  "timings": {...} (when present), "wall_ms": t}
   [[nodiscard]] util::json::Value to_json() const;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/network_state.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "quantum/werner.hpp"
@@ -16,15 +17,32 @@ NetworkState::NetworkState(const graph::Graph& generation_graph,
       ledger_(generation_graph.node_count()),
       decay_(decay) {
   if (tick_.mode == TickMode::kSharded) {
+    const std::size_t n = graph_.node_count();
     pool_ = std::make_unique<ParallelTickEngine>(tick_.threads);
-    shard_count_ = pool_->resolve_shards(tick_.shards, graph_.node_count());
+    shard_count_ = pool_->resolve_shards(tick_.shards, n);
     shard_scratch_.resize(shard_count_);
+    // Pre-size every per-round scratch once: the steady-state round
+    // allocates nothing (asserted by the hot-path allocation test).
+    for (core::MaxMinBalancer::Scratch& scratch : shard_scratch_) {
+      scratch.reserve(n);
+    }
     generation_amounts_.assign(graph_.edge_count(), 0);
-    candidates_.assign(graph_.node_count(), std::nullopt);
-    committed_.assign(graph_.node_count(), 0);
-    executions_.resize(graph_.node_count());
-    uf_parent_.resize(graph_.node_count());
-    group_of_root_.assign(graph_.node_count(), -1);
+    candidates_.assign(n, std::nullopt);
+    committed_.assign(n, 0);
+    executions_.resize(n);
+    uf_parent_.resize(n);
+    group_of_root_.assign(n, -1);
+    touched_roots_.reserve(n);
+    group_start_.assign(n + 1, 0);
+    group_fill_.assign(n, 0);
+    group_members_.assign(n, 0);
+    dirty_nodes_.reserve(n);
+    shard_candidate_delta_.assign(shard_count_, 0);
+    // The incremental decide consumes the ledger's dirty frontier; every
+    // node starts dirty so the first decide computes the full table.
+    // Full-rescan mode leaves tracking off entirely — it re-decides every
+    // node anyway, so it should not pay the per-mutation marking either.
+    if (tick_.incremental_decide) ledger_.enable_dirty_tracking();
   }
   if (decay_) {
     const std::size_t n = graph_.node_count();
@@ -40,8 +58,23 @@ ParallelTickEngine& NetworkState::pool() {
 
 std::size_t NetworkState::shard_count() const { return shard_count_; }
 
+void NetworkState::generate_shard(std::size_t shard) {
+  const auto [begin, end] = ParallelTickEngine::shard_range(
+      graph_.edge_count(), shard_count_, shard);
+  for (std::size_t e = begin; e < end; ++e) {
+    std::uint32_t amount = gen_whole_;
+    if (gen_frac_ > 0.0) {
+      util::Rng edge_rng =
+          util::Rng::keyed(seed_, stream_tag::kGeneration, gen_round_, e);
+      if (edge_rng.bernoulli(gen_frac_)) ++amount;
+    }
+    generation_amounts_[e] = amount;
+  }
+}
+
 std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
                                      util::Rng* sequential_rng) {
+  const PhaseStopwatch stopwatch(timers_.generate_ns);
   const double whole = std::floor(rate);
   const double frac = rate - whole;
   const auto whole_amount = static_cast<std::uint32_t>(whole);
@@ -64,19 +97,11 @@ std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
   // runs on the caller in canonical edge order (adds commute, but a fixed
   // order keeps the ledger internals single-threaded here).
   const std::size_t edge_count = graph_.edge_count();
-  pool_->run_shards(shard_count_, [&](std::size_t shard) {
-    const auto [begin, end] =
-        ParallelTickEngine::shard_range(edge_count, shard_count_, shard);
-    for (std::size_t e = begin; e < end; ++e) {
-      std::uint32_t amount = whole_amount;
-      if (frac > 0.0) {
-        util::Rng edge_rng =
-            util::Rng::keyed(seed_, stream_tag::kGeneration, round, e);
-        if (edge_rng.bernoulli(frac)) ++amount;
-      }
-      generation_amounts_[e] = amount;
-    }
-  });
+  gen_round_ = round;
+  gen_whole_ = whole_amount;
+  gen_frac_ = frac;
+  pool_->run_shards(shard_count_,
+                    [this](std::size_t shard) { generate_shard(shard); });
   const auto& edges = graph_.edges();
   for (std::size_t e = 0; e < edge_count; ++e) {
     const std::uint32_t amount = generation_amounts_[e];
@@ -87,17 +112,66 @@ std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
   return generated;
 }
 
+void NetworkState::decide_shard(std::size_t shard) {
+  const auto [begin, end] = ParallelTickEngine::shard_range(
+      dirty_nodes_.size(), decide_shard_count_, shard);
+  core::MaxMinBalancer::Scratch& scratch = shard_scratch_[shard];
+  std::int64_t delta = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const core::NodeId x = dirty_nodes_[i];
+    delta -= candidates_[x].has_value() ? 1 : 0;
+    candidates_[x] = (*decide_fn_)(x, scratch);
+    delta += candidates_[x].has_value() ? 1 : 0;
+  }
+  shard_candidate_delta_[shard] = delta;
+}
+
 void NetworkState::decide_swaps(const DecideFn& decide) {
   require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
-  const std::size_t node_count = graph_.node_count();
-  pool_->run_shards(shard_count_, [&](std::size_t shard) {
-    const auto [begin, end] =
-        ParallelTickEngine::shard_range(node_count, shard_count_, shard);
-    core::MaxMinBalancer::Scratch& scratch = shard_scratch_[shard];
-    for (std::size_t x = begin; x < end; ++x) {
-      candidates_[x] = decide(static_cast<core::NodeId>(x), scratch);
-    }
-  });
+  const PhaseStopwatch stopwatch(timers_.decide_ns);
+  // The frontier: only nodes whose readable counts (or views — the
+  // protocol marks those itself) changed since their last decision. A
+  // clean node's cached candidate is exactly what `decide` would return,
+  // so recomputing the frontier alone equals the full rescan. Full-rescan
+  // mode (no dirty tracking) simply makes the frontier everything.
+  dirty_nodes_.clear();
+  if (tick_.incremental_decide) {
+    ledger_.drain_dirty(dirty_nodes_);
+    if (dirty_nodes_.empty()) return;
+  } else {
+    const auto n = static_cast<core::NodeId>(graph_.node_count());
+    for (core::NodeId x = 0; x < n; ++x) dirty_nodes_.push_back(x);
+  }
+  decide_fn_ = &decide;
+  // A tiny frontier does not warrant the pool handshake: capping the
+  // shard count at the frontier size makes a 1-node decide hit the
+  // engine's inline fast path. Shard partitioning never affects results.
+  decide_shard_count_ = std::min(shard_count_, dirty_nodes_.size());
+  pool_->run_shards(decide_shard_count_,
+                    [this](std::size_t shard) { decide_shard(shard); });
+  decide_fn_ = nullptr;
+  for (std::size_t shard = 0; shard < shard_count_; ++shard) {
+    candidate_count_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(candidate_count_) +
+        shard_candidate_delta_[shard]);
+    shard_candidate_delta_[shard] = 0;
+  }
+}
+
+void NetworkState::commit_group(std::size_t group) {
+  for (std::uint32_t slot = group_start_[group];
+       slot < group_start_[group + 1]; ++slot) {
+    const core::NodeId x = group_members_[slot];
+    const core::SwapCandidate& candidate = *candidates_[x];
+    if (!(*commit_recheck_)(x, candidate)) continue;
+    // Key packs (attempt, round) without collision: rounds is 32-bit.
+    util::Rng commit_rng = util::Rng::keyed(
+        seed_, stream_tag::kSwap,
+        (static_cast<std::uint64_t>(commit_attempt_) << 32) | commit_round_, x);
+    executions_[x] = commit_balancer_->execute_swap(
+        ledger_, x, candidate.left, candidate.right, commit_rng);
+    committed_[x] = 1;
+  }
 }
 
 NetworkState::CommitStats NetworkState::commit_swaps(
@@ -105,7 +179,10 @@ NetworkState::CommitStats NetworkState::commit_swaps(
     std::uint32_t round, std::uint32_t attempt, const RecheckFn& recheck,
     const ObserveFn& observe) {
   require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
+  const PhaseStopwatch stopwatch(timers_.commit_ns);
   const auto node_count = static_cast<core::NodeId>(graph_.node_count());
+  // Quiescent fast path: nothing decided anywhere, nothing to group.
+  if (candidate_count_ == 0) return CommitStats{};
 
   // Level-1 grouping: union the node triple of every candidate; swaps in
   // different components touch disjoint ledger entries (a pair entry
@@ -124,52 +201,59 @@ NetworkState::CommitStats NetworkState::commit_swaps(
     b = find(b);
     if (a != b) uf_parent_[b] = a;
   };
-  bool any_candidate = false;
   for (core::NodeId x = 0; x < node_count; ++x) {
     committed_[x] = 0;
     if (!candidates_[x]) continue;
-    any_candidate = true;
     unite(x, candidates_[x]->left);
     unite(x, candidates_[x]->right);
   }
   CommitStats stats;
-  if (!any_candidate) return stats;
 
   // Enumerate components in canonical rotating order of their first
   // member, members in rotating order too — grouping depends only on the
-  // candidate table, never on the worker schedule.
-  groups_.clear();
-  std::vector<core::NodeId> touched_roots;
+  // candidate table, never on the worker schedule. Two passes over the
+  // pre-sized flat arrays (assign group ids + sizes, then fill members)
+  // keep the commit allocation-free.
+  group_count_ = 0;
+  touched_roots_.clear();
   for (core::NodeId offset = 0; offset < node_count; ++offset) {
     const auto x = static_cast<core::NodeId>((first + offset) % node_count);
     if (!candidates_[x]) continue;
     const core::NodeId root = find(x);
-    if (group_of_root_[root] < 0) {
-      group_of_root_[root] = static_cast<std::int32_t>(groups_.size());
-      groups_.emplace_back();
-      touched_roots.push_back(root);
+    std::int32_t group = group_of_root_[root];
+    if (group < 0) {
+      group = static_cast<std::int32_t>(group_count_++);
+      group_of_root_[root] = group;
+      touched_roots_.push_back(root);
+      group_start_[static_cast<std::size_t>(group) + 1] = 0;
     }
-    groups_[static_cast<std::size_t>(group_of_root_[root])].push_back(x);
+    ++group_start_[static_cast<std::size_t>(group) + 1];
   }
-  for (const core::NodeId root : touched_roots) group_of_root_[root] = -1;
+  group_start_[0] = 0;
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    group_start_[g + 1] += group_start_[g];
+    group_fill_[g] = group_start_[g];
+  }
+  for (core::NodeId offset = 0; offset < node_count; ++offset) {
+    const auto x = static_cast<core::NodeId>((first + offset) % node_count);
+    if (!candidates_[x]) continue;
+    const auto group = static_cast<std::size_t>(group_of_root_[find(x)]);
+    group_members_[group_fill_[group]++] = x;
+  }
+  for (const core::NodeId root : touched_roots_) group_of_root_[root] = -1;
 
   // Level 2: each component commits serially in its canonical member
   // order; disjoint components fan across the pool. Re-checks read only
   // entries within the member's triple, so concurrent components never
   // interfere, and the outcome equals the fully serial canonical commit.
-  pool_->run_shards(groups_.size(), [&](std::size_t group) {
-    for (const core::NodeId x : groups_[group]) {
-      const core::SwapCandidate& candidate = *candidates_[x];
-      if (!recheck(x, candidate)) continue;
-      // Key packs (attempt, round) without collision: rounds is 32-bit.
-      util::Rng commit_rng = util::Rng::keyed(
-          seed_, stream_tag::kSwap,
-          (static_cast<std::uint64_t>(attempt) << 32) | round, x);
-      executions_[x] = balancer.execute_swap(ledger_, x, candidate.left,
-                                             candidate.right, commit_rng);
-      committed_[x] = 1;
-    }
-  });
+  commit_balancer_ = &balancer;
+  commit_recheck_ = &recheck;
+  commit_round_ = round;
+  commit_attempt_ = attempt;
+  pool_->run_shards(group_count_,
+                    [this](std::size_t group) { commit_group(group); });
+  commit_balancer_ = nullptr;
+  commit_recheck_ = nullptr;
 
   // Serial canonical walk: accumulate stats and report executed swaps in
   // exactly the order a serial commit would have produced them, so even
@@ -253,28 +337,32 @@ std::uint64_t NetworkState::purge_pair_type(core::NodeId x, core::NodeId y,
   return dropped;
 }
 
+void NetworkState::decohere_shard(std::size_t shard) {
+  const auto [begin, end] = ParallelTickEngine::shard_range(
+      pair_meta_.size(), shard_count_, shard);
+  const double usable = decay().usable_fidelity;
+  for (std::size_t b = begin; b < end; ++b) {
+    auto& bucket = pair_meta_[b];
+    std::uint32_t dropped = 0;
+    for (std::size_t i = bucket.size(); i-- > 0;) {
+      if (fidelity_now(bucket[i], decohere_now_) < usable) {
+        bucket.erase(bucket.begin() + static_cast<long>(i));
+        ++dropped;
+      }
+    }
+    purge_dropped_[b] = dropped;
+  }
+}
+
 std::uint64_t NetworkState::decohere_all(double now) {
   require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
   require(decay_.has_value(), "NetworkState::decohere_all: decay tracking off");
+  const PhaseStopwatch stopwatch(timers_.decohere_ns);
   // Phase 1 (sharded over buckets): the exp()-heavy fidelity scan;
   // each bucket compacts its own metadata vector, a bucket-local effect.
-  const std::size_t buckets = pair_meta_.size();
-  const double usable = decay().usable_fidelity;
-  pool_->run_shards(shard_count_, [&](std::size_t shard) {
-    const auto [begin, end] =
-        ParallelTickEngine::shard_range(buckets, shard_count_, shard);
-    for (std::size_t b = begin; b < end; ++b) {
-      auto& bucket = pair_meta_[b];
-      std::uint32_t dropped = 0;
-      for (std::size_t i = bucket.size(); i-- > 0;) {
-        if (fidelity_now(bucket[i], now) < usable) {
-          bucket.erase(bucket.begin() + static_cast<long>(i));
-          ++dropped;
-        }
-      }
-      purge_dropped_[b] = dropped;
-    }
-  });
+  decohere_now_ = now;
+  pool_->run_shards(shard_count_,
+                    [this](std::size_t shard) { decohere_shard(shard); });
   // Phase 2 (serial, canonical bucket order): ledger updates — buckets
   // sharing an endpoint touch the same partner list, so these stay on the
   // caller.

@@ -21,6 +21,18 @@
 // node triples are disjoint commit in parallel (they touch disjoint
 // ledger entries), conflicting swaps serialize in canonical rotating
 // order, and the outcome equals the fully serial canonical commit.
+//
+// Incremental decide (tick.incremental_decide, default on): the decide
+// kernel caches each node's last SwapCandidate in the candidate table and
+// re-runs the decide callback only over the ledger's dirty frontier — the
+// nodes whose readable counts changed since their last decision (marked
+// by every ledger mutation: generation merges, swap commits, decoherence
+// purges, consumption; gossip additionally marks view-install owners).
+// The decide callback must be a pure function of the node's readable
+// state (its own counts, the beneficiary counts / views of its partner
+// pairs, and immutable protocol state) — then an unchanged readable view
+// implies an unchanged decision, and the dirty-set decide is exactly
+// equivalent to the full rescan at every threads/shards setting.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +84,15 @@ class NetworkState {
   [[nodiscard]] ParallelTickEngine& pool();
   /// Node shards resolved for this network (1 when sequential).
   [[nodiscard]] std::size_t shard_count() const;
+  /// Whether the decide kernel runs over the dirty frontier only.
+  [[nodiscard]] bool incremental_decide() const {
+    return tick_.incremental_decide;
+  }
+  /// Cumulative per-phase wall-clock spent in this state's kernels.
+  /// Mutable so drivers with bespoke kernel loops (fidelity slices, the
+  /// sequential sweep) can account their phases here too.
+  [[nodiscard]] PhaseTimers& timers() { return timers_; }
+  [[nodiscard]] const PhaseTimers& timers() const { return timers_; }
 
   // --- generation kernel ----------------------------------------------
   /// Add `rate` Bell pairs per generation edge (fractional rates use
@@ -89,7 +110,10 @@ class NetworkState {
   /// scratch. Requires sharded().
   using DecideFn = std::function<std::optional<core::SwapCandidate>(
       core::NodeId, core::MaxMinBalancer::Scratch&)>;
-  /// Fan `decide` across node shards into the candidate table.
+  /// Refresh the candidate table: fan `decide` across shards of the dirty
+  /// frontier (incremental mode) or of every node (full-rescan mode).
+  /// Clean nodes keep their cached candidate, which by the purity
+  /// contract equals what `decide` would return.
   void decide_swaps(const DecideFn& decide);
   [[nodiscard]] const std::vector<std::optional<core::SwapCandidate>>&
   candidates() const {
@@ -158,11 +182,19 @@ class NetworkState {
 
  private:
   [[nodiscard]] std::size_t bucket_index(core::NodeId x, core::NodeId y) const;
+  /// Shard bodies for the kernels. Their contexts live in members (not
+  /// lambda captures) so the std::function handed to the pool stays
+  /// within the small-object buffer — the hot path never allocates.
+  void generate_shard(std::size_t shard);
+  void decide_shard(std::size_t shard);
+  void commit_group(std::size_t group);
+  void decohere_shard(std::size_t shard);
 
   const graph::Graph& graph_;
   std::uint64_t seed_;
   TickConcurrency tick_;
   core::PairLedger ledger_;
+  PhaseTimers timers_;
 
   // Sharded-engine state (null/empty when sequential).
   std::unique_ptr<ParallelTickEngine> pool_;
@@ -174,10 +206,36 @@ class NetworkState {
   // the canonical walk; a node belongs to exactly one conflict group).
   std::vector<std::uint8_t> committed_;
   std::vector<core::MaxMinBalancer::Execution> executions_;
-  // commit_swaps scratch: union-find + group membership.
+  // commit_swaps scratch: union-find + flat group membership (CSR-style:
+  // members of group g live in group_members_[group_start_[g] ..
+  // group_start_[g+1]), in canonical rotating order). All pre-sized at
+  // construction; a commit allocates nothing.
   std::vector<core::NodeId> uf_parent_;
   std::vector<std::int32_t> group_of_root_;
-  std::vector<std::vector<core::NodeId>> groups_;
+  std::vector<core::NodeId> touched_roots_;
+  std::vector<std::uint32_t> group_start_;   // node_count + 1 slots
+  std::vector<std::uint32_t> group_fill_;    // per-group fill cursor
+  std::vector<core::NodeId> group_members_;  // flat member arena
+  std::size_t group_count_ = 0;
+  // Dirty frontier of the current decide call (pre-sized to node_count)
+  // and the shard count its dispatch used (capped at the frontier size).
+  std::vector<core::NodeId> dirty_nodes_;
+  std::size_t decide_shard_count_ = 1;
+  // Live count of non-null candidates (maintained by decide via per-shard
+  // deltas); lets a fully quiescent commit return without touching the
+  // O(n) grouping walks.
+  std::size_t candidate_count_ = 0;
+  std::vector<std::int64_t> shard_candidate_delta_;  // one per shard
+  // Per-kernel contexts (see the shard bodies above).
+  std::uint32_t gen_round_ = 0;
+  std::uint32_t gen_whole_ = 0;
+  double gen_frac_ = 0.0;
+  const DecideFn* decide_fn_ = nullptr;
+  const core::MaxMinBalancer* commit_balancer_ = nullptr;
+  const RecheckFn* commit_recheck_ = nullptr;
+  std::uint32_t commit_round_ = 0;
+  std::uint32_t commit_attempt_ = 0;
+  double decohere_now_ = 0.0;
 
   // Decay state (tracks_pairs() only): one metadata bucket per unordered
   // node pair, mirroring the ledger counts.

@@ -98,9 +98,20 @@ void ParallelTickEngine::run_shards(
     for (std::size_t shard = 0; shard < shard_count; ++shard) shard_fn(shard);
     return;
   }
-  auto job = std::make_shared<Job>();
+  std::shared_ptr<Job> job;
+  if (spare_ && spare_.use_count() == 1) {
+    // No late-waking worker still holds the previous phase's Job, so its
+    // allocation can be reused — the steady state allocates nothing.
+    job = spare_;
+    job->error = nullptr;
+  } else {
+    job = std::make_shared<Job>();
+    spare_ = job;
+  }
   job->fn = &shard_fn;
   job->shards = shard_count;
+  job->next.store(0, std::memory_order_relaxed);
+  job->completed = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_ = job;

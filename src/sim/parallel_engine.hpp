@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -69,6 +70,46 @@ struct TickConcurrency {
   std::uint32_t threads = 1;
   /// Work shards per phase (0 = auto). Never affects results.
   std::uint32_t shards = 0;
+  /// Incremental dirty-set swap decide: re-run best_swap only over the
+  /// nodes whose readable counts changed since their last decision
+  /// (false = full rescan every round). An unchanged readable view
+  /// implies an unchanged decision, so this never affects results either
+  /// — it is the steady-state hot-path knob the BENCH_hotpath suite
+  /// measures.
+  bool incremental_decide = true;
+};
+
+/// Cumulative wall-clock nanoseconds spent in each phase kernel of one
+/// run. Pure observability: timings ride along in RunMetrics/BENCH JSON
+/// but are explicitly outside the determinism contract (like wall_ms) and
+/// are never compared by the regression gates.
+struct PhaseTimers {
+  std::uint64_t generate_ns = 0;
+  std::uint64_t decide_ns = 0;
+  std::uint64_t commit_ns = 0;
+  std::uint64_t decohere_ns = 0;
+};
+
+/// RAII accumulator for one PhaseTimers field: adds the scope's elapsed
+/// wall-clock on destruction. The single timing implementation for every
+/// phase accounting site (NetworkState kernels, the fidelity slice
+/// kernels, the sequential sweep).
+class PhaseStopwatch {
+ public:
+  explicit PhaseStopwatch(std::uint64_t& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseStopwatch() {
+    sink_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  PhaseStopwatch(const PhaseStopwatch&) = delete;
+  PhaseStopwatch& operator=(const PhaseStopwatch&) = delete;
+
+ private:
+  std::uint64_t& sink_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 class ParallelTickEngine {
@@ -128,6 +169,10 @@ class ParallelTickEngine {
   bool shutdown_ = false;
   std::uint64_t job_id_ = 0;     // bumps once per run_shards call
   std::shared_ptr<Job> job_;     // current phase, guarded by mutex_
+  /// Recycled Job allocation: reused when no late-waking worker still
+  /// holds a reference (use_count == 1), so steady-state phases allocate
+  /// nothing. Only touched by the run_shards caller.
+  std::shared_ptr<Job> spare_;
 
   std::vector<std::thread> workers_;
 };

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace poq::core {
 namespace {
@@ -107,6 +111,160 @@ TEST(PairLedger, TotalPairsAccumulates) {
   ledger.add(2, 3, 5);
   ledger.remove(0, 1, 4);
   EXPECT_EQ(ledger.total_pairs(), 11u);
+}
+
+/// Brute-force reference for minimum_pair_count: the dense matrix scan.
+std::uint32_t scan_minimum(const PairLedger& ledger) {
+  std::uint32_t minimum = UINT32_MAX;
+  const auto n = static_cast<NodeId>(ledger.node_count());
+  for (NodeId x = 0; x < n; ++x) {
+    for (NodeId y = x + 1; y < n; ++y) {
+      minimum = std::min(minimum, ledger.count(x, y));
+    }
+  }
+  return minimum;
+}
+
+TEST(PairLedger, MinimumPairCountMatchesScanUnderRandomChurn) {
+  // The incremental count histogram must agree with the full matrix scan
+  // after every mutation of a randomized add/remove workload.
+  PairLedger ledger(6);
+  util::Rng rng(0xC0FFEE);
+  for (int step = 0; step < 4000; ++step) {
+    const auto x = static_cast<NodeId>(rng.uniform_index(6));
+    auto y = static_cast<NodeId>(rng.uniform_index(6));
+    if (y == x) y = (y + 1) % 6;
+    const auto amount = static_cast<std::uint32_t>(1 + rng.uniform_index(3));
+    if (rng.bernoulli(0.55) || ledger.count(x, y) < amount) {
+      ledger.add(x, y, amount);
+    } else {
+      ledger.remove(x, y, amount);
+    }
+    ASSERT_EQ(ledger.minimum_pair_count(), scan_minimum(ledger))
+        << "histogram minimum diverged at step " << step;
+  }
+}
+
+TEST(PairLedger, MinimumPairCountFallsBackAboveHistogramCap) {
+  // Saturate every unordered pair past the histogram range: the exact
+  // minimum must still come out (via the dense-scan fallback).
+  PairLedger ledger(3);
+  const std::uint32_t above = PairLedger::kMinHistogramCap + 40;
+  ledger.add(0, 1, above + 2);
+  ledger.add(0, 2, above);
+  ledger.add(1, 2, above + 7);
+  EXPECT_EQ(ledger.minimum_pair_count(), above);
+  ledger.remove(0, 2, above - 1);  // drop one pair back into range
+  EXPECT_EQ(ledger.minimum_pair_count(), 1u);
+}
+
+std::vector<NodeId> drained(PairLedger& ledger) {
+  std::vector<NodeId> nodes;
+  ledger.drain_dirty(nodes);
+  return nodes;
+}
+
+TEST(PairLedger, DirtyMarksEndpointsAndEligibleCommonPartners) {
+  // 0-1 counts change; 2 holds eligible pairs toward both endpoints and
+  // reads C_0(1) as a beneficiary count; 3 holds a pair toward 0 only.
+  PairLedger ledger(5);
+  ledger.enable_dirty_tracking();
+  ledger.set_reader_threshold(2);
+  ledger.add(0, 2, 2);
+  ledger.add(1, 2, 2);
+  ledger.add(0, 3, 2);
+  (void)drained(ledger);  // start clean
+  ledger.add(0, 1, 2);
+  EXPECT_EQ(drained(ledger), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(ledger.dirty_count(), 0u);
+}
+
+TEST(PairLedger, DirtySkipsMutationsBelowReaderThreshold) {
+  // With eligibility from count 2 (uniform D = 1), a 0 -> 1 add is
+  // invisible to the endpoints' scans (the new partner stays ineligible)
+  // — only eligible common partners read its exact value.
+  PairLedger ledger(5);
+  ledger.enable_dirty_tracking();
+  ledger.set_reader_threshold(2);
+  ledger.add(0, 2, 2);
+  ledger.add(1, 2, 2);
+  (void)drained(ledger);
+  ledger.add(0, 1, 1);  // below threshold: endpoints unmarked
+  EXPECT_EQ(drained(ledger), (std::vector<NodeId>{2}));
+  ledger.add(0, 1, 1);  // 1 -> 2 crosses the threshold: endpoints marked
+  EXPECT_EQ(drained(ledger), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(PairLedger, MarkingBudgetOverflowLatchesEverythingDirty) {
+  // Hammer one epoch with far more reader scans than the O(n) budget:
+  // the ledger must degrade to "everything dirty" (over-marking is safe)
+  // and the next drain must emit every node and start a fresh epoch.
+  PairLedger ledger(8);
+  ledger.enable_dirty_tracking();
+  // Dense counts so every mutation scans a full partner row.
+  for (NodeId x = 0; x < 8; ++x) {
+    for (NodeId y = static_cast<NodeId>(x + 1); y < 8; ++y) ledger.add(x, y, 3);
+  }
+  std::vector<NodeId> nodes;
+  ledger.drain_dirty(nodes);
+  nodes.clear();
+  const std::int64_t budget = PairLedger::kMarkingBudgetPerNode * 8;
+  for (std::int64_t i = 0; i < budget; ++i) {
+    ledger.add(0, 1, 1);
+    ledger.remove(0, 1, 1);
+  }
+  EXPECT_EQ(ledger.dirty_count(), 8u);  // latched: everything reads dirty
+  EXPECT_TRUE(ledger.dirty(7));
+  EXPECT_EQ(ledger.drain_dirty(nodes), 8u);
+  EXPECT_EQ(nodes.size(), 8u);
+  EXPECT_EQ(ledger.dirty_count(), 0u);
+  // Fresh epoch: precise (bit-level, unlatched) marking works again — in
+  // this dense ledger every node reads C_0(1), but the marks are real
+  // bits now, so a per-node clear takes effect (a latch would not).
+  ledger.add(0, 1, 1);
+  EXPECT_EQ(ledger.dirty_count(), 8u);
+  ledger.clear_dirty(5);
+  EXPECT_EQ(ledger.dirty_count(), 7u);
+  EXPECT_FALSE(ledger.dirty(5));
+}
+
+TEST(PairLedger, ResetMarkingBudgetConvertsOverflowToBits) {
+  PairLedger ledger(6);
+  ledger.enable_dirty_tracking();
+  for (NodeId x = 0; x < 6; ++x) {
+    for (NodeId y = static_cast<NodeId>(x + 1); y < 6; ++y) ledger.add(x, y, 3);
+  }
+  std::vector<NodeId> nodes;
+  ledger.drain_dirty(nodes);
+  for (int i = 0; i < 200; ++i) {
+    ledger.add(0, 1, 1);
+    ledger.remove(0, 1, 1);
+  }
+  ASSERT_EQ(ledger.dirty_count(), 6u);  // overflowed
+  ledger.reset_marking_budget();        // the fidelity slice boundary
+  // The latch is gone but the information loss was conservative: every
+  // node's bit is set, and per-node clears work again.
+  EXPECT_EQ(ledger.dirty_count(), 6u);
+  ledger.clear_dirty(3);
+  EXPECT_EQ(ledger.dirty_count(), 5u);
+  EXPECT_FALSE(ledger.dirty(3));
+}
+
+TEST(PairLedger, DirtyTrackingOffByDefaultAndMarkAllOnEnable) {
+  PairLedger ledger(4);
+  EXPECT_FALSE(ledger.dirty_tracking());
+  ledger.add(0, 1, 3);
+  EXPECT_EQ(ledger.dirty_count(), 0u);
+  ledger.enable_dirty_tracking();
+  EXPECT_TRUE(ledger.dirty_tracking());
+  EXPECT_EQ(ledger.dirty_count(), 4u);  // everything starts dirty
+  std::vector<NodeId> nodes;
+  EXPECT_EQ(ledger.drain_dirty(nodes), 4u);
+  EXPECT_TRUE(ledger.dirty(0) == false && ledger.dirty_count() == 0u);
+  ledger.mark_dirty(2);
+  EXPECT_TRUE(ledger.dirty(2));
+  ledger.clear_dirty(2);
+  EXPECT_EQ(ledger.dirty_count(), 0u);
 }
 
 }  // namespace

@@ -50,7 +50,9 @@ ScenarioSpec base_spec(const std::string& protocol, std::size_t nodes = 25) {
 }
 
 std::string run_dump(const ScenarioSpec& spec) {
-  return registry().run(spec.protocol, spec).to_json().dump(2);
+  // to_json(false): drop the phase_ms.* wall-clock timings — they are
+  // observability, explicitly outside the determinism contract.
+  return registry().run(spec.protocol, spec).to_json(false).dump(2);
 }
 
 TEST(ParallelDeterminism, ThreadsNeverChangeResults) {

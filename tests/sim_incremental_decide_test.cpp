@@ -1,0 +1,235 @@
+// The incremental dirty-set decide contract: re-running best_swap only
+// over the nodes whose readable counts (or views) changed produces round
+// trajectories bit-identical to a full rescan of every node — for every
+// phase-kernel protocol, at every threads/shards setting — and the
+// steady-state round allocates nothing on the heap after warm-up.
+//
+// The equivalence leans on the candidate-cache invariant
+// (docs/ARCHITECTURE.md): the decide callback is a pure function of a
+// node's readable state, every ledger mutation marks exactly the nodes
+// whose readable state it changed (endpoints above the eligibility
+// threshold + eligible common partners), and gossip marks view-install
+// owners — so a clean node's cached candidate equals what a rescan would
+// recompute.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/balancing_sim.hpp"
+#include "core/workload.hpp"
+#include "graph/topology.hpp"
+#include "scenario/protocol.hpp"
+#include "util/rng.hpp"
+
+// --- allocation counter -----------------------------------------------
+// Global operator new/delete overrides counting every heap allocation in
+// the test binary. The hot-path test warms a simulation up, snapshots the
+// counter, and asserts that steady-state rounds allocate nothing.
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  const auto alignment = static_cast<std::size_t>(align);
+  // aligned_alloc wants size to be a multiple of the alignment.
+  const std::size_t rounded =
+      (std::max<std::size_t>(size, 1) + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace poq::scenario {
+namespace {
+
+std::string run_dump(ScenarioSpec spec, const std::string& decide,
+                     std::int64_t threads, std::int64_t shards) {
+  spec.knobs["decide"] = decide;
+  spec.knobs["threads"] = threads;
+  spec.knobs["shards"] = shards;
+  // to_json(false): phase_ms.* wall-clock is outside the contract.
+  return registry().run(spec.protocol, spec).to_json(false).dump(2);
+}
+
+/// Randomized scenario frames drawn from a fixed meta-seed: topology
+/// family, size, rates, distillation, and per-protocol knobs all vary.
+ScenarioSpec fuzz_spec(const std::string& protocol, util::Rng& fuzz) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.topology = fuzz.bernoulli(0.5) ? "random-grid" : "cycle";
+  const std::size_t sizes[] = {9, 16, 25};
+  spec.nodes = sizes[fuzz.uniform_index(3)];
+  spec.consumer_pairs = 6 + fuzz.uniform_index(10);
+  spec.requests = 20 + fuzz.uniform_index(30);
+  spec.seed = 1 + fuzz.uniform_index(1000);
+  if (protocol == "fidelity") {
+    spec.knobs["duration"] = 30.0 + static_cast<double>(fuzz.uniform_index(3)) * 15.0;
+    spec.knobs["memory-T"] = fuzz.bernoulli(0.5) ? 30.0 : 80.0;
+  } else {
+    spec.knobs["max-rounds"] = std::int64_t{2000};
+    const double rates[] = {0.05, 0.3, 1.0, 1.6};
+    spec.knobs["generation-rate"] = rates[fuzz.uniform_index(4)];
+    const double distillations[] = {1.0, 1.5, 2.0};
+    spec.knobs["distillation"] = distillations[fuzz.uniform_index(3)];
+    if (protocol == "gossip") {
+      spec.knobs["fanout"] = static_cast<std::int64_t>(1 + fuzz.uniform_index(3));
+      spec.knobs["latency"] = fuzz.bernoulli(0.5) ? 1.0 : 2.0;
+    }
+  }
+  return spec;
+}
+
+TEST(IncrementalDecide, FuzzBitIdenticalToFullRescan) {
+  // protocols {balancing, gossip, fidelity} x threads {1,8} x shards
+  // {1,16} on randomized frames: the dirty-set decide must reproduce the
+  // forced full rescan bit for bit, at every concurrency setting.
+  util::Rng fuzz(0xD1E7);
+  const std::vector<std::string> protocols = {"balancing", "gossip",
+                                              "fidelity"};
+  for (int trial = 0; trial < 3; ++trial) {
+    for (const std::string& protocol : protocols) {
+      const ScenarioSpec spec = fuzz_spec(protocol, fuzz);
+      for (const std::int64_t threads : {1, 8}) {
+        for (const std::int64_t shards : {1, 16}) {
+          const std::string incremental =
+              run_dump(spec, "incremental", threads, shards);
+          const std::string full = run_dump(spec, "full", threads, shards);
+          EXPECT_EQ(incremental, full)
+              << protocol << " trial " << trial << " diverged at threads="
+              << threads << " shards=" << shards << "\nspec: "
+              << spec.to_json().dump(2);
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalDecide, SparseSteadyStateStaysIdentical) {
+  // The regime the hot path is built for: rare generation events on a
+  // larger grid, long horizon, tiny dirty frontier — plus a fractional
+  // distillation so commit-time rounding draws stay exercised.
+  ScenarioSpec spec;
+  spec.protocol = "balancing";
+  spec.topology = "random-grid";
+  spec.nodes = 100;
+  spec.consumer_pairs = 20;
+  spec.requests = 5000;
+  spec.seed = 7;
+  spec.knobs["max-rounds"] = std::int64_t{4000};
+  spec.knobs["generation-rate"] = 0.02;
+  spec.knobs["distillation"] = 1.5;
+  for (const std::int64_t threads : {1, 8}) {
+    EXPECT_EQ(run_dump(spec, "incremental", threads, 16),
+              run_dump(spec, "full", threads, 16))
+        << "threads=" << threads;
+  }
+}
+
+// --- lockstep round trajectories --------------------------------------
+
+std::string ledger_dump(const core::PairLedger& ledger) {
+  std::string out;
+  const auto n = static_cast<core::NodeId>(ledger.node_count());
+  for (core::NodeId x = 0; x < n; ++x) {
+    for (core::NodeId y = x + 1; y < n; ++y) {
+      out += std::to_string(ledger.count(x, y)) + ",";
+    }
+  }
+  return out;
+}
+
+TEST(IncrementalDecide, RoundTrajectoriesMatchFullRescan) {
+  // Stronger than end-metrics equality: the full count matrix must match
+  // after every single round, so a divergence cannot cancel out later.
+  util::Rng topology_rng(3);
+  const graph::Graph graph = graph::make_random_connected_grid(49, topology_rng);
+  util::Rng workload_rng(5);
+  const core::Workload workload =
+      core::make_uniform_workload(49, 20, 100000, workload_rng);
+  core::BalancingConfig config;
+  config.generation_per_edge_per_round = 0.4;
+  config.seed = 11;
+  config.tick.mode = sim::TickMode::kSharded;
+  config.tick.threads = 2;
+  config.tick.shards = 8;
+  core::BalancingConfig full_config = config;
+  full_config.tick.incremental_decide = false;
+  core::BalancingSimulation incremental(graph, workload, config);
+  core::BalancingSimulation full(graph, workload, full_config);
+  for (int round = 0; round < 400; ++round) {
+    incremental.step_round();
+    full.step_round();
+    ASSERT_EQ(ledger_dump(incremental.ledger()), ledger_dump(full.ledger()))
+        << "count matrices diverged at round " << round;
+    ASSERT_EQ(incremental.result().swaps_performed,
+              full.result().swaps_performed)
+        << "swap counts diverged at round " << round;
+  }
+}
+
+// --- zero-allocation steady state -------------------------------------
+
+TEST(HotPathAllocations, SteadyStateRoundAllocatesNothing) {
+  // After warm-up, a balancing round on the sharded engine — generation
+  // (fractional rate: keyed streams exercised), dirty-set decide,
+  // two-level commit, consumption — must not touch the heap: all
+  // per-round scratch is pre-sized, the CSR partner arena mutates in
+  // place, and the pool recycles its job allocation.
+  for (const unsigned threads : {1u, 2u}) {
+    util::Rng topology_rng(3);
+    const graph::Graph graph =
+        graph::make_random_connected_grid(49, topology_rng);
+    util::Rng workload_rng(5);
+    const core::Workload workload =
+        core::make_uniform_workload(49, 20, 100000, workload_rng);
+    core::BalancingConfig config;
+    config.generation_per_edge_per_round = 0.5;
+    config.seed = 9;
+    config.tick.mode = sim::TickMode::kSharded;
+    config.tick.threads = threads;
+    core::BalancingSimulation sim(graph, workload, config);
+    for (int round = 0; round < 300; ++round) sim.step_round();
+    const std::uint64_t before =
+        g_allocation_count.load(std::memory_order_relaxed);
+    for (int round = 0; round < 200; ++round) sim.step_round();
+    const std::uint64_t after =
+        g_allocation_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << (after - before) << " allocations in 200 steady-state rounds at "
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace poq::scenario

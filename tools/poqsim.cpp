@@ -134,6 +134,9 @@ void print_metrics(const scenario::RunMetrics& metrics) {
   };
   for (const auto& [name, value] : metrics.labels()) emit(name, value);
   for (const auto& [name, value] : metrics.scalars()) emit(name, scalar_text(value));
+  for (const auto& [name, value] : metrics.timings()) {
+    emit(name, util::format_double(value, 3));
+  }
   if (on_line != 0) std::cout << '\n';
 }
 

@@ -56,6 +56,9 @@ const std::vector<graph::TopologyFamily> kFigureFamilies = {
 struct SuiteRun {
   std::string name;
   std::uint32_t seeds = 1;
+  /// Intra-run threads the cells actually ran with (suites that pin the
+  /// sweep serial override the global --intra-threads).
+  unsigned intra_threads = 1;
   std::vector<scenario::CellAggregate> cells;
   double total_wall_ms = 0.0;
 };
@@ -86,6 +89,7 @@ SuiteRun run_grid(const std::string& name, std::vector<scenario::ScenarioSpec> g
   SuiteRun run;
   run.name = name;
   run.seeds = seeds;
+  run.intra_threads = options.intra_threads;
   const Clock::time_point start = Clock::now();
   run.cells = runner.run(grid);
   run.total_wall_ms = elapsed_ms(start);
@@ -100,6 +104,11 @@ util::json::Value suite_to_json(const SuiteRun& run, const Options& options) {
   Value config = Value::object();
   config.set("quick", options.quick);
   config.set("seeds", static_cast<double>(run.seeds));
+  // Engine provenance for committed baselines: cells whose spec does not
+  // pin `engine` ran the sharded default at this intra-run thread count
+  // (the suite's own value — some suites pin it regardless of the flag).
+  config.set("default_engine", "sharded");
+  config.set("intra_threads", static_cast<double>(run.intra_threads));
   out.set("config", std::move(config));
   out.set("total_wall_ms", run.total_wall_ms);
   Value cells = Value::array();
@@ -300,6 +309,49 @@ SuiteRun suite_parallel_scaling(const Options& options) {
   return run_grid("parallel_scaling", std::move(grid), 1, serial);
 }
 
+SuiteRun suite_hotpath(const Options& options) {
+  // Steady-state hot-path gate: Fig.-5-style large sparse random grids,
+  // swept decide=incremental vs decide=full at two generation regimes.
+  //   * sparse (generation-rate 0.01, the steady-state headline): rare
+  //     generation events only locally perturb the max-min operating
+  //     point, the dirty frontier stays a handful of nodes, and the
+  //     incremental decide carries the >= 2x round-throughput win
+  //     (recorded by the committed baseline's wall_ms / phase timings;
+  //     wall time is never *compared* by --check).
+  //   * dense (generation-rate 1 on the largest quick Fig. 5 cell):
+  //     every node's counts move every round, the frontier is
+  //     everything, and the cells guard the marking overhead from
+  //     regressing the dense path.
+  // Cells pair up (same physics, different decide knob), so the 1e-9
+  // --check gate doubles as an incremental == full equivalence gate, and
+  // the per-phase timings land in each cell's "timings" object. The
+  // backlog is trimmed so cell wall_ms measures the round loop, not the
+  // workload build.
+  bench::FigureSetup sparse_setup;
+  sparse_setup.backlog = 10000;
+  sparse_setup.round_budget = options.quick ? 6000 : 8000;
+  const std::size_t sparse_nodes = options.quick ? 225 : 324;
+  bench::FigureSetup dense_setup;
+  dense_setup.backlog = 10000;
+  dense_setup.round_budget = options.quick ? 500 : 1500;
+  const std::size_t dense_nodes = options.quick ? 49 : 100;
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const bool sparse : {true, false}) {
+    for (const char* decide : {"incremental", "full"}) {
+      scenario::ScenarioSpec spec = bench::balancing_cell_spec(
+          graph::TopologyFamily::kRandomGrid, sparse ? sparse_nodes : dense_nodes,
+          1.0, sparse ? sparse_setup : dense_setup);
+      if (sparse) spec.knobs["generation-rate"] = 0.01;
+      spec.knobs["decide"] = std::string(decide);
+      grid.push_back(std::move(spec));
+    }
+  }
+  Options serial = options;
+  serial.threads = 1;        // one cell at a time: honest wall_ms
+  serial.intra_threads = 1;  // the decide knob is the only axis
+  return run_grid("hotpath", std::move(grid), 1, serial);
+}
+
 using SuiteFn = SuiteRun (*)(const Options&);
 const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"fig4_overhead_vs_distillation", suite_fig4},
@@ -309,6 +361,7 @@ const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"ablation_knowledge", suite_ablation_knowledge},
     {"fidelity_decay", suite_fidelity_decay},
     {"parallel_scaling", suite_parallel_scaling},
+    {"hotpath", suite_hotpath},
 };
 
 // ---------------------------------------------------------------------------
