@@ -5,7 +5,10 @@
 // the statevector kernels.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "core/balancing_sim.hpp"
+#include "core/distributed.hpp"
 #include "core/ledger.hpp"
 #include "core/lp_formulation.hpp"
 #include "core/maxmin_balancer.hpp"
@@ -146,6 +149,38 @@ void BM_DecideKernelFullRescan(benchmark::State& state) {
   decide_kernel_bench(state, /*incremental=*/false);
 }
 BENCHMARK(BM_DecideKernelFullRescan)->Args({100, 4})->Args({225, 4});
+
+/// Per-run control-plane cost of the distributed protocol at growing n
+/// (cycle topology, constant degree): sparse CountUpdate messages to
+/// believed partners should keep the measured bytes-per-epoch roughly
+/// linear in n — the counter lands in the bench's user counters, so the
+/// n=64 -> n=256 pair makes a dense n^2 rebroadcast regression visible
+/// as a superlinear jump, alongside the wall-time per epoch.
+void BM_DistributedControlPlane(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph graph = graph::make_cycle(n);
+  util::Rng workload_rng(5);
+  const core::Workload workload =
+      core::make_uniform_workload(n, 10, 100000, workload_rng);
+  core::DistributedConfig config;
+  config.seed = 9;
+  config.duration = 25.0;
+  const auto epochs = std::ceil(config.duration / config.dt);
+  double bytes_per_epoch = 0.0;
+  for (auto _ : state) {
+    const core::DistributedResult result =
+        core::run_distributed(graph, workload, config);
+    bytes_per_epoch = static_cast<double>(result.control_bytes) / epochs;
+    benchmark::DoNotOptimize(result.control_messages);
+  }
+  state.counters["bytes_per_epoch"] = bytes_per_epoch;
+  state.counters["bytes_per_epoch_per_node"] =
+      bytes_per_epoch / static_cast<double>(n);
+}
+BENCHMARK(BM_DistributedControlPlane)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BalancingRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

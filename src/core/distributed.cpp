@@ -1,13 +1,21 @@
 #include "core/distributed.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <tuple>
 #include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "graph/shortest_path.hpp"
 #include "net/message.hpp"
-#include "sim/engine.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/vertex_program.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace poq::core {
 
@@ -15,6 +23,7 @@ namespace {
 
 using QubitId = std::uint64_t;
 constexpr QubitId kDead = UINT64_MAX;
+constexpr std::uint64_t kNeverDirty = UINT64_MAX;
 
 /// Ground truth: qubits never move; entanglement is a symmetric partner
 /// relation that swaps rewire and measurements sever.
@@ -95,7 +104,7 @@ class NodeState {
     return kDead;
   }
 
-  /// Partners with at least one believed pair.
+  /// Partners with at least one believed pair (ascending).
   [[nodiscard]] std::vector<NodeId> partners(QubitId locked) const {
     std::vector<NodeId> result;
     for (NodeId y = 0; y < by_partner_.size(); ++y) {
@@ -109,6 +118,489 @@ class NodeState {
   std::vector<std::vector<QubitId>> by_partner_;
 };
 
+/// One node's sparse view of other nodes' count rows: only the entries
+/// some reporter actually messaged, instead of the former dense
+/// n-squared matrix per node.
+struct ViewState {
+  /// (reporter << 32 | peer) -> last reported count (zeros erased).
+  std::unordered_map<std::uint64_t, std::uint32_t> count;
+  /// reporter -> send time of its freshest report.
+  std::unordered_map<NodeId, double> time;
+
+  [[nodiscard]] static std::uint64_t key(NodeId reporter, NodeId peer) {
+    return (static_cast<std::uint64_t>(reporter) << 32) | peer;
+  }
+  [[nodiscard]] std::uint32_t count_of(NodeId reporter, NodeId peer) const {
+    const auto it = count.find(key(reporter, peer));
+    return it == count.end() ? 0 : it->second;
+  }
+  [[nodiscard]] double time_of(NodeId reporter) const {
+    const auto it = time.find(reporter);
+    return it == time.end() ? 0.0 : it->second;
+  }
+};
+
+/// A node's cached swap decision (the §4 rule evaluated against its
+/// beliefs and views). Pure function of (beliefs, views, locked qubit),
+/// so under decide=incremental it is recomputed only when the node is
+/// signaled — same results, fewer scans.
+struct Candidate {
+  NodeId left = 0;
+  NodeId right = 0;
+  QubitId q1 = kDead;
+  QubitId q2 = kDead;
+  double vt_left = 0.0;
+  double vt_right = 0.0;
+};
+
+struct ShardStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The vertex-program driver. Each epoch of length dt runs:
+///   1. deliver + parallel apply kernel (views, pair repointing; consume
+///      handshake messages deferred to the serial phase),
+///   2. serial consume resolution,
+///   3. serial ground-truth generation,
+///   4. parallel report/decide kernel over all nodes,
+///   5. serial swap-commit walk in canonical rotating order — a node
+///      whose readable state changed earlier in the walk re-scans live,
+///      replicating "a scan at time t sees all earlier events",
+///   6. the head consumer's periodic offer.
+/// Sub-epoch message latencies (delay rounds to 0 epochs) are applied
+/// inline by the serial phases; everything else is mailed through the
+/// VertexProgram with its canonical merge order.
+class Driver {
+ public:
+  Driver(const graph::Graph& graph, const Workload& workload,
+         const DistributedConfig& config)
+      : graph_(graph),
+        workload_(workload),
+        config_(config),
+        n_(static_cast<NodeId>(graph.node_count())),
+        distances_(graph::all_pairs_distances(graph)),
+        nodes_(n_, NodeState(n_)),
+        views_(n_),
+        last_reported_(n_),
+        candidates_(n_),
+        scanned_(n_, 0),
+        serial_dirty_(n_, kNeverDirty),
+        pool_(config.tick.mode == sim::TickMode::kSharded
+                  ? std::make_unique<sim::ParallelTickEngine>(config.tick.threads)
+                  : nullptr),
+        vp_(n_, pool_.get(),
+            pool_ ? pool_->resolve_shards(config.tick.shards, n_) : 1),
+        shard_stats_(vp_.shard_count()),
+        deferred_consume_(vp_.shard_count()) {}
+
+  DistributedResult run() {
+    const auto epochs =
+        static_cast<std::uint64_t>(std::ceil(config_.duration / config_.dt));
+    const auto retry_epochs = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(config_.consume_retry_interval / config_.dt)));
+    for (std::uint64_t epoch = 0; epoch < epochs; ++epoch) {
+      epoch_ = epoch;
+      now_ = static_cast<double>(epoch + 1) * config_.dt;
+      apply_phase();
+      resolve_consume();
+      generate();
+      report_and_decide();
+      commit();
+      if (epoch % retry_epochs == 0) try_offer();
+      vp_.signals().reset_budget();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  using Program = sim::VertexProgram<net::Message>;
+
+  [[nodiscard]] std::uint64_t delay_epochs(NodeId a, NodeId b) const {
+    const double latency =
+        config_.latency_per_hop * static_cast<double>(distances_[a][b]);
+    return static_cast<std::uint64_t>(std::floor(latency / config_.dt + 0.5));
+  }
+
+  void account_serial(const net::Message& message) {
+    ++result_.control_messages;
+    result_.control_bytes += net::encoded_size(message);
+  }
+
+  /// A serial mutation of `v` after this epoch's decide kernel: the
+  /// commit walk re-scans `v` live, and the signal invalidates the cache
+  /// for future epochs.
+  void mark_serial(NodeId v) {
+    serial_dirty_[v] = epoch_;
+    vp_.signals().signal(v);
+  }
+
+  // --- phase 1: deliver + apply ---------------------------------------
+
+  void apply_phase() {
+    const std::vector<std::uint32_t>& active = vp_.deliver(epoch_);
+    for (auto& deferred : deferred_consume_) deferred.clear();
+    if (active.empty()) return;
+    vp_.run_kernel([&](std::size_t shard, Program::Context& ctx) {
+      const auto [begin, end] = sim::ParallelTickEngine::shard_range(
+          active.size(), vp_.shard_count(), shard);
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId x = active[i];
+        for (const net::Message& message : vp_.inbox(x)) {
+          if (const auto* counts = std::get_if<net::CountUpdate>(&message)) {
+            apply_count_update(x, *counts);
+            ctx.signal(x);
+          } else if (const auto* pair = std::get_if<net::PairUpdate>(&message)) {
+            // Obsolete if the recipient already measured this qubit itself.
+            if (nodes_[x].knows(pair->qubit)) {
+              nodes_[x].learn(pair->qubit, pair->new_partner,
+                              pair->new_partner_qubit);
+              ctx.signal(x);
+            }
+          } else {
+            // Consume handshake: touches the global head-of-line state, so
+            // it resolves in the serial phase (canonical shard order).
+            deferred_consume_[shard].push_back(message);
+          }
+        }
+      }
+    });
+  }
+
+  void apply_count_update(NodeId x, const net::CountUpdate& update) {
+    ViewState& view = views_[x];
+    for (const net::CountUpdate::Entry& entry : update.entries) {
+      const std::uint64_t key = ViewState::key(update.reporter, entry.peer);
+      if (entry.count == 0) {
+        view.count.erase(key);
+      } else {
+        view.count[key] = entry.count;
+      }
+    }
+    view.time[update.reporter] =
+        static_cast<double>(update.version + 1) * config_.dt;
+  }
+
+  // --- phase 2: consume handshake (serial) ----------------------------
+
+  void resolve_consume() {
+    for (const std::vector<net::Message>& deferred : deferred_consume_) {
+      for (const net::Message& message : deferred) {
+        if (const auto* offer = std::get_if<net::ConsumeOffer>(&message)) {
+          handle_offer(*offer);
+        } else if (const auto* reply = std::get_if<net::ConsumeReply>(&message)) {
+          handle_reply(*reply);
+        }
+      }
+    }
+  }
+
+  void handle_offer(const net::ConsumeOffer& offer) {
+    NodeState& responder = nodes_[offer.to];
+    net::ConsumeReply reply;
+    reply.from = offer.to;
+    reply.to = offer.from;
+    reply.request_id = offer.request_id;
+    const bool valid =
+        responder.knows(offer.responder_qubit) &&
+        truth_.alive(offer.responder_qubit) &&
+        truth_.partner(offer.responder_qubit) == offer.initiator_qubit;
+    reply.accept = valid;
+    if (valid) {
+      responder.forget(offer.responder_qubit);
+      truth_.measure(offer.responder_qubit);  // severs both ends
+      mark_serial(offer.to);
+    }
+    account_serial(reply);
+    const std::uint64_t delay = delay_epochs(offer.to, offer.from);
+    if (delay == 0) {
+      handle_reply(reply);
+    } else {
+      vp_.send(reply.to, delay, reply);
+    }
+  }
+
+  void handle_reply(const net::ConsumeReply& reply) {
+    offer_in_flight_ = false;
+    NodeState& initiator = nodes_[reply.to];
+    mark_serial(reply.to);  // the lock (and possibly beliefs) changed
+    if (reply.accept) {
+      // Responder measured its half at accept time; finish locally.
+      truth_.measure(offered_qubit_);
+      initiator.forget(offered_qubit_);
+      offered_qubit_ = kDead;
+      ++result_.requests_satisfied;
+      result_.request_latency.add(now_ - head_since_);
+      ++head_;
+      head_since_ = now_;
+      return;
+    }
+    // Conflict: our belief was stale; the pending PairUpdate will repair
+    // it. Unlock the qubit and let the retry timer try again.
+    ++result_.consume_conflicts;
+    offered_qubit_ = kDead;
+  }
+
+  void try_offer() {
+    if (offer_in_flight_ || head_ >= workload_.request_count()) return;
+    const NodePair& request = workload_.request(head_);
+    NodeState& initiator = nodes_[request.first];
+    const QubitId qubit = initiator.pick(request.second, kDead);
+    if (qubit == kDead) return;  // nothing believed toward the partner yet
+    const Belief* belief = initiator.belief(qubit);
+    net::ConsumeOffer offer;
+    offer.from = request.first;
+    offer.to = request.second;
+    offer.request_id = head_;
+    offer.initiator_qubit = qubit;
+    offer.responder_qubit = belief->partner_qubit;
+    offered_qubit_ = qubit;
+    offer_in_flight_ = true;
+    vp_.signals().signal(request.first);  // the lock changes its counts
+    account_serial(offer);
+    const std::uint64_t delay = delay_epochs(offer.from, offer.to);
+    if (delay == 0) {
+      handle_offer(offer);
+    } else {
+      vp_.send(offer.to, delay, offer);
+    }
+  }
+
+  // --- phase 3: generation (serial, ground truth) ---------------------
+
+  void generate() {
+    const auto& edges = graph_.edges();
+    for (std::size_t index = 0; index < edges.size(); ++index) {
+      util::Rng rng = util::Rng::keyed(config_.seed, sim::stream_tag::kGeneration,
+                                       epoch_, index);
+      const std::uint64_t born =
+          rng.poisson(config_.generation_rate * config_.dt);
+      for (std::uint64_t k = 0; k < born; ++k) {
+        const graph::Edge& edge = edges[index];
+        const QubitId qa = truth_.create(edge.a());
+        const QubitId qb = truth_.create(edge.b());
+        truth_.entangle(qa, qb);
+        nodes_[edge.a()].learn(qa, edge.b(), qb);
+        nodes_[edge.b()].learn(qb, edge.a(), qa);
+        vp_.signals().signal(edge.a());
+        vp_.signals().signal(edge.b());
+        ++result_.pairs_generated;
+      }
+    }
+  }
+
+  // --- phase 4: report + decide (parallel kernel) ---------------------
+
+  void report_and_decide() {
+    vp_.run_kernel([&](std::size_t shard, Program::Context& ctx) {
+      ShardStats& stats = shard_stats_[shard];
+      const auto [begin, end] =
+          sim::ParallelTickEngine::shard_range(n_, vp_.shard_count(), shard);
+      for (NodeId x = static_cast<NodeId>(begin); x < end; ++x) {
+        scanned_[x] = 0;
+        util::Rng report_rng =
+            util::Rng::keyed(config_.seed, sim::stream_tag::kReport, epoch_, x);
+        if (report_rng.poisson(config_.report_rate * config_.dt) > 0) {
+          send_report(x, ctx, stats);
+        }
+        util::Rng scan_rng =
+            util::Rng::keyed(config_.seed, sim::stream_tag::kScan, epoch_, x);
+        if (scan_rng.poisson(config_.scan_rate * config_.dt) > 0) {
+          scanned_[x] = 1;
+          if (!config_.tick.incremental_decide || vp_.signals().test(x)) {
+            candidates_[x] = compute_candidate(x);
+            vp_.signals().clear(x);
+          }
+        }
+      }
+    });
+    for (ShardStats& stats : shard_stats_) {
+      result_.control_messages += stats.messages;
+      result_.control_bytes += stats.bytes;
+      stats = ShardStats{};
+    }
+  }
+
+  /// Report x's count row to its current believed partners. Entries are
+  /// the union of the currently nonzero peers and the peers of the last
+  /// report (so a count that dropped to zero decays at its readers);
+  /// everything is sparse — cost is O(partners), not O(n).
+  void send_report(NodeId x, Program::Context& ctx, ShardStats& stats) {
+    const std::vector<NodeId> current = nodes_[x].partners(offered_qubit_);
+    net::CountUpdate update;
+    update.reporter = x;
+    update.version = epoch_;
+    const std::vector<NodeId>& previous = last_reported_[x];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < current.size() || j < previous.size()) {
+      NodeId peer;
+      if (j >= previous.size() || (i < current.size() && current[i] <= previous[j])) {
+        if (j < previous.size() && previous[j] == current[i]) ++j;
+        peer = current[i++];
+      } else {
+        peer = previous[j++];
+      }
+      update.entries.push_back(
+          net::CountUpdate::Entry{peer, nodes_[x].count(peer, offered_qubit_)});
+    }
+    last_reported_[x] = current;
+    if (current.empty()) return;  // nobody reads this row any more
+    const std::uint64_t bytes = net::encoded_size(net::Message(update));
+    for (const NodeId target : current) {
+      ++stats.messages;
+      stats.bytes += bytes;
+      ctx.send(target, delay_epochs(x, target), update);
+    }
+  }
+
+  /// The §4 swap rule on believed own counts and viewed beneficiary
+  /// counts (D = 1): pick the candidate pair (a, b) with the smallest
+  /// viewed beneficiary count whose caps allow the swap.
+  [[nodiscard]] std::optional<Candidate> compute_candidate(NodeId x) const {
+    const QubitId locked = offered_qubit_;
+    const std::vector<NodeId> partner_list = nodes_[x].partners(locked);
+    const ViewState& view = views_[x];
+    NodeId best_left = n_;
+    NodeId best_right = n_;
+    std::uint32_t best_beneficiary = UINT32_MAX;
+    for (std::size_t i = 0; i < partner_list.size(); ++i) {
+      const NodeId a = partner_list[i];
+      const double cap_a = static_cast<double>(nodes_[x].count(a, locked)) - 1.0;
+      if (cap_a < 1.0) continue;
+      for (std::size_t j = i + 1; j < partner_list.size(); ++j) {
+        const NodeId b = partner_list[j];
+        const double cap_b = static_cast<double>(nodes_[x].count(b, locked)) - 1.0;
+        if (cap_b < 1.0) continue;
+        // Freshest first-hand report about the (a, b) pair.
+        const std::uint32_t beneficiary = view.time_of(a) >= view.time_of(b)
+                                              ? view.count_of(a, b)
+                                              : view.count_of(b, a);
+        if (static_cast<double>(beneficiary) + 1.0 > std::min(cap_a, cap_b)) {
+          continue;
+        }
+        if (beneficiary < best_beneficiary) {
+          best_beneficiary = beneficiary;
+          best_left = a;
+          best_right = b;
+        }
+      }
+    }
+    if (best_left == n_) return std::nullopt;
+    Candidate candidate;
+    candidate.left = best_left;
+    candidate.right = best_right;
+    candidate.q1 = nodes_[x].pick(best_left, locked);
+    candidate.q2 = nodes_[x].pick(best_right, locked);
+    ensure(candidate.q1 != kDead && candidate.q2 != kDead,
+           "distributed: belief lists corrupt");
+    candidate.vt_left = view.time_of(best_left);
+    candidate.vt_right = view.time_of(best_right);
+    return candidate;
+  }
+
+  // --- phase 5: swap commit (serial, canonical rotating order) --------
+
+  void commit() {
+    const auto first = static_cast<NodeId>(epoch_ % n_);
+    for (NodeId offset = 0; offset < n_; ++offset) {
+      const NodeId x = (first + offset) % n_;
+      if (scanned_[x] == 0) continue;
+      std::optional<Candidate> candidate = candidates_[x];
+      if (serial_dirty_[x] == epoch_) {
+        // x's readable state changed after the decide kernel (an earlier
+        // commit in this walk, or this epoch's consume resolution): its
+        // scan happens live, seeing all earlier events of the epoch.
+        candidate = compute_candidate(x);
+      }
+      if (!candidate.has_value()) continue;
+      execute_swap(x, *candidate);
+    }
+  }
+
+  void execute_swap(NodeId x, const Candidate& candidate) {
+    // Physics: measure both local qubits; their true far partners become
+    // entangled with each other, whatever the beliefs said. (Believed
+    // unlocked qubits are always truth-alive: measurement is only ever
+    // performed by a qubit's own holder, which forgets it on the spot.)
+    const QubitId far1 = truth_.partner(candidate.q1);
+    const QubitId far2 = truth_.partner(candidate.q2);
+    truth_.measure(candidate.q1);
+    truth_.measure(candidate.q2);
+    truth_.entangle(far1, far2);
+    nodes_[x].forget(candidate.q1);
+    nodes_[x].forget(candidate.q2);
+    mark_serial(x);
+    ++result_.swaps;
+    const NodeId actual_u = truth_.holder(far1);
+    const NodeId actual_v = truth_.holder(far2);
+    if (NodePair(actual_u, actual_v) != NodePair(candidate.left, candidate.right)) {
+      ++result_.stale_swaps;
+    }
+    result_.decision_view_age.add(
+        now_ - std::max(candidate.vt_left, candidate.vt_right));
+    // Notify the true endpoints, with the 2 classical bits (Fig. 2).
+    util::Rng bits =
+        util::Rng::keyed(config_.seed, sim::stream_tag::kSwapBits, epoch_, x);
+    for (const auto& [endpoint, qubit, partner_node, partner_qubit] :
+         {std::tuple{actual_u, far1, actual_v, far2},
+          std::tuple{actual_v, far2, actual_u, far1}}) {
+      net::PairUpdate update;
+      update.to = endpoint;
+      update.new_partner = partner_node;
+      update.qubit = qubit;
+      update.new_partner_qubit = partner_qubit;
+      update.z_bit = bits.bernoulli(0.5);
+      update.x_bit = bits.bernoulli(0.5);
+      account_serial(update);
+      const std::uint64_t delay = delay_epochs(x, endpoint);
+      if (delay == 0) {
+        // Sub-epoch latency: the repointing lands within this epoch, so
+        // later nodes in the walk (and this epoch's consume) see it.
+        if (nodes_[endpoint].knows(update.qubit)) {
+          nodes_[endpoint].learn(update.qubit, update.new_partner,
+                                 update.new_partner_qubit);
+          mark_serial(endpoint);
+        }
+      } else {
+        vp_.send(endpoint, delay, update);
+      }
+    }
+  }
+
+  const graph::Graph& graph_;
+  const Workload& workload_;
+  const DistributedConfig& config_;
+  NodeId n_;
+  std::vector<std::vector<std::uint32_t>> distances_;
+
+  Truth truth_;
+  std::vector<NodeState> nodes_;
+  std::vector<ViewState> views_;
+  /// Peers with nonzero counts in each node's last report (ascending).
+  std::vector<std::vector<NodeId>> last_reported_;
+  std::vector<std::optional<Candidate>> candidates_;
+  std::vector<std::uint8_t> scanned_;
+  /// Last epoch whose serial phases mutated the node after decide.
+  std::vector<std::uint64_t> serial_dirty_;
+
+  std::unique_ptr<sim::ParallelTickEngine> pool_;
+  Program vp_;
+  std::vector<ShardStats> shard_stats_;
+  std::vector<std::vector<net::Message>> deferred_consume_;
+
+  // Consumption handshake state (head-of-line, so at most one in flight).
+  std::size_t head_ = 0;
+  double head_since_ = 0.0;
+  QubitId offered_qubit_ = kDead;  // initiator's locked qubit
+  bool offer_in_flight_ = false;
+
+  std::uint64_t epoch_ = 0;
+  double now_ = 0.0;
+  DistributedResult result_;
+};
+
 }  // namespace
 
 DistributedResult run_distributed(const graph::Graph& generation_graph,
@@ -117,222 +609,8 @@ DistributedResult run_distributed(const graph::Graph& generation_graph,
   const auto n = static_cast<NodeId>(generation_graph.node_count());
   require(n >= 3, "run_distributed: need at least 3 nodes");
   require(config.latency_per_hop >= 0.0, "run_distributed: negative latency");
-
-  sim::Engine engine(config.seed);
-  util::Rng decision_rng = engine.rng().fork(0xD157);
-  Truth truth;
-  DistributedResult result;
-
-  const auto distances = graph::all_pairs_distances(generation_graph);
-  std::vector<NodeState> nodes(n, NodeState(n));
-
-  // Count views: view_count[x][reporter*n + peer], refreshed by CountUpdate.
-  std::vector<std::vector<std::uint32_t>> view_count(
-      n, std::vector<std::uint32_t>(static_cast<std::size_t>(n) * n, 0));
-  std::vector<std::vector<double>> view_time(n, std::vector<double>(n, 0.0));
-
-  // Consumption handshake state (head-of-line, so at most one in flight).
-  std::size_t head = 0;
-  double head_since = 0.0;
-  QubitId offered_qubit = kDead;  // initiator's locked qubit
-  bool offer_in_flight = false;
-
-  const auto account = [&result](const net::Message& message) {
-    ++result.control_messages;
-    result.control_bytes += net::encoded_size(message);
-  };
-  const auto latency = [&](NodeId a, NodeId b) {
-    return std::max(1e-9, config.latency_per_hop * distances[a][b]);
-  };
-
-  // --- message handlers -----------------------------------------------
-  const auto deliver_pair_update = [&](const net::PairUpdate& update) {
-    NodeState& node = nodes[update.to];
-    // Obsolete if the recipient already measured this qubit itself.
-    if (!node.knows(update.qubit)) return;
-    node.learn(update.qubit, update.new_partner, update.new_partner_qubit);
-  };
-
-  std::function<void()> try_offer;  // forward declaration for retries
-
-  const auto deliver_consume_reply = [&](const net::ConsumeReply& reply) {
-    offer_in_flight = false;
-    NodeState& initiator = nodes[reply.to];
-    if (reply.accept) {
-      // Responder measured its half at accept time; finish locally.
-      truth.measure(offered_qubit);
-      initiator.forget(offered_qubit);
-      offered_qubit = kDead;
-      ++result.requests_satisfied;
-      result.request_latency.add(engine.now() - head_since);
-      ++head;
-      head_since = engine.now();
-      return;
-    }
-    // Conflict: our belief was stale; the pending PairUpdate will repair
-    // it. Unlock the qubit and let the retry timer try again.
-    ++result.consume_conflicts;
-    offered_qubit = kDead;
-  };
-
-  const auto deliver_consume_offer = [&](const net::ConsumeOffer& offer) {
-    NodeState& responder = nodes[offer.to];
-    net::ConsumeReply reply;
-    reply.from = offer.to;
-    reply.to = offer.from;
-    reply.request_id = offer.request_id;
-    const bool valid = responder.knows(offer.responder_qubit) &&
-                       truth.alive(offer.responder_qubit) &&
-                       truth.partner(offer.responder_qubit) == offer.initiator_qubit;
-    reply.accept = valid;
-    if (valid) {
-      responder.forget(offer.responder_qubit);
-      truth.measure(offer.responder_qubit);  // severs both ends
-    }
-    account(reply);
-    const double delay = latency(offer.to, offer.from);
-    engine.after(delay, [&, reply] { deliver_consume_reply(reply); });
-  };
-
-  try_offer = [&] {
-    if (offer_in_flight || head >= workload.request_count()) return;
-    const NodePair& request = workload.request(head);
-    NodeState& initiator = nodes[request.first];
-    const QubitId qubit = initiator.pick(request.second, kDead);
-    if (qubit == kDead) return;  // nothing believed toward the partner yet
-    const Belief* belief = initiator.belief(qubit);
-    net::ConsumeOffer offer;
-    offer.from = request.first;
-    offer.to = request.second;
-    offer.request_id = head;
-    offer.initiator_qubit = qubit;
-    offer.responder_qubit = belief->partner_qubit;
-    offered_qubit = qubit;
-    offer_in_flight = true;
-    account(offer);
-    engine.after(latency(offer.from, offer.to),
-                 [&, offer] { deliver_consume_offer(offer); });
-  };
-
-  // --- processes --------------------------------------------------------
-  for (const graph::Edge& edge : generation_graph.edges()) {
-    engine.poisson_process(config.generation_rate, [&, edge] {
-      const QubitId qa = truth.create(edge.a());
-      const QubitId qb = truth.create(edge.b());
-      truth.entangle(qa, qb);
-      nodes[edge.a()].learn(qa, edge.b(), qb);
-      nodes[edge.b()].learn(qb, edge.a(), qa);
-      ++result.pairs_generated;
-      return true;
-    });
-  }
-
-  for (NodeId x = 0; x < n; ++x) {
-    // Count reporting: broadcast this node's believed row to everyone.
-    engine.poisson_process(config.report_rate, [&, x] {
-      net::CountUpdate update;
-      update.reporter = x;
-      update.version = static_cast<std::uint64_t>(engine.now() * 1e6);
-      for (NodeId peer = 0; peer < n; ++peer) {
-        if (peer == x) continue;
-        update.entries.push_back(
-            net::CountUpdate::Entry{peer, nodes[x].count(peer, offered_qubit)});
-      }
-      for (NodeId target = 0; target < n; ++target) {
-        if (target == x) continue;
-        account(update);
-        const double now = engine.now();
-        engine.after(latency(x, target), [&, update, target, now] {
-          for (const auto& entry : update.entries) {
-            view_count[target][static_cast<std::size_t>(update.reporter) * n +
-                               entry.peer] = entry.count;
-          }
-          view_time[target][update.reporter] = now;
-        });
-      }
-      return true;
-    });
-
-    // Swap scans: the §4 rule on believed own counts and viewed
-    // beneficiary counts (D = 1).
-    engine.poisson_process(config.scan_rate, [&, x] {
-      const QubitId locked = offered_qubit;
-      const std::vector<NodeId> partner_list = nodes[x].partners(locked);
-      NodeId best_left = n;
-      NodeId best_right = n;
-      std::uint32_t best_beneficiary = UINT32_MAX;
-      for (std::size_t i = 0; i < partner_list.size(); ++i) {
-        const NodeId a = partner_list[i];
-        const double cap_a = static_cast<double>(nodes[x].count(a, locked)) - 1.0;
-        if (cap_a < 1.0) continue;
-        for (std::size_t j = i + 1; j < partner_list.size(); ++j) {
-          const NodeId b = partner_list[j];
-          const double cap_b = static_cast<double>(nodes[x].count(b, locked)) - 1.0;
-          if (cap_b < 1.0) continue;
-          // Freshest first-hand report about the (a, b) pair.
-          const std::uint32_t beneficiary =
-              view_time[x][a] >= view_time[x][b]
-                  ? view_count[x][static_cast<std::size_t>(a) * n + b]
-                  : view_count[x][static_cast<std::size_t>(b) * n + a];
-          if (static_cast<double>(beneficiary) + 1.0 > std::min(cap_a, cap_b)) {
-            continue;
-          }
-          if (beneficiary < best_beneficiary) {
-            best_beneficiary = beneficiary;
-            best_left = a;
-            best_right = b;
-          }
-        }
-      }
-      if (best_left == n) return true;
-      result.decision_view_age.add(
-          engine.now() -
-          std::max(view_time[x][best_left], view_time[x][best_right]));
-
-      const QubitId q1 = nodes[x].pick(best_left, locked);
-      const QubitId q2 = nodes[x].pick(best_right, locked);
-      ensure(q1 != kDead && q2 != kDead, "distributed: belief lists corrupt");
-      // Physics: measure both local qubits; their true far partners become
-      // entangled with each other, whatever the beliefs said.
-      const QubitId far1 = truth.partner(q1);
-      const QubitId far2 = truth.partner(q2);
-      truth.measure(q1);
-      truth.measure(q2);
-      truth.entangle(far1, far2);
-      nodes[x].forget(q1);
-      nodes[x].forget(q2);
-      ++result.swaps;
-      const NodeId actual_u = truth.holder(far1);
-      const NodeId actual_v = truth.holder(far2);
-      if (NodePair(actual_u, actual_v) != NodePair(best_left, best_right)) {
-        ++result.stale_swaps;
-      }
-      // Notify the true endpoints, with the 2 classical bits (Fig. 2).
-      for (const auto& [endpoint, qubit, partner_node, partner_qubit] :
-           {std::tuple{actual_u, far1, actual_v, far2},
-            std::tuple{actual_v, far2, actual_u, far1}}) {
-        net::PairUpdate update;
-        update.to = endpoint;
-        update.new_partner = partner_node;
-        update.qubit = qubit;
-        update.new_partner_qubit = partner_qubit;
-        update.z_bit = decision_rng.bernoulli(0.5);
-        update.x_bit = decision_rng.bernoulli(0.5);
-        account(update);
-        engine.after(latency(x, endpoint),
-                     [&, update] { deliver_pair_update(update); });
-      }
-      return true;
-    });
-  }
-
-  engine.every(config.consume_retry_interval, [&] {
-    try_offer();
-    return true;
-  });
-
-  engine.run(config.duration);
-  return result;
+  require(config.dt > 0.0, "run_distributed: dt must be positive");
+  return Driver(generation_graph, workload, config).run();
 }
 
 }  // namespace poq::core

@@ -4,14 +4,21 @@
 // of all buffers" (§4). Here that assumption is dropped: nodes hold
 // *beliefs* about their own qubits' partners and *views* of other nodes'
 // counts, both updated only by classical messages (CountUpdate,
-// SwapNotify) that cross the fabric with per-hop latency. Physics is
-// evaluated on ground truth: a swap measures the repeater's two qubits
-// whatever they are actually entangled with, so stale beliefs produce
-// swaps whose real beneficiary differs from the intended one, and
-// consumption handshakes can fail when the far end's qubit was already
-// spent. The simulator measures exactly the costs §2 worries about:
-// control bytes, belief staleness, mis-targeted swaps and consumption
-// conflicts, as a function of classical latency.
+// PairUpdate, the consume handshake) that cross the fabric with per-hop
+// latency. Physics is evaluated on ground truth: a swap measures the
+// repeater's two qubits whatever they are actually entangled with, so
+// stale beliefs produce swaps whose real beneficiary differs from the
+// intended one, and consumption handshakes can fail when the far end's
+// qubit was already spent. The simulator measures exactly the costs §2
+// worries about: control bytes, belief staleness, mis-targeted swaps and
+// consumption conflicts, as a function of classical latency.
+//
+// Runs on the sim::VertexProgram substrate: count rows travel as sparse
+// CountUpdate messages to a node's current believed partners (signaled on
+// change) instead of dense n-squared view matrices rebroadcast to all,
+// and the per-epoch apply/report/decide kernels shard across the
+// ParallelTickEngine pool under the canonical message-merge order, so
+// engine/threads/shards/decide are real — and result-invariant — knobs.
 //
 // Distillation is out of scope here (D = 1): the consistency questions
 // are orthogonal to the distillation cascade, which the round-based
@@ -23,6 +30,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/parallel_engine.hpp"
 #include "util/stats.hpp"
 
 namespace poq::core {
@@ -32,14 +40,23 @@ struct DistributedConfig {
   double generation_rate = 1.0;
   /// Poisson rate of per-node swap scans.
   double scan_rate = 1.0;
-  /// Poisson rate at which each node broadcasts its count row.
+  /// Poisson rate at which each node reports its count row to its
+  /// believed partners.
   double report_rate = 1.0;
   /// Classical latency per generation-graph hop (time units).
   double latency_per_hop = 0.1;
   /// How often the head consumer retries its handshake.
   double consume_retry_interval = 0.25;
   double duration = 400.0;
+  /// Epoch length (time units) of the vertex-program loop: event rates are
+  /// discretized per epoch and message latencies round to whole epochs
+  /// (sub-epoch latency resolves within the sending epoch's serial phase).
+  double dt = 0.25;
   std::uint64_t seed = 1;
+  /// Intra-run engine knobs. kSharded fans the apply and report/decide
+  /// kernels across a worker pool; results are bit-identical for every
+  /// mode/threads/shards/decide setting (vertex-program canonical merge).
+  sim::TickConcurrency tick;
 };
 
 struct DistributedResult {

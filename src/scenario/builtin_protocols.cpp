@@ -14,6 +14,7 @@
 //     reproduces the benches' starved-cell semantics.
 #include <memory>
 
+#include "core/async_routing.hpp"
 #include "core/balancing_sim.hpp"
 #include "core/distributed.hpp"
 #include "core/fidelity_sim.hpp"
@@ -31,42 +32,29 @@ namespace poq::scenario {
 namespace {
 
 /// Intra-run concurrency knobs shared by every protocol ported onto the
-/// phase-kernel engine (balancing, planned, hybrid, gossip, fidelity).
-/// The engine default is sharded: its results are bit-identical for every
+/// phase-kernel engine (balancing, planned, hybrid, gossip, fidelity) or
+/// the vertex-program substrate (distributed, async_routing). The engine
+/// default is sharded: its results are bit-identical for every
 /// threads/shards setting, so parallelism is purely a performance
-/// decision; `sequential` selects the legacy single-stream loop
-/// (different stream discipline, different numbers).
-std::vector<KnobSpec> tick_knobs(bool kernelized = true) {
+/// decision; `sequential` selects the single-threaded loop (for the
+/// phase-kernel protocols that is the legacy stream discipline with
+/// different numbers; for the vertex-program ones it is the same code
+/// inline and bit-identical). Protocols with no engine at all (lp) do not
+/// declare these knobs and the registry rejects them outright.
+std::vector<KnobSpec> tick_knobs() {
   return {
       {"engine", KnobType::kString, std::string("sharded"),
-       kernelized
-           ? "tick engine: sharded (deterministic intra-run parallelism) or "
-             "sequential (legacy loop)"
-           : "accepted for registry uniformity (sharded|sequential); this "
-             "protocol is causally serial, results never depend on it"},
+       "tick engine: sharded (deterministic intra-run parallelism) or "
+       "sequential (single-threaded loop)"},
       {"threads", KnobType::kInt, std::int64_t{1},
-       kernelized
-           ? "intra-run worker threads (0 = hardware; never changes results)"
-           : "accepted for registry uniformity; never changes results"},
+       "intra-run worker threads (0 = hardware; never changes results)"},
       {"shards", KnobType::kInt, std::int64_t{0},
-       kernelized ? "work shards per phase (0 = auto; never changes results)"
-                  : "accepted for registry uniformity; never changes results"},
+       "work shards per phase (0 = auto; never changes results)"},
       {"decide", KnobType::kString, std::string("incremental"),
-       kernelized
-           ? "swap-decide mode: incremental (dirty-set candidate cache) or "
-             "full (rescan every node); never changes results"
-           : "accepted for registry uniformity (incremental|full); never "
-             "changes results"},
+       "swap-decide mode: incremental (dirty-set candidate cache) or "
+       "full (rescan every node); never changes results"},
   };
 }
-
-/// Tick knobs for the causally serial protocols (distributed, lp): the
-/// registry contract is that every protocol accepts engine/threads/shards,
-/// but these simulations are a single causal event stream (respectively a
-/// deterministic solve), so both engines run the same code and the knobs
-/// never change results. Same names/types/defaults as tick_knobs — only
-/// the help text differs.
-std::vector<KnobSpec> tick_knobs_serial() { return tick_knobs(false); }
 
 sim::TickConcurrency tick_from_spec(const std::string& protocol,
                                     const ScenarioSpec& spec) {
@@ -326,22 +314,22 @@ class DistributedProtocol final : public Protocol {
         {"generation-rate", KnobType::kDouble, 1.0,
          "Poisson pair generation rate per edge"},
         {"scan-rate", KnobType::kDouble, 1.0, "per-node swap scan rate"},
+        {"dt", KnobType::kDouble, 0.25,
+         "epoch length of the vertex-program loop (time units)"},
     };
-    for (KnobSpec& knob : tick_knobs_serial()) knobs.push_back(std::move(knob));
+    for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
     return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
-    // Validate (and deliberately ignore) the tick knobs: the belief
-    // protocol is one causal event stream, so both engines run the same
-    // deterministic loop and threads/shards never change results.
-    (void)tick_from_spec("distributed", spec);
     core::DistributedConfig config;
     config.latency_per_hop = spec.knob_double("latency", 0.1);
     config.duration = spec.knob_double("duration", 400.0);
     config.report_rate = spec.knob_double("report-rate", 1.0);
     config.generation_rate = spec.knob_double("generation-rate", 1.0);
     config.scan_rate = spec.knob_double("scan-rate", 1.0);
+    config.dt = spec.knob_double("dt", 0.25);
     config.seed = spec.seed;
+    config.tick = tick_from_spec("distributed", spec);
     const ScenarioInstance instance = instantiate(spec);
     const core::DistributedResult result =
         core::run_distributed(instance.graph, instance.workload, config);
@@ -358,6 +346,63 @@ class DistributedProtocol final : public Protocol {
                        static_cast<double>(result.pairs_generated));
     metrics.set_stats("request_latency", result.request_latency);
     metrics.set_stats("decision_view_age", result.decision_view_age);
+    return metrics;
+  }
+};
+
+class AsyncRoutingProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "async_routing"; }
+  std::string describe() const override {
+    return "asynchronous entanglement routing of a Poisson request stream "
+           "(after Yang et al.)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    std::vector<KnobSpec> knobs = {
+        {"arrival-rate", KnobType::kDouble, 0.5,
+         "Poisson request arrival rate (per time unit)"},
+        {"generation-rate", KnobType::kDouble, 1.0,
+         "Poisson pair generation rate per edge"},
+        {"latency", KnobType::kDouble, 0.1,
+         "classical latency per hop for token handoffs"},
+        {"timeout", KnobType::kDouble, 50.0,
+         "drop a request waiting this long"},
+        {"duration", KnobType::kDouble, 400.0, "simulated duration"},
+        {"dt", KnobType::kDouble, 0.25,
+         "epoch length of the vertex-program loop (time units)"},
+    };
+    for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+    return knobs;
+  }
+  RunMetrics run(const ScenarioSpec& spec) const override {
+    core::AsyncRoutingConfig config;
+    config.arrival_rate = spec.knob_double("arrival-rate", 0.5);
+    config.generation_rate = spec.knob_double("generation-rate", 1.0);
+    config.latency_per_hop = spec.knob_double("latency", 0.1);
+    config.timeout = spec.knob_double("timeout", 50.0);
+    config.duration = spec.knob_double("duration", 400.0);
+    config.dt = spec.knob_double("dt", 0.25);
+    config.seed = spec.seed;
+    config.tick = tick_from_spec("async_routing", spec);
+    const ScenarioInstance instance = instantiate(spec);
+    const core::AsyncRoutingResult result =
+        core::run_async_routing(instance.graph, instance.workload, config);
+    RunMetrics metrics;
+    metrics.set_scalar("arrived", static_cast<double>(result.requests_arrived));
+    metrics.set_scalar("satisfied",
+                       static_cast<double>(result.requests_satisfied));
+    metrics.set_scalar("dropped", static_cast<double>(result.requests_dropped));
+    metrics.set_scalar("satisfied_fraction", result.satisfied_fraction());
+    metrics.set_scalar("drop_fraction", result.drop_fraction());
+    metrics.set_scalar("swaps", static_cast<double>(result.swaps));
+    metrics.set_scalar("pairs_generated",
+                       static_cast<double>(result.pairs_generated));
+    metrics.set_scalar("pairs_consumed",
+                       static_cast<double>(result.pairs_consumed));
+    metrics.set_scalar("control_messages",
+                       static_cast<double>(result.control_messages));
+    metrics.set_stats("request_latency", result.request_latency);
+    metrics.set_stats("request_hops", result.request_hops);
     return metrics;
   }
 };
@@ -445,13 +490,12 @@ class LpProtocol final : public Protocol {
          "min-generation|min-max-generation|max-consumption|"
          "max-min-consumption|max-scale"},
     };
-    for (KnobSpec& knob : tick_knobs_serial()) knobs.push_back(std::move(knob));
+    // No tick knobs: the steady-state solve has no engine to select, and
+    // accepting-then-ignoring engine/threads/shards would misrepresent the
+    // run. The registry's knob validation rejects them with a clear error.
     return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
-    // Validate (and deliberately ignore) the tick knobs: the steady-state
-    // solve is deterministic whatever the engine selection.
-    (void)tick_from_spec("lp", spec);
     const ScenarioInstance instance = instantiate(spec);
     core::SteadyStateSpec lp_spec;
     lp_spec.node_count = instance.graph.node_count();
@@ -511,6 +555,7 @@ void register_builtin_protocols(Registry& target) {
   target.add(std::make_unique<HybridProtocol>());
   target.add(std::make_unique<GossipProtocol>());
   target.add(std::make_unique<DistributedProtocol>());
+  target.add(std::make_unique<AsyncRoutingProtocol>());
   target.add(std::make_unique<FidelityProtocol>());
   target.add(std::make_unique<LpProtocol>());
 }

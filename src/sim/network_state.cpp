@@ -31,13 +31,15 @@ NetworkState::NetworkState(const graph::Graph& generation_graph,
     committed_.assign(n, 0);
     executions_.resize(n);
     uf_parent_.resize(n);
+    uf_version_.assign(n, 0);
     group_of_root_.assign(n, -1);
     touched_roots_.reserve(n);
     group_start_.assign(n + 1, 0);
     group_fill_.assign(n, 0);
     group_members_.assign(n, 0);
     dirty_nodes_.reserve(n);
-    shard_candidate_delta_.assign(shard_count_, 0);
+    candidate_nodes_.reserve(n);
+    candidate_scratch_.reserve(n);
     // The incremental decide consumes the ledger's dirty frontier; every
     // node starts dirty so the first decide computes the full table.
     // Full-rescan mode leaves tracking off entirely — it re-decides every
@@ -116,14 +118,10 @@ void NetworkState::decide_shard(std::size_t shard) {
   const auto [begin, end] = ParallelTickEngine::shard_range(
       dirty_nodes_.size(), decide_shard_count_, shard);
   core::MaxMinBalancer::Scratch& scratch = shard_scratch_[shard];
-  std::int64_t delta = 0;
   for (std::size_t i = begin; i < end; ++i) {
     const core::NodeId x = dirty_nodes_[i];
-    delta -= candidates_[x].has_value() ? 1 : 0;
     candidates_[x] = (*decide_fn_)(x, scratch);
-    delta += candidates_[x].has_value() ? 1 : 0;
   }
-  shard_candidate_delta_[shard] = delta;
 }
 
 void NetworkState::decide_swaps(const DecideFn& decide) {
@@ -150,12 +148,27 @@ void NetworkState::decide_swaps(const DecideFn& decide) {
   pool_->run_shards(decide_shard_count_,
                     [this](std::size_t shard) { decide_shard(shard); });
   decide_fn_ = nullptr;
-  for (std::size_t shard = 0; shard < shard_count_; ++shard) {
-    candidate_count_ = static_cast<std::size_t>(
-        static_cast<std::int64_t>(candidate_count_) +
-        shard_candidate_delta_[shard]);
-    shard_candidate_delta_[shard] = 0;
+  // Fold the frontier into the sorted candidate-node list (two-pointer
+  // merge, both inputs ascending): frontier nodes are re-tested against
+  // their freshly computed candidate, everything else carries over. The
+  // commit enumerates this list instead of scanning all n nodes.
+  candidate_scratch_.clear();
+  std::size_t old_i = 0;
+  std::size_t new_j = 0;
+  while (old_i < candidate_nodes_.size() || new_j < dirty_nodes_.size()) {
+    if (new_j == dirty_nodes_.size() ||
+        (old_i < candidate_nodes_.size() &&
+         candidate_nodes_[old_i] < dirty_nodes_[new_j])) {
+      candidate_scratch_.push_back(candidate_nodes_[old_i++]);
+      continue;
+    }
+    const core::NodeId x = dirty_nodes_[new_j++];
+    if (old_i < candidate_nodes_.size() && candidate_nodes_[old_i] == x) {
+      ++old_i;
+    }
+    if (candidates_[x].has_value()) candidate_scratch_.push_back(x);
   }
+  candidate_nodes_.swap(candidate_scratch_);
 }
 
 void NetworkState::commit_group(std::size_t group) {
@@ -180,16 +193,41 @@ NetworkState::CommitStats NetworkState::commit_swaps(
     const ObserveFn& observe) {
   require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
   const PhaseStopwatch stopwatch(timers_.commit_ns);
-  const auto node_count = static_cast<core::NodeId>(graph_.node_count());
+  last_commit_probes_ = 0;
   // Quiescent fast path: nothing decided anywhere, nothing to group.
-  if (candidate_count_ == 0) return CommitStats{};
+  if (candidate_nodes_.empty()) return CommitStats{};
+
+  // Every walk below enumerates the sorted candidate-node list rotated at
+  // `first` — the same visit order as filtering a (first + offset) % n
+  // scan, at O(#candidates) instead of O(n).
+  const auto split = static_cast<std::size_t>(
+      std::lower_bound(candidate_nodes_.begin(), candidate_nodes_.end(),
+                       first) -
+      candidate_nodes_.begin());
+  const std::size_t list_size = candidate_nodes_.size();
+  const auto rotated = [&](std::size_t i) {
+    const std::size_t at = split + i;
+    return candidate_nodes_[at < list_size ? at : at - list_size];
+  };
 
   // Level-1 grouping: union the node triple of every candidate; swaps in
   // different components touch disjoint ledger entries (a pair entry
   // (a, b) is touched only when both endpoints are in the triple), so
-  // components are fully independent and their commits commute.
-  for (core::NodeId x = 0; x < node_count; ++x) uf_parent_[x] = x;
+  // components are fully independent and their commits commute. The
+  // union-find is version-stamped: a slot last written under an older
+  // epoch reads as the singleton {x}, so no O(n) reset is ever paid.
+  if (++uf_epoch_ == 0) {  // stamp wrap: invalidate everything once
+    std::fill(uf_version_.begin(), uf_version_.end(), 0);
+    uf_epoch_ = 1;
+  }
   const auto find = [&](core::NodeId x) {
+    if (uf_version_[x] != uf_epoch_) {
+      uf_version_[x] = uf_epoch_;
+      uf_parent_[x] = x;
+      return x;
+    }
+    // Parent chains only ever link nodes united this epoch, so the walk
+    // below never reads a stale slot.
     while (uf_parent_[x] != x) {
       uf_parent_[x] = uf_parent_[uf_parent_[x]];  // path halving
       x = uf_parent_[x];
@@ -201,9 +239,9 @@ NetworkState::CommitStats NetworkState::commit_swaps(
     b = find(b);
     if (a != b) uf_parent_[b] = a;
   };
-  for (core::NodeId x = 0; x < node_count; ++x) {
+  for (const core::NodeId x : candidate_nodes_) {
+    ++last_commit_probes_;
     committed_[x] = 0;
-    if (!candidates_[x]) continue;
     unite(x, candidates_[x]->left);
     unite(x, candidates_[x]->right);
   }
@@ -216,9 +254,9 @@ NetworkState::CommitStats NetworkState::commit_swaps(
   // keep the commit allocation-free.
   group_count_ = 0;
   touched_roots_.clear();
-  for (core::NodeId offset = 0; offset < node_count; ++offset) {
-    const auto x = static_cast<core::NodeId>((first + offset) % node_count);
-    if (!candidates_[x]) continue;
+  for (std::size_t i = 0; i < list_size; ++i) {
+    ++last_commit_probes_;
+    const core::NodeId x = rotated(i);
     const core::NodeId root = find(x);
     std::int32_t group = group_of_root_[root];
     if (group < 0) {
@@ -234,9 +272,9 @@ NetworkState::CommitStats NetworkState::commit_swaps(
     group_start_[g + 1] += group_start_[g];
     group_fill_[g] = group_start_[g];
   }
-  for (core::NodeId offset = 0; offset < node_count; ++offset) {
-    const auto x = static_cast<core::NodeId>((first + offset) % node_count);
-    if (!candidates_[x]) continue;
+  for (std::size_t i = 0; i < list_size; ++i) {
+    ++last_commit_probes_;
+    const core::NodeId x = rotated(i);
     const auto group = static_cast<std::size_t>(group_of_root_[find(x)]);
     group_members_[group_fill_[group]++] = x;
   }
@@ -258,8 +296,9 @@ NetworkState::CommitStats NetworkState::commit_swaps(
   // Serial canonical walk: accumulate stats and report executed swaps in
   // exactly the order a serial commit would have produced them, so even
   // floating-point accumulation in `observe` is schedule-independent.
-  for (core::NodeId offset = 0; offset < node_count; ++offset) {
-    const auto x = static_cast<core::NodeId>((first + offset) % node_count);
+  for (std::size_t i = 0; i < list_size; ++i) {
+    ++last_commit_probes_;
+    const core::NodeId x = rotated(i);
     if (!committed_[x]) continue;
     ++stats.swaps;
     stats.pairs_consumed +=

@@ -119,6 +119,19 @@ class NetworkState {
   candidates() const {
     return candidates_;
   }
+  /// Nodes whose cached candidate is non-null, ascending. Maintained by
+  /// decide_swaps (two-pointer merge of the dirty frontier into the
+  /// previous list); commit_swaps enumerates only this list.
+  [[nodiscard]] const std::vector<core::NodeId>& candidate_nodes() const {
+    return candidate_nodes_;
+  }
+  /// Candidate-list entries visited by the last commit_swaps call, summed
+  /// over its walks (grouping, member fill, stats). Test hook for the
+  /// O(#candidates) contract: with a fixed candidate set this must not
+  /// grow with the node count.
+  [[nodiscard]] std::uint64_t last_commit_probes() const {
+    return last_commit_probes_;
+  }
 
   // --- two-level swap commit kernel -----------------------------------
   /// Re-validation of a decided swap against the live ledger, invoked
@@ -150,7 +163,10 @@ class NetworkState {
   /// the stats and the `observe` callback sequence, both produced by a
   /// serial canonical walk afterwards — is bit-identical for every
   /// threads/shards setting and equal to a fully serial canonical commit.
-  /// Requires sharded().
+  /// Cost is O(#candidates), not O(n): every walk enumerates the sorted
+  /// candidate-node list rotated at `first` (identical visit order to the
+  /// old filtered 0..n scan), and the union-find resets by version stamp
+  /// instead of re-initializing all n slots. Requires sharded().
   CommitStats commit_swaps(const core::MaxMinBalancer& balancer,
                            core::NodeId first, std::uint32_t round,
                            std::uint32_t attempt, const RecheckFn& recheck,
@@ -209,8 +225,13 @@ class NetworkState {
   // commit_swaps scratch: union-find + flat group membership (CSR-style:
   // members of group g live in group_members_[group_start_[g] ..
   // group_start_[g+1]), in canonical rotating order). All pre-sized at
-  // construction; a commit allocates nothing.
+  // construction; a commit allocates nothing. The union-find is
+  // version-stamped: a slot whose stamp differs from the current commit
+  // epoch reads as the singleton {x}, so a commit never pays an O(n)
+  // reset — it touches only the nodes its candidates name.
   std::vector<core::NodeId> uf_parent_;
+  std::vector<std::uint64_t> uf_version_;  // stamp of uf_parent_ validity
+  std::uint64_t uf_epoch_ = 0;
   std::vector<std::int32_t> group_of_root_;
   std::vector<core::NodeId> touched_roots_;
   std::vector<std::uint32_t> group_start_;   // node_count + 1 slots
@@ -221,11 +242,12 @@ class NetworkState {
   // and the shard count its dispatch used (capped at the frontier size).
   std::vector<core::NodeId> dirty_nodes_;
   std::size_t decide_shard_count_ = 1;
-  // Live count of non-null candidates (maintained by decide via per-shard
-  // deltas); lets a fully quiescent commit return without touching the
-  // O(n) grouping walks.
-  std::size_t candidate_count_ = 0;
-  std::vector<std::int64_t> shard_candidate_delta_;  // one per shard
+  // Sorted list of nodes with a non-null cached candidate, plus the merge
+  // scratch decide_swaps folds the frontier through. Both pre-sized; the
+  // swap between them keeps the decide phase allocation-free.
+  std::vector<core::NodeId> candidate_nodes_;
+  std::vector<core::NodeId> candidate_scratch_;
+  std::uint64_t last_commit_probes_ = 0;
   // Per-kernel contexts (see the shard bodies above).
   std::uint32_t gen_round_ = 0;
   std::uint32_t gen_whole_ = 0;

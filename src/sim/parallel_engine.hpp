@@ -60,6 +60,13 @@ inline constexpr std::uint64_t kSwap = 0x73776170ULL;              // "swap"
 inline constexpr std::uint64_t kGossip = 0x676F73736970ULL;        // "gossip"
 inline constexpr std::uint64_t kEventTimes = 0x6576656E74ULL;      // "event"
 inline constexpr std::uint64_t kEventDraw = 0x64726177ULL;         // "draw"
+// Vertex-program epochs (distributed, async_routing): per-(epoch, node)
+// scan/report schedules, per-(epoch, node) swap correction bits, and the
+// per-epoch request arrival stream.
+inline constexpr std::uint64_t kScan = 0x7363616EULL;      // "scan"
+inline constexpr std::uint64_t kReport = 0x7265706F7274ULL;  // "report"
+inline constexpr std::uint64_t kSwapBits = 0x73626974ULL;  // "sbit"
+inline constexpr std::uint64_t kArrival = 0x61727276ULL;   // "arrv"
 }  // namespace stream_tag
 
 /// The intra-run concurrency knobs every ported simulator carries.

@@ -102,6 +102,30 @@ TEST(Distributed, MoreReportingFreshensViews) {
   EXPECT_GT(frequent.control_bytes, rare.control_bytes);
 }
 
+TEST(Distributed, ControlPlaneScalesSubQuadratically) {
+  // Count rows travel as sparse CountUpdate messages to a node's believed
+  // partners, not as dense n^2 view matrices to everyone. On a cycle
+  // (constant degree) the per-run control traffic should grow roughly
+  // linearly in n: quadrupling the nodes must stay far from the 16x a
+  // quadratic broadcast would cost.
+  const auto bytes_at = [](std::size_t nodes) {
+    DistributedConfig config;
+    config.seed = 9;
+    config.duration = 60.0;
+    const graph::Graph graph = graph::make_cycle(nodes);
+    util::Rng rng(5);
+    const Workload workload = make_uniform_workload(nodes, 10, 100000, rng);
+    const DistributedResult result = run_distributed(graph, workload, config);
+    EXPECT_GT(result.control_bytes, 0u) << "n=" << nodes;
+    return static_cast<double>(result.control_bytes);
+  };
+  const double small = bytes_at(64);
+  const double large = bytes_at(256);
+  EXPECT_LT(large / small, 8.0)
+      << "control bytes grew x" << (large / small)
+      << " for 4x the nodes: the dense-broadcast regression is back";
+}
+
 TEST(Distributed, RejectsBadInputs) {
   const graph::Graph tiny(2);
   Workload workload;

@@ -1,11 +1,12 @@
 // The intra-run determinism contract (docs/ARCHITECTURE.md): for every
-// protocol in the registry, RunMetrics are bit-identical across intra-run
-// thread counts and shard counts — threads and shards are pure
-// performance knobs. These tests compare full RunMetrics JSON dumps
-// (labels, scalars, stats) for exact equality, across the full registry:
-// the phase-kernel protocols (balancing, planned, hybrid, gossip,
-// fidelity) exercise the sharded engine for real, while the causally
-// serial ones (distributed, lp) must accept the knobs and ignore them.
+// tick-driven protocol in the registry, RunMetrics are bit-identical
+// across intra-run thread counts and shard counts — threads and shards
+// are pure performance knobs. These tests compare full RunMetrics JSON
+// dumps (labels, scalars, stats) for exact equality: the phase-kernel
+// protocols (balancing, planned, hybrid, gossip, fidelity) exercise the
+// sharded NetworkState engine, the message-driven ones (distributed,
+// async_routing) the vertex-program substrate. lp has no tick engine at
+// all and must *reject* the knobs with a clear error.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -20,14 +21,14 @@
 namespace poq::scenario {
 namespace {
 
-/// Protocols with a real sharded phase-kernel path.
+/// Every protocol with a tick engine: the phase-kernel family runs on the
+/// sharded NetworkState, the message-driven family (distributed,
+/// async_routing) on the vertex-program substrate. All of them must be
+/// threads/shards/decide-invariant. lp is deliberately absent: it has no
+/// engine and rejects the knobs (LpRejectsEngineKnobs below).
 const std::vector<std::string> kPortedProtocols = {
-    "balancing", "planned", "hybrid", "gossip", "fidelity"};
-
-/// The full registry: every protocol must accept the tick knobs and be
-/// threads/shards-invariant (trivially so for the serial ones).
-const std::vector<std::string> kAllProtocols = {
-    "balancing", "planned", "hybrid", "gossip", "distributed", "fidelity", "lp"};
+    "balancing", "planned",  "hybrid",        "gossip",
+    "distributed", "fidelity", "async_routing"};
 
 ScenarioSpec base_spec(const std::string& protocol, std::size_t nodes = 25) {
   ScenarioSpec spec;
@@ -39,7 +40,8 @@ ScenarioSpec base_spec(const std::string& protocol, std::size_t nodes = 25) {
   spec.seed = 11;
   spec.knobs["max-rounds"] = std::int64_t{5000};
   if (protocol == "planned") spec.knobs.erase("max-rounds");
-  if (protocol == "fidelity" || protocol == "distributed") {
+  if (protocol == "fidelity" || protocol == "distributed" ||
+      protocol == "async_routing") {
     // Event-driven protocols take a duration, not a round budget; keep it
     // short enough for the full threads x shards cross product.
     spec.knobs.erase("max-rounds");
@@ -56,7 +58,7 @@ std::string run_dump(const ScenarioSpec& spec) {
 }
 
 TEST(ParallelDeterminism, ThreadsNeverChangeResults) {
-  for (const std::string& protocol : kAllProtocols) {
+  for (const std::string& protocol : kPortedProtocols) {
     ScenarioSpec spec = base_spec(protocol);
     spec.knobs["threads"] = std::int64_t{1};
     const std::string reference = run_dump(spec);
@@ -79,7 +81,7 @@ TEST(ParallelDeterminism, AutoThreadsMatchExplicit) {
 }
 
 TEST(ParallelDeterminism, ShardCountNeverChangesResults) {
-  for (const std::string& protocol : kAllProtocols) {
+  for (const std::string& protocol : kPortedProtocols) {
     ScenarioSpec spec = base_spec(protocol);
     spec.knobs["threads"] = std::int64_t{2};
     spec.knobs["shards"] = std::int64_t{1};
@@ -242,11 +244,12 @@ TEST(ParallelDeterminism, SequentialEngineStaysLegacy) {
 }
 
 TEST(ParallelDeterminism, EveryProtocolAcceptsBothEngines) {
-  for (const std::string& protocol : kAllProtocols) {
+  for (const std::string& protocol : kPortedProtocols) {
     ScenarioSpec spec = base_spec(protocol, 16);
     spec.consumer_pairs = 10;
     spec.requests = 15;
-    if (protocol == "fidelity" || protocol == "distributed") {
+    if (protocol == "fidelity" || protocol == "distributed" ||
+        protocol == "async_routing") {
       spec.knobs["duration"] = 30.0;
     }
     for (const char* engine : {"sharded", "sequential"}) {
@@ -258,10 +261,29 @@ TEST(ParallelDeterminism, EveryProtocolAcceptsBothEngines) {
 }
 
 TEST(ParallelDeterminism, EngineKnobRejectsUnknownValues) {
-  for (const std::string& protocol : kAllProtocols) {
+  for (const std::string& protocol : kPortedProtocols) {
     ScenarioSpec spec = base_spec(protocol);
     spec.knobs["engine"] = std::string("warp-drive");
     EXPECT_THROW((void)registry().run(protocol, spec), PreconditionError);
+  }
+}
+
+TEST(ParallelDeterminism, LpRejectsEngineKnobs) {
+  // lp's steady-state solve has no tick engine to select: its schema
+  // deliberately declares no tick knobs, so the registry's knob
+  // validation must reject them with a clear error instead of silently
+  // accepting and ignoring them (the old adapter lie).
+  for (const char* knob : {"engine", "threads", "shards", "decide"}) {
+    ScenarioSpec spec = base_spec("lp");
+    spec.knobs[knob] = std::string("anything");
+    try {
+      (void)registry().run("lp", spec);
+      FAIL() << "lp accepted tick knob '" << knob << "'";
+    } catch (const PreconditionError& error) {
+      EXPECT_NE(std::string(error.what()).find("has no knob"),
+                std::string::npos)
+          << "unhelpful error for knob '" << knob << "': " << error.what();
+    }
   }
 }
 

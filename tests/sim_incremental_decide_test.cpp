@@ -21,15 +21,32 @@
 #include <vector>
 
 #include "core/balancing_sim.hpp"
+#include "core/maxmin_balancer.hpp"
 #include "core/workload.hpp"
 #include "graph/topology.hpp"
 #include "scenario/protocol.hpp"
+#include "sim/network_state.hpp"
 #include "util/rng.hpp"
 
 // --- allocation counter -----------------------------------------------
 // Global operator new/delete overrides counting every heap allocation in
 // the test binary. The hot-path test warms a simulation up, snapshots the
 // counter, and asserts that steady-state rounds allocate nothing.
+//
+// GCC cannot see that the malloc-backed new and the free-backed delete
+// below are a matched pair once it inlines both sides of a container's
+// lifetime into one test body, so it flags the override itself.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+// TSan's runtime allocates behind the program's back (interceptors,
+// shadow bookkeeping), so heap-silence assertions only hold uninstrumented.
+#if defined(__SANITIZE_THREAD__)
+#define POQ_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define POQ_UNDER_TSAN 1
+#endif
+#endif
 
 namespace {
 std::atomic<std::uint64_t> g_allocation_count{0};
@@ -206,6 +223,10 @@ TEST(HotPathAllocations, SteadyStateRoundAllocatesNothing) {
   // two-level commit, consumption — must not touch the heap: all
   // per-round scratch is pre-sized, the CSR partner arena mutates in
   // place, and the pool recycles its job allocation.
+#ifdef POQ_UNDER_TSAN
+  GTEST_SKIP() << "the TSan runtime allocates behind the program's back, "
+                  "so a heap-silence assertion is meaningless under it";
+#endif
   for (const unsigned threads : {1u, 2u}) {
     util::Rng topology_rng(3);
     const graph::Graph graph =
@@ -229,6 +250,67 @@ TEST(HotPathAllocations, SteadyStateRoundAllocatesNothing) {
         << (after - before) << " allocations in 200 steady-state rounds at "
         << "threads=" << threads;
   }
+}
+
+// --- O(#candidates) commit --------------------------------------------
+
+/// Probe count of one decide + commit with exactly 16 candidates (nodes
+/// 1, 5, ..., 61 of a cycle of `nodes`), in the allocation-counting
+/// spirit above: the counter proves no hidden O(n) scan, not just that
+/// the result is right.
+std::uint64_t commit_probes(std::size_t nodes) {
+  const graph::Graph graph = graph::make_cycle(nodes);
+  sim::TickConcurrency tick;
+  tick.mode = sim::TickMode::kSharded;
+  tick.threads = 1;
+  sim::NetworkState state(graph, 1, tick);
+  state.decide_swaps(
+      [&](core::NodeId x, core::MaxMinBalancer::Scratch&)
+          -> std::optional<core::SwapCandidate> {
+        if (x < 64 && x % 4 == 1) {
+          return core::SwapCandidate{x - 1, x + 1, 1};
+        }
+        return std::nullopt;
+      });
+  (void)state.commit_swaps(
+      core::MaxMinBalancer(core::DistillationMatrix(1.0)), /*first=*/0, /*round=*/0, /*attempt=*/0,
+      [](core::NodeId, const core::SwapCandidate&) { return false; });
+  return state.last_commit_probes();
+}
+
+TEST(HotPathAllocations, CommitCostTracksCandidatesNotNodes) {
+  // The same 16 decided candidates on a 64-node and a 4096-node network:
+  // the commit's probe count (candidate-list entries visited across its
+  // grouping/fill/stats walks) must not move with the node count — the
+  // old implementation walked all n nodes three times per attempt.
+  const std::uint64_t small = commit_probes(64);
+  const std::uint64_t large = commit_probes(4096);
+  EXPECT_EQ(small, large)
+      << "commit probes scaled with node count: " << small << " at n=64 vs "
+      << large << " at n=4096";
+  // And the absolute count is a small multiple of #candidates (16): the
+  // four walks visit each candidate once.
+  EXPECT_LE(large, 16u * 4u);
+  EXPECT_GE(large, 16u);
+}
+
+TEST(HotPathAllocations, QuiescentCommitIsFree) {
+  // No candidates decided anywhere: the commit must return without
+  // probing at all (the empty-list fast path).
+  const graph::Graph graph = graph::make_cycle(32);
+  sim::TickConcurrency tick;
+  tick.mode = sim::TickMode::kSharded;
+  tick.threads = 1;
+  sim::NetworkState state(graph, 1, tick);
+  state.decide_swaps([](core::NodeId, core::MaxMinBalancer::Scratch&)
+                         -> std::optional<core::SwapCandidate> {
+    return std::nullopt;
+  });
+  const auto stats = state.commit_swaps(
+      core::MaxMinBalancer(core::DistillationMatrix(1.0)), 0, 0, 0,
+      [](core::NodeId, const core::SwapCandidate&) { return true; });
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ(state.last_commit_probes(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,208 @@
+// The vertex-program substrate contract (docs/ARCHITECTURE.md): the
+// canonical message merge makes every inbox fold in a fixed order —
+// (deliver epoch, send phase, sender, per-sender send index) — for every
+// threads/shards setting, and the signaled-set makes changed-only
+// recomputation exactly equivalent to recomputing every vertex every
+// epoch. Both claims are checked with deliberately order-sensitive
+// folds, so a merge-order or signaling slip cannot cancel out.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/parallel_engine.hpp"
+#include "sim/vertex_program.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace poq::sim {
+namespace {
+
+// --- SignalSet ---------------------------------------------------------
+
+TEST(SignalSet, MarksDrainAscendingAndClear) {
+  SignalSet signals(16);
+  signals.signal(9);
+  signals.signal(2);
+  signals.signal(9);  // re-marking is idempotent
+  signals.signal(14);
+  EXPECT_TRUE(signals.test(9));
+  EXPECT_FALSE(signals.test(3));
+  EXPECT_EQ(signals.signaled_count(), 3u);
+  signals.clear(9);
+  EXPECT_FALSE(signals.test(9));
+  std::vector<std::uint32_t> drained;
+  EXPECT_EQ(signals.drain(drained), 2u);
+  EXPECT_EQ(drained, (std::vector<std::uint32_t>{2, 14}));
+  EXPECT_EQ(signals.signaled_count(), 0u);
+}
+
+TEST(SignalSet, BudgetOverflowLatchesToEverythingSignaled) {
+  SignalSet signals(4);
+  const std::size_t budget = 4 * SignalSet::kBudgetPerVertex;
+  EXPECT_TRUE(signals.charge(budget));     // exactly spends the budget
+  EXPECT_FALSE(signals.charge(1));         // one more latches
+  EXPECT_TRUE(signals.overflowed());
+  // Precision is gone: everything reads signaled, clears are no-ops.
+  for (std::uint32_t v = 0; v < 4; ++v) EXPECT_TRUE(signals.test(v));
+  signals.clear(1);
+  EXPECT_TRUE(signals.test(1));
+  EXPECT_EQ(signals.signaled_count(), 4u);
+  std::vector<std::uint32_t> drained;
+  EXPECT_EQ(signals.drain(drained), 4u);
+  EXPECT_EQ(drained, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_FALSE(signals.overflowed());  // drain starts a fresh epoch
+}
+
+TEST(SignalSet, ResetBudgetConvertsLatchConservatively) {
+  SignalSet signals(3);
+  signals.signal(1);
+  EXPECT_FALSE(signals.charge(1000));
+  signals.reset_budget();
+  // The latch became real marks on every vertex; the new epoch has its
+  // budget back and precise clearing works again.
+  EXPECT_FALSE(signals.overflowed());
+  for (std::uint32_t v = 0; v < 3; ++v) EXPECT_TRUE(signals.test(v));
+  EXPECT_TRUE(signals.charge(1));
+  signals.clear(0);
+  EXPECT_FALSE(signals.test(0));
+  EXPECT_TRUE(signals.test(2));
+}
+
+// --- canonical message merge -------------------------------------------
+
+/// One epoch's order-sensitive message workload: every vertex mails a
+/// keyed pseudo-random batch to scattered targets at mixed delays, then a
+/// serial phase mails a couple more. Receivers fold their inboxes with a
+/// non-commutative hash, so any reordering changes the digest.
+std::uint64_t run_digest(std::size_t vertex_count, unsigned threads,
+                         std::size_t shards, bool sequential) {
+  ParallelTickEngine pool(threads);
+  VertexProgram<std::uint32_t> program(
+      vertex_count, sequential ? nullptr : &pool,
+      sequential ? 1 : pool.resolve_shards(shards, vertex_count));
+  std::vector<std::uint64_t> fold(vertex_count, 1469598103934665603ull);
+  const auto n = static_cast<std::uint32_t>(vertex_count);
+  for (std::uint64_t epoch = 0; epoch < 8; ++epoch) {
+    for (const std::uint32_t v : program.deliver(epoch)) {
+      for (const std::uint32_t payload : program.inbox(v)) {
+        fold[v] = fold[v] * 31 + payload;  // deliberately non-commutative
+      }
+    }
+    program.run_kernel([&](std::size_t shard,
+                           VertexProgram<std::uint32_t>::Context& ctx) {
+      const auto [begin, end] = ParallelTickEngine::shard_range(
+          vertex_count, program.shard_count(), shard);
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto v = static_cast<std::uint32_t>(i);
+        util::Rng rng = util::Rng::keyed(41, 0x766d7478, epoch, v);
+        const std::uint64_t sends = rng.uniform_index(4);
+        for (std::uint64_t k = 0; k < sends; ++k) {
+          const auto target =
+              static_cast<std::uint32_t>(rng.uniform_index(vertex_count));
+          // Delay 0 exercises the >= 1 clamp of parallel sends.
+          ctx.send(target, k % 3, static_cast<std::uint32_t>(v * 1000 + k));
+        }
+      }
+    });
+    // Serial-phase sends append after the sealed kernel, in call order.
+    program.send(static_cast<std::uint32_t>(epoch % vertex_count), 1,
+                 static_cast<std::uint32_t>(900000 + epoch));
+    program.send(n - 1, 2, static_cast<std::uint32_t>(800000 + epoch));
+  }
+  std::uint64_t digest = 0;
+  for (const std::uint64_t f : fold) digest = digest * 1099511628211ull + f;
+  return digest;
+}
+
+TEST(VertexProgram, MergeOrderIsCanonicalAcrossThreadsAndShards) {
+  const std::uint64_t reference = run_digest(24, 1, 1, /*sequential=*/false);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const std::size_t shards : {1u, 3u, 16u}) {
+      EXPECT_EQ(run_digest(24, threads, shards, false), reference)
+          << "digest drifted at threads=" << threads << " shards=" << shards;
+    }
+  }
+}
+
+TEST(VertexProgram, SequentialEngineIsTheOneShardSpecialCase) {
+  EXPECT_EQ(run_digest(24, 1, 1, /*sequential=*/true),
+            run_digest(24, 4, 7, /*sequential=*/false));
+}
+
+TEST(VertexProgram, SerialSendRejectsSameEpochDelivery) {
+  VertexProgram<int> program(4, nullptr, 1);
+  (void)program.deliver(0);
+  EXPECT_THROW(program.send(2, 0, 7), PreconditionError);
+  program.send(2, 1, 7);  // >= 1 is fine
+  EXPECT_FALSE(program.idle());
+}
+
+TEST(VertexProgram, ParallelSendClampsToNextEpoch) {
+  ParallelTickEngine pool(2);
+  VertexProgram<int> program(4, &pool, 2);
+  (void)program.deliver(0);
+  program.run_kernel([&](std::size_t shard, VertexProgram<int>::Context& ctx) {
+    if (shard == 0) ctx.send(3, 0, 42);  // clamped to delay 1
+  });
+  EXPECT_EQ(program.messages_sent(), 1u);
+  const std::vector<std::uint32_t>& active = program.deliver(1);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], 3u);
+  ASSERT_EQ(program.inbox(3).size(), 1u);
+  EXPECT_EQ(program.inbox(3)[0], 42);
+  EXPECT_EQ(program.messages_delivered(), 1u);
+  EXPECT_TRUE(program.idle());
+}
+
+// --- changed-only signaling == full broadcast --------------------------
+
+/// A miniature protocol with a cached per-vertex decision: the decision
+/// is a pure function of the vertex's value, values change only through
+/// keyed generation events and neighbor updates (messages), and every
+/// change signals the vertex. Run changed-only (recompute signaled
+/// vertices) against the full-broadcast reference (recompute everything,
+/// every epoch): the decision trajectories must be identical.
+std::vector<std::int64_t> run_decisions(bool changed_only) {
+  constexpr std::size_t kVertices = 12;
+  constexpr std::uint64_t kEpochs = 40;
+  ParallelTickEngine pool(2);
+  VertexProgram<std::int64_t> program(kVertices, &pool,
+                                      pool.resolve_shards(3, kVertices));
+  std::vector<std::int64_t> value(kVertices, 0);
+  std::vector<std::int64_t> decision(kVertices, 0);
+  std::vector<std::int64_t> trajectory;
+  program.signals().signal_all();  // everything undecided at the start
+  for (std::uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
+    for (const std::uint32_t v : program.deliver(epoch)) {
+      for (const std::int64_t delta : program.inbox(v)) value[v] += delta;
+      program.signals().signal(v);
+    }
+    // Generation: a keyed event bumps one vertex's value and mails a
+    // fraction of the bump to its ring neighbor.
+    util::Rng rng = util::Rng::keyed(7, 0x6d696e69, epoch, 0);
+    const auto hit = static_cast<std::uint32_t>(rng.uniform_index(kVertices));
+    value[hit] += 3;
+    program.signals().signal(hit);
+    program.send((hit + 1) % kVertices, 1 + epoch % 2, 1);
+    // Decide: cached unless signaled (changed-only) or always (full).
+    for (std::uint32_t v = 0; v < kVertices; ++v) {
+      if (changed_only && !program.signals().test(v)) continue;
+      decision[v] = value[v] * 2 - static_cast<std::int64_t>(v);
+      program.signals().clear(v);
+    }
+    trajectory.insert(trajectory.end(), decision.begin(), decision.end());
+    program.signals().reset_budget();
+  }
+  return trajectory;
+}
+
+TEST(VertexProgram, ChangedOnlySignalingMatchesFullBroadcast) {
+  EXPECT_EQ(run_decisions(/*changed_only=*/true),
+            run_decisions(/*changed_only=*/false));
+}
+
+}  // namespace
+}  // namespace poq::sim

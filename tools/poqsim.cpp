@@ -168,7 +168,7 @@ void print_protocol_help(const scenario::Protocol& protocol) {
 int cmd_list() {
   for (const std::string& name : scenario::registry().names()) {
     const scenario::Protocol& protocol = scenario::registry().find(name);
-    std::cout << util::pad_right(name, 13) << protocol.describe() << '\n';
+    std::cout << util::pad_right(name, 14) << protocol.describe() << '\n';
   }
   return 0;
 }
@@ -569,7 +569,7 @@ int cmd_sweep(const util::ArgParser& args) {
 void print_usage() {
   std::cout << "usage: poqsim <subcommand> [options]\nprotocols:\n";
   for (const std::string& name : scenario::registry().names()) {
-    std::cout << "  " << util::pad_right(name, 13)
+    std::cout << "  " << util::pad_right(name, 14)
               << scenario::registry().find(name).describe() << '\n';
   }
   std::cout <<

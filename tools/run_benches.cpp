@@ -352,6 +352,46 @@ SuiteRun suite_hotpath(const Options& options) {
   return run_grid("hotpath", std::move(grid), 1, serial);
 }
 
+SuiteRun suite_async_routing(const Options& options) {
+  // Asynchronous entanglement routing: a Poisson request stream resolved
+  // continuously on the vertex-program substrate. The grid crosses
+  // arrival pressure against entanglement supply, with a handoff-latency
+  // axis — the satisfied/dropped fractions and request latency trace how
+  // the greedy segment-following protocol degrades under scarcity.
+  const std::uint32_t seeds = options.quick ? 1 : 3;
+  const std::size_t nodes = options.quick ? 25 : 49;
+  const double duration = options.quick ? 150.0 : 400.0;
+  const std::vector<double> arrival_rates =
+      options.quick ? std::vector<double>{0.4, 1.0}
+                    : std::vector<double>{0.25, 0.5, 1.0};
+  const std::vector<double> generation_rates =
+      options.quick ? std::vector<double>{0.6, 1.5}
+                    : std::vector<double>{0.5, 1.0, 2.0};
+  const std::vector<double> latencies = options.quick
+                                            ? std::vector<double>{0.1, 1.0}
+                                            : std::vector<double>{0.1, 0.5, 2.0};
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const double arrival : arrival_rates) {
+    for (const double generation : generation_rates) {
+      for (const double latency : latencies) {
+        scenario::ScenarioSpec spec;
+        spec.protocol = "async_routing";
+        spec.topology = "random-grid";
+        spec.nodes = nodes;
+        spec.consumer_pairs = 20;
+        spec.requests = 100000;  // the stream never exhausts the sequence
+        spec.seed = 17;
+        spec.knobs["arrival-rate"] = arrival;
+        spec.knobs["generation-rate"] = generation;
+        spec.knobs["latency"] = latency;
+        spec.knobs["duration"] = duration;
+        grid.push_back(std::move(spec));
+      }
+    }
+  }
+  return run_grid("async_routing", std::move(grid), seeds, options);
+}
+
 using SuiteFn = SuiteRun (*)(const Options&);
 const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"fig4_overhead_vs_distillation", suite_fig4},
@@ -362,6 +402,7 @@ const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"fidelity_decay", suite_fidelity_decay},
     {"parallel_scaling", suite_parallel_scaling},
     {"hotpath", suite_hotpath},
+    {"async_routing", suite_async_routing},
 };
 
 // ---------------------------------------------------------------------------
@@ -425,6 +466,20 @@ int run_check(const std::vector<SuiteRun>& runs, const Options& options) {
       kSchemaVersion) {
     throw PreconditionError("baseline schema_version mismatch; regenerate " +
                             options.check_path);
+  }
+  // A baseline only gates the grid scale it was recorded at: quick
+  // baselines cannot vouch for the full paper-scale grids (and vice
+  // versa) — their cells are different specs. Skip explicitly rather
+  // than failing on the inevitable spec mismatch, so a full-scale run
+  // against a quick-only baseline reads as "not gated", not "regressed".
+  const bool baseline_quick = baseline.at("config").at("quick").as_bool();
+  if (baseline_quick != options.quick) {
+    std::cout << "CHECK SKIP: " << bench_name << ": baseline "
+              << options.check_path << " was recorded with "
+              << (baseline_quick ? "--quick" : "full-scale") << " grids but "
+              << "this run used " << (options.quick ? "--quick" : "full-scale")
+              << " grids; commit a matching baseline to gate this scale\n";
+    return 0;
   }
   for (const SuiteRun& run : runs) {
     if (run.name != bench_name) continue;
