@@ -10,6 +10,7 @@
 #include "graph/shortest_path.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/vertex_program.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -52,6 +53,7 @@ class Driver {
     const auto epochs =
         static_cast<std::uint64_t>(std::ceil(config_.duration / config_.dt));
     for (std::uint64_t epoch = 0; epoch < epochs; ++epoch) {
+      util::this_thread_check_cancelled();
       epoch_ = epoch;
       now_ = static_cast<double>(epoch + 1) * config_.dt;
       apply_phase();

@@ -4,6 +4,7 @@
 
 #include "core/nested.hpp"
 #include "graph/shortest_path.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 
 namespace poq::core {
@@ -147,7 +148,10 @@ void BalancingSimulation::step_round() {
 BalancingResult BalancingSimulation::run() {
   // Requests may already be satisfiable at round 0 (e.g. adjacent pairs
   // after the first generation round); the loop handles that naturally.
-  while (!finished()) step_round();
+  while (!finished()) {
+    util::this_thread_check_cancelled();
+    step_round();
+  }
   return result();
 }
 

@@ -14,6 +14,7 @@
 #include "net/message.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/vertex_program.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -201,6 +202,7 @@ class Driver {
         1, static_cast<std::uint64_t>(
                std::llround(config_.consume_retry_interval / config_.dt)));
     for (std::uint64_t epoch = 0; epoch < epochs; ++epoch) {
+      util::this_thread_check_cancelled();
       epoch_ = epoch;
       now_ = static_cast<double>(epoch + 1) * config_.dt;
       apply_phase();

@@ -11,6 +11,7 @@
 #include "quantum/werner.hpp"
 #include "sim/engine.hpp"
 #include "sim/network_state.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 
 namespace poq::core {
@@ -224,6 +225,7 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
   std::vector<ScanEvent> events;
 
   for (std::uint64_t s = 0; s < slices; ++s) {
+    util::this_thread_check_cancelled();
     const double t0 = static_cast<double>(s) * dt;
     const double t1 = std::min(config.duration, t0 + dt);
     const double span = t1 - t0;

@@ -6,6 +6,7 @@
 
 #include "net/fabric.hpp"
 #include "sim/network_state.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 
 namespace poq::core {
@@ -126,6 +127,7 @@ GossipResult run_gossip_sharded(const graph::Graph& generation_graph,
   std::uint64_t view_age_samples = 0;
 
   while (!sim.finished()) {
+    util::this_thread_check_cancelled();
     sim.begin_round();
     const auto round = static_cast<std::uint32_t>(sim.round());
     const double now = static_cast<double>(round);
@@ -242,6 +244,7 @@ GossipResult run_gossip(const graph::Graph& generation_graph, const Workload& wo
   std::uint64_t view_age_samples = 0;
 
   while (!sim.finished()) {
+    util::this_thread_check_cancelled();
     sim.begin_round();
     const auto round = static_cast<std::uint32_t>(sim.round());
     const double now = static_cast<double>(round);

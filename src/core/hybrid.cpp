@@ -4,6 +4,7 @@
 
 #include "core/planned_path.hpp"
 #include "graph/shortest_path.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 
 namespace poq::core {
@@ -54,6 +55,7 @@ HybridResult run_hybrid(const graph::Graph& generation_graph, const Workload& wo
   HybridResult result;
 
   while (!sim.finished()) {
+    util::this_thread_check_cancelled();
     sim.begin_round();
     sim.generation_phase();
     sim.swap_phase();

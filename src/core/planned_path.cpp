@@ -7,6 +7,7 @@
 
 #include "core/nested.hpp"
 #include "graph/shortest_path.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -135,6 +136,7 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
 
   while ((next_request < workload.request_count() || !active.empty()) &&
          result.rounds < config.max_rounds) {
+    util::this_thread_check_cancelled();
     ++result.rounds;
 
     // 1. Generation into shared edge buffers.

@@ -88,6 +88,39 @@ RunMetrics Registry::run(const std::string& name, const ScenarioSpec& spec) cons
   return protocol.run(spec);
 }
 
+util::json::Value registry_to_json(const Registry& source) {
+  using util::json::Value;
+  const auto knob_default = [](const KnobValue& value) -> Value {
+    switch (value.index()) {
+      case 0: return Value(std::get<bool>(value));
+      case 1: return Value(std::get<std::int64_t>(value));
+      case 2: return Value(std::get<double>(value));
+      default: return Value(std::get<std::string>(value));
+    }
+  };
+  Value protocols = Value::array();
+  for (const std::string& name : source.names()) {
+    const Protocol& protocol = source.find(name);
+    Value entry = Value::object();
+    entry.set("name", protocol.name());
+    entry.set("description", protocol.describe());
+    Value knobs = Value::array();
+    for (const KnobSpec& knob : protocol.knobs()) {
+      Value k = Value::object();
+      k.set("name", knob.name);
+      k.set("type", knob_type_name(knob.type));
+      k.set("default", knob_default(knob.default_value));
+      k.set("help", knob.help);
+      knobs.push_back(std::move(k));
+    }
+    entry.set("knobs", std::move(knobs));
+    protocols.push_back(std::move(entry));
+  }
+  Value out = Value::object();
+  out.set("protocols", std::move(protocols));
+  return out;
+}
+
 Registry& registry() {
   static Registry instance = [] {
     Registry built;

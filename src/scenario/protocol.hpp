@@ -19,6 +19,7 @@
 
 #include "scenario/metrics.hpp"
 #include "scenario/spec.hpp"
+#include "util/json.hpp"
 
 namespace poq::scenario {
 
@@ -71,5 +72,14 @@ class Registry {
 /// Register the built-in adapters into `target` (exposed so tests can
 /// build isolated registries).
 void register_builtin_protocols(Registry& target);
+
+/// Machine-readable registry listing, shared by `poqsim list --json` and
+/// the serve protocol's `list` op:
+///   {"protocols": [{"name": ..., "description": ...,
+///                   "knobs": [{"name", "type", "default", "help"}, ...]}]}
+/// Knob defaults keep their declared type (bool/number/string); knob order
+/// follows each protocol's declaration, protocol order is registration
+/// order — both deterministic, so dumps are diffable.
+[[nodiscard]] util::json::Value registry_to_json(const Registry& source);
 
 }  // namespace poq::scenario

@@ -145,19 +145,23 @@ ScenarioSpec ScenarioSpec::from_json(const util::json::Value& value) {
       static_cast<std::size_t>(value.at("consumer_pairs").as_number());
   spec.requests = static_cast<std::size_t>(value.at("requests").as_number());
   spec.seed = static_cast<std::uint64_t>(value.at("seed").as_number());
-  for (const auto& [name, knob] : value.at("knobs").members()) {
-    if (knob.is_bool()) {
-      spec.knobs.emplace(name, knob.as_bool());
-    } else if (knob.is_string()) {
-      spec.knobs.emplace(name, knob.as_string());
-    } else {
-      // JSON numbers are doubles; integral values round-trip as ints so
-      // int-typed knobs re-validate cleanly.
-      const double number = knob.as_number();
-      if (number == std::floor(number) && std::abs(number) < 9.0e15) {
-        spec.knobs.emplace(name, static_cast<std::int64_t>(number));
+  // "knobs" is optional so hand-written spec files (poqsim run --spec,
+  // serve submits) can omit the empty overlay.
+  if (value.contains("knobs")) {
+    for (const auto& [name, knob] : value.at("knobs").members()) {
+      if (knob.is_bool()) {
+        spec.knobs.emplace(name, knob.as_bool());
+      } else if (knob.is_string()) {
+        spec.knobs.emplace(name, knob.as_string());
       } else {
-        spec.knobs.emplace(name, number);
+        // JSON numbers are doubles; integral values round-trip as ints so
+        // int-typed knobs re-validate cleanly.
+        const double number = knob.as_number();
+        if (number == std::floor(number) && std::abs(number) < 9.0e15) {
+          spec.knobs.emplace(name, static_cast<std::int64_t>(number));
+        } else {
+          spec.knobs.emplace(name, number);
+        }
       }
     }
   }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "scenario/protocol.hpp"
@@ -20,7 +22,54 @@ struct TaskResult {
   RunMetrics metrics;
   double wall_ms = 0.0;
   std::exception_ptr error;
+  bool ran = false;        // metrics is valid
+  bool cancelled = false;  // aborted by OperationCancelled or never claimed
 };
+
+/// Aggregate one cell from its per-replication results — task order, never
+/// completion order, so the output is bit-identical for any thread count.
+CellAggregate aggregate_cell(const ScenarioSpec& spec, std::size_t reps,
+                             const TaskResult* results) {
+  CellAggregate aggregate;
+  aggregate.spec = spec;
+  aggregate.seeds = static_cast<std::uint32_t>(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const TaskResult& result = results[rep];
+    aggregate.wall_ms += result.wall_ms;
+    if (rep == 0) {
+      aggregate.labels = result.metrics.labels();
+    } else {
+      // Labels that vary across replications (e.g. "completed" when
+      // only some seeds finish in budget) are reported as "mixed"
+      // rather than as replication 0's value.
+      for (auto& [name, value] : aggregate.labels) {
+        if (!result.metrics.has_label(name) ||
+            result.metrics.label(name) != value) {
+          value = "mixed";
+        }
+      }
+    }
+    const auto accumulate =
+        [](std::vector<std::pair<std::string, util::RunningStats>>& into,
+           const std::string& name, double value) {
+          for (auto& [key, existing] : into) {
+            if (key == name) {
+              existing.add(value);
+              return;
+            }
+          }
+          into.emplace_back(name, util::RunningStats{});
+          into.back().second.add(value);
+        };
+    for (const auto& [name, value] : result.metrics.scalars()) {
+      accumulate(aggregate.scalars, name, value);
+    }
+    for (const auto& [name, value] : result.metrics.timings()) {
+      accumulate(aggregate.timings, name, value);
+    }
+  }
+  return aggregate;
+}
 
 }  // namespace
 
@@ -96,15 +145,32 @@ void apply_intra_run_threads(std::vector<ScenarioSpec>& grid, unsigned threads) 
 
 std::vector<CellAggregate> SweepRunner::run(
     const std::vector<ScenarioSpec>& grid) const {
+  // Without a token nothing can be cancelled, so every cell aggregates.
+  SweepReport report = run_controlled(grid, nullptr);
+  return std::move(report.cells);
+}
+
+SweepReport SweepRunner::run_controlled(const std::vector<ScenarioSpec>& grid,
+                                        const util::CancelToken* cancel,
+                                        const SweepObserver& observe) const {
   const std::size_t reps = options_.seeds_per_cell;
   const std::size_t task_count = grid.size() * reps;
   std::vector<TaskResult> results(task_count);
+  std::mutex observe_mutex;
   if (task_count > 0) {
     // Workers pull the next task index from a shared counter; results land
-    // in the task's own slot so completion order never matters.
+    // in the task's own slot so completion order never matters. A fired
+    // token stops the claiming loop; in-flight runs abort through the
+    // thread-local install at their next per-round check.
     std::atomic<std::size_t> next{0};
     const auto worker = [&] {
+      // Only install when a token was passed: an install of nullptr would
+      // mask a token an enclosing driver (e.g. a serve job) put on the
+      // calling thread, and the single-threaded path runs right on it.
+      std::optional<util::ScopedCancel> install;
+      if (cancel != nullptr) install.emplace(cancel);
       while (true) {
+        if (cancel != nullptr && cancel->requested()) return;
         const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
         if (task >= task_count) return;
         const std::size_t cell = task / reps;
@@ -115,12 +181,25 @@ std::vector<CellAggregate> SweepRunner::run(
           const ScenarioSpec run_spec = grid[cell].with_seed(
               grid[cell].seed + static_cast<std::uint64_t>(rep));
           slot.metrics = registry().run(run_spec.protocol, run_spec);
+          slot.ran = true;
+        } catch (const util::OperationCancelled&) {
+          slot.cancelled = true;
         } catch (...) {
           slot.error = std::current_exception();
         }
         slot.wall_ms =
             std::chrono::duration<double, std::milli>(Clock::now() - start)
                 .count();
+        if (observe) {
+          const std::lock_guard<std::mutex> lock(observe_mutex);
+          SweepEvent event;
+          event.cell = cell;
+          event.rep = rep;
+          event.spec = &grid[cell];
+          event.metrics = slot.ran ? &slot.metrics : nullptr;
+          event.wall_ms = slot.wall_ms;
+          observe(event);
+        }
       }
     };
     const unsigned thread_count = effective_threads(task_count);
@@ -137,50 +216,23 @@ std::vector<CellAggregate> SweepRunner::run(
     }
   }
 
-  std::vector<CellAggregate> aggregates;
-  aggregates.reserve(grid.size());
+  SweepReport report;
+  report.cancelled = cancel != nullptr && cancel->requested();
+  report.cells.reserve(grid.size());
   for (std::size_t cell = 0; cell < grid.size(); ++cell) {
-    CellAggregate aggregate;
-    aggregate.spec = grid[cell];
-    aggregate.seeds = static_cast<std::uint32_t>(reps);
+    bool complete = true;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      const TaskResult& result = results[cell * reps + rep];
-      aggregate.wall_ms += result.wall_ms;
-      if (rep == 0) {
-        aggregate.labels = result.metrics.labels();
-      } else {
-        // Labels that vary across replications (e.g. "completed" when
-        // only some seeds finish in budget) are reported as "mixed"
-        // rather than as replication 0's value.
-        for (auto& [name, value] : aggregate.labels) {
-          if (!result.metrics.has_label(name) ||
-              result.metrics.label(name) != value) {
-            value = "mixed";
-          }
-        }
-      }
-      const auto accumulate =
-          [](std::vector<std::pair<std::string, util::RunningStats>>& into,
-             const std::string& name, double value) {
-            for (auto& [key, existing] : into) {
-              if (key == name) {
-                existing.add(value);
-                return;
-              }
-            }
-            into.emplace_back(name, util::RunningStats{});
-            into.back().second.add(value);
-          };
-      for (const auto& [name, value] : result.metrics.scalars()) {
-        accumulate(aggregate.scalars, name, value);
-      }
-      for (const auto& [name, value] : result.metrics.timings()) {
-        accumulate(aggregate.timings, name, value);
-      }
+      if (!results[cell * reps + rep].ran) complete = false;
     }
-    aggregates.push_back(std::move(aggregate));
+    if (!complete) {
+      ++report.cancelled_cells;
+      continue;
+    }
+    report.cells.push_back(
+        aggregate_cell(grid[cell], reps, results.data() + cell * reps));
+    report.cell_indices.push_back(cell);
   }
-  return aggregates;
+  return report;
 }
 
 }  // namespace poq::scenario

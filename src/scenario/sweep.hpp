@@ -11,13 +11,16 @@
 // contract.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "scenario/metrics.hpp"
 #include "scenario/spec.hpp"
+#include "util/cancel.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 
@@ -63,6 +66,39 @@ struct CellAggregate {
   [[nodiscard]] util::json::Value to_json() const;
 };
 
+/// One finished (cell, replication) task of a controlled sweep, reported
+/// live while later tasks are still running. `metrics` carries the full
+/// RunMetrics including the phase_ms.* timings (the serve daemon streams
+/// these as progress events); it is null when the task was cancelled
+/// mid-run. Events arrive in completion order — which worker threads make
+/// nondeterministic — but the *aggregate* stays ordered by (cell, rep),
+/// so streaming never weakens the determinism contract.
+struct SweepEvent {
+  std::size_t cell = 0;  ///< grid index
+  std::size_t rep = 0;   ///< replication index within the cell
+  const ScenarioSpec* spec = nullptr;   ///< the cell's base spec
+  const RunMetrics* metrics = nullptr;  ///< null when cancelled
+  double wall_ms = 0.0;
+};
+
+/// Invoked from worker threads, but serialized by the runner (never
+/// concurrently with itself); the pointers are valid only for the call.
+using SweepObserver = std::function<void(const SweepEvent&)>;
+
+/// Result of a controlled (cancellable) sweep. Cancellation contract:
+/// cells whose every replication completed before the cancel aggregate
+/// exactly as in an uncancelled run — bit-identical, since each (cell,
+/// seed) task is deterministic in isolation — and appear in `cells` with
+/// their grid index in `cell_indices`; cells with any replication
+/// cancelled or never started are excluded whole and counted in
+/// `cancelled_cells`. No partially-aggregated cell is ever reported.
+struct SweepReport {
+  std::vector<CellAggregate> cells;
+  std::vector<std::size_t> cell_indices;  ///< grid index per aggregate
+  std::size_t cancelled_cells = 0;
+  bool cancelled = false;  ///< the token fired before the sweep drained
+};
+
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions options = {});
@@ -72,6 +108,16 @@ class SweepRunner {
   /// after all workers drain. Cells dispatch through scenario::registry().
   [[nodiscard]] std::vector<CellAggregate> run(
       const std::vector<ScenarioSpec>& grid) const;
+
+  /// run() with cooperative cancellation and live per-task events. When
+  /// `cancel` fires, workers stop claiming tasks and in-flight runs abort
+  /// at their next round/epoch boundary (the token is installed on each
+  /// worker via util::ScopedCancel, so the core loops' per-round checks
+  /// see it). Exceptions other than cancellation still rethrow, first in
+  /// task order.
+  [[nodiscard]] SweepReport run_controlled(const std::vector<ScenarioSpec>& grid,
+                                           const util::CancelToken* cancel,
+                                           const SweepObserver& observe = {}) const;
 
   /// Threads the runner will actually use for `task_count` tasks.
   [[nodiscard]] unsigned effective_threads(std::size_t task_count) const;

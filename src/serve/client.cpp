@@ -1,0 +1,100 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace poq::serve {
+
+Client::Client(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+Client::~Client() { close(); }
+
+void Client::connect(int attempts, int delay_ms) {
+  require(fd_ < 0, "serve client: already connected");
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  require(socket_path_.size() < sizeof(address.sun_path),
+          util::str_cat("serve client: socket path '", socket_path_,
+                        "' exceeds the AF_UNIX limit"));
+  std::memcpy(address.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  int last_errno = 0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    require(fd >= 0, util::str_cat("serve client: socket() failed: ",
+                                   std::strerror(errno)));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof address) == 0) {
+      fd_ = fd;
+      return;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  throw PreconditionError(util::str_cat(
+      "serve client: cannot connect to '", socket_path_, "' after ", attempts,
+      " attempts: ", std::strerror(last_errno)));
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_line(const std::string& line) {
+  require(fd_ >= 0, "serve client: not connected");
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    require(n > 0, "serve client: connection lost while sending");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+util::json::Value Client::read_frame() {
+  require(fd_ >= 0, "serve client: not connected");
+  for (;;) {
+    if (std::optional<std::string> frame = reader_.next()) {
+      return util::json::Value::parse(*frame);
+    }
+    char buffer[4096];
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    require(n > 0, "serve client: server closed the connection");
+    reader_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+util::json::Value Client::request(const util::json::Value& frame) {
+  send_line(encode_frame(frame));
+  return read_frame();
+}
+
+util::json::Value Client::read_events(
+    const std::function<void(const util::json::Value&)>& on_event) {
+  for (;;) {
+    util::json::Value frame = read_frame();
+    require(frame.is_object() && frame.contains("event"),
+            util::str_cat("serve client: expected an event frame, got ",
+                          frame.dump()));
+    if (on_event) on_event(frame);
+    if (is_terminal_event(frame.at("event").as_string())) return frame;
+  }
+}
+
+}  // namespace poq::serve

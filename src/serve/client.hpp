@@ -1,0 +1,54 @@
+// Blocking client for the `poqsim serve` protocol.
+//
+// One connection, synchronous request/response: request() writes a frame
+// and reads exactly one response frame; read_events() then consumes the
+// streamed event frames of a watched job until a terminal event. The CLI
+// (`poqsim client`), the serve tests, and the BENCH_serve suite all speak
+// through this one class, so the wire format has a single client-side
+// implementation to get right.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+namespace poq::serve {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect, retrying while the daemon's socket comes up (covers the
+  /// fork-then-connect startup race). Throws PreconditionError once the
+  /// attempts are exhausted.
+  void connect(int attempts = 100, int delay_ms = 20);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request frame and block for its response frame.
+  [[nodiscard]] util::json::Value request(const util::json::Value& frame);
+
+  /// Read event frames until a terminal one ("job_done", "job_failed",
+  /// "job_cancelled"), invoking `on_event` (when set) for every frame
+  /// including the terminal; returns the terminal frame.
+  [[nodiscard]] util::json::Value read_events(
+      const std::function<void(const util::json::Value&)>& on_event = {});
+
+  /// Read exactly one frame (response or event) from the stream.
+  [[nodiscard]] util::json::Value read_frame();
+
+ private:
+  void send_line(const std::string& line);
+
+  std::string socket_path_;
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace poq::serve

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 
 namespace poq::sim {
@@ -42,6 +43,7 @@ std::uint64_t Engine::run(SimTime until, std::uint64_t max_events) {
   std::uint64_t executed = 0;
   stopping_ = false;
   while (executed < max_events && !stopping_) {
+    util::this_thread_check_cancelled();
     const auto next_time = queue_.peek_time();
     if (!next_time) return executed;  // drained; clock stays at last event
     if (*next_time > until) {

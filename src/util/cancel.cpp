@@ -1,0 +1,24 @@
+#include "util/cancel.hpp"
+
+namespace poq::util {
+
+namespace {
+thread_local const CancelToken* t_active_token = nullptr;
+}  // namespace
+
+ScopedCancel::ScopedCancel(const CancelToken* token)
+    : previous_(t_active_token) {
+  t_active_token = token;
+}
+
+ScopedCancel::~ScopedCancel() { t_active_token = previous_; }
+
+bool this_thread_cancelled() {
+  return t_active_token != nullptr && t_active_token->requested();
+}
+
+void this_thread_check_cancelled() {
+  if (this_thread_cancelled()) throw OperationCancelled();
+}
+
+}  // namespace poq::util

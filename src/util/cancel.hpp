@@ -1,0 +1,72 @@
+// Cooperative cancellation for long-running simulations.
+//
+// A CancelToken is a shared flag a controller (the serve job manager, a
+// sweep driver, a test) sets to ask in-flight work to stop. The work side
+// never takes a token parameter: the driver installs the token on its own
+// thread with a ScopedCancel, and the core round/epoch loops poll
+// this_thread_cancelled() once per round — one thread_local read plus one
+// relaxed atomic load, cheap enough for hot loops. When the flag is set
+// the loop throws OperationCancelled, which unwinds through RAII back to
+// the installer (the sweep worker or serve job runner), so a cancelled
+// run leaves no partial results behind.
+//
+// The token is installed per thread on purpose: a sweep fans (cell, seed)
+// tasks across workers, and each worker installs the job's token only
+// while running its task, so cancelling one job never aborts unrelated
+// work sharing the pool. Engine pool threads inside a run do not see the
+// token; the driver thread's per-round check bounds the cancellation
+// latency at one round/slice/epoch, which is the granularity the
+// determinism contract needs anyway (completed cells stay bit-identical,
+// cancelled cells are excluded whole).
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace poq::util {
+
+/// Thrown by this_thread_check_cancelled() when the installed token has
+/// been cancelled. Derives from runtime_error, not PreconditionError:
+/// cancellation is a normal control event, not a caller bug.
+class OperationCancelled : public std::runtime_error {
+ public:
+  OperationCancelled() : std::runtime_error("operation cancelled") {}
+};
+
+class CancelToken {
+ public:
+  /// Ask work observing this token to stop (idempotent, thread-safe).
+  void request() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Re-arm a token for reuse (serve Reset). Only safe when no work is
+  /// currently observing it.
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Install `token` as the calling thread's active cancellation token for
+/// the scope's lifetime; restores the previous token (scopes nest). Pass
+/// nullptr to mask an outer token.
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(const CancelToken* token);
+  ~ScopedCancel();
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  const CancelToken* previous_;
+};
+
+/// True when the calling thread's installed token (if any) is cancelled.
+[[nodiscard]] bool this_thread_cancelled();
+
+/// Throw OperationCancelled if the calling thread's token is cancelled.
+/// The per-round check every core simulation loop performs.
+void this_thread_check_cancelled();
+
+}  // namespace poq::util

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -13,13 +14,46 @@ namespace poq::util::json {
 
 namespace {
 
-/// Cursor over the input with offset-bearing error reporting.
+/// Cursor over the input with located error reporting: every parse error
+/// names the byte offset, the line/column, and an excerpt of the
+/// offending line with a caret — the serve protocol echoes these messages
+/// back to remote clients, where "unexpected end of input" alone is
+/// useless.
 struct Parser {
   std::string_view text;
   std::size_t pos = 0;
 
+  [[nodiscard]] std::string locate(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t line_start = 0;
+    const std::size_t at = std::min(pos, text.size());
+    for (std::size_t i = 0; i < at; ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
+    }
+    const std::size_t column = at - line_start + 1;
+    // Excerpt: up to 30 bytes of the offending line on either side of the
+    // cursor, with a caret marking the position.
+    std::size_t line_end = at;
+    while (line_end < text.size() && text[line_end] != '\n') ++line_end;
+    const std::size_t from = std::max(line_start, at > 30 ? at - 30 : 0);
+    const std::size_t to = std::min(line_end, at + 30);
+    std::string excerpt;
+    for (std::size_t i = from; i < to; ++i) {
+      const char c = text[i];
+      excerpt.push_back((c == '\t' || c == '\r') ? ' ' : c);
+    }
+    std::string caret(at - from, ' ');
+    caret.push_back('^');
+    return str_cat("json parse error at byte ", at, " (line ", line,
+                   ", column ", column, "): ", message, "\n  ", excerpt,
+                   "\n  ", caret);
+  }
+
   [[noreturn]] void fail(const std::string& message) const {
-    throw PreconditionError(str_cat("json parse error at byte ", pos, ": ", message));
+    throw PreconditionError(locate(message));
   }
 
   void skip_whitespace() {
@@ -36,8 +70,7 @@ struct Parser {
   }
 
   [[noreturn]] void fail_eof() const {
-    throw PreconditionError(
-        str_cat("json parse error at byte ", pos, ": unexpected end of input"));
+    throw PreconditionError(locate("unexpected end of input"));
   }
 
   void expect(char c) {

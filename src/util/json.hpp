@@ -39,7 +39,10 @@ class Value {
   [[nodiscard]] static Value object();
 
   /// Parse a complete JSON document; trailing non-whitespace is an error.
-  /// Throws PreconditionError with byte offset context on malformed input.
+  /// Throws PreconditionError on malformed input, locating the failure by
+  /// byte offset, line and column, plus a caret-marked excerpt of the
+  /// offending line (the serve protocol replies with these messages, so
+  /// they must pinpoint the problem in the client's frame).
   [[nodiscard]] static Value parse(std::string_view text);
 
   [[nodiscard]] Type type() const { return type_; }

@@ -1,0 +1,151 @@
+// Cooperative cancellation: the util::CancelToken substrate, the per-round
+// checks in the core simulators, and SweepRunner::run_controlled's
+// contract that completed cells stay bit-identical while cancelled cells
+// are excluded whole.
+#include "scenario/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/protocol.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+
+namespace poq::scenario {
+namespace {
+
+ScenarioSpec cell_spec(std::size_t nodes, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = "balancing";
+  spec.topology = "cycle";
+  spec.nodes = nodes;
+  spec.consumer_pairs = 4;
+  spec.requests = 12;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<ScenarioSpec> small_grid() {
+  return {cell_spec(9, 11), cell_spec(16, 11), cell_spec(25, 11)};
+}
+
+TEST(SweepCancel, ScopedCancelInstallsPerThreadAndNests) {
+  EXPECT_FALSE(util::this_thread_cancelled());
+  util::CancelToken token;
+  {
+    const util::ScopedCancel install(&token);
+    EXPECT_FALSE(util::this_thread_cancelled());
+    token.request();
+    EXPECT_TRUE(util::this_thread_cancelled());
+    {
+      // An inner nullptr install masks the outer token...
+      const util::ScopedCancel mask(nullptr);
+      EXPECT_FALSE(util::this_thread_cancelled());
+    }
+    // ...and unwinding restores it.
+    EXPECT_TRUE(util::this_thread_cancelled());
+    EXPECT_THROW(util::this_thread_check_cancelled(), util::OperationCancelled);
+  }
+  EXPECT_FALSE(util::this_thread_cancelled());
+  token.reset();
+  EXPECT_FALSE(token.requested());
+}
+
+TEST(SweepCancel, CoreRunAbortsWithOperationCancelled) {
+  util::CancelToken token;
+  token.request();
+  const util::ScopedCancel install(&token);
+  const ScenarioSpec spec = cell_spec(9, 1);
+  EXPECT_THROW((void)registry().run(spec.protocol, spec),
+               util::OperationCancelled);
+}
+
+TEST(SweepCancel, PreCancelledTokenRunsNoCell) {
+  util::CancelToken token;
+  token.request();
+  const SweepRunner runner(SweepOptions{1, 1, 1});
+  const SweepReport report = runner.run_controlled(small_grid(), &token);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_TRUE(report.cells.empty());
+  EXPECT_EQ(report.cancelled_cells, small_grid().size());
+}
+
+TEST(SweepCancel, NullTokenBehavesLikeRun) {
+  const std::vector<ScenarioSpec> grid = small_grid();
+  SweepOptions options;
+  options.seeds_per_cell = 2;
+  options.threads = 2;
+  const SweepRunner runner(options);
+  const SweepReport controlled = runner.run_controlled(grid, nullptr);
+  const std::vector<CellAggregate> plain = runner.run(grid);
+  EXPECT_FALSE(controlled.cancelled);
+  EXPECT_EQ(controlled.cancelled_cells, 0u);
+  ASSERT_EQ(controlled.cells.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(controlled.cell_indices[i], i);
+    for (const char* key : {"spec", "seeds", "labels", "metrics"}) {
+      EXPECT_EQ(controlled.cells[i].to_json().at(key),
+                plain[i].to_json().at(key));
+    }
+  }
+}
+
+TEST(SweepCancel, ObserverSeesEveryTaskOfAFullSweep) {
+  const std::vector<ScenarioSpec> grid = small_grid();
+  SweepOptions options;
+  options.seeds_per_cell = 2;
+  options.threads = 2;
+  const SweepRunner runner(options);
+  std::size_t events = 0;
+  std::size_t with_metrics = 0;
+  const SweepReport report =
+      runner.run_controlled(grid, nullptr, [&](const SweepEvent& event) {
+        ++events;
+        if (event.metrics != nullptr) ++with_metrics;
+        EXPECT_LT(event.cell, grid.size());
+        EXPECT_LT(event.rep, 2u);
+        EXPECT_EQ(event.spec, &grid[event.cell]);
+      });
+  EXPECT_EQ(events, grid.size() * 2);
+  EXPECT_EQ(with_metrics, events);
+  EXPECT_EQ(report.cells.size(), grid.size());
+}
+
+TEST(SweepCancel, CancelAfterFirstTaskKeepsCompletedCellsBitIdentical) {
+  const std::vector<ScenarioSpec> grid = small_grid();
+  SweepOptions options;
+  options.seeds_per_cell = 1;
+  options.threads = 1;  // tasks complete in (cell, rep) order
+  const SweepRunner runner(options);
+  util::CancelToken token;
+  const SweepReport report =
+      runner.run_controlled(grid, &token, [&](const SweepEvent&) {
+        // Fire after the first completed task: the claiming loop stops, so
+        // later cells never start.
+        token.request();
+      });
+  EXPECT_TRUE(report.cancelled);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cell_indices.front(), 0u);
+  EXPECT_EQ(report.cancelled_cells, grid.size() - 1);
+
+  // The surviving cell aggregates exactly as in an uncancelled batch run.
+  const std::vector<CellAggregate> batch = runner.run({grid[0]});
+  ASSERT_EQ(batch.size(), 1u);
+  for (const char* key : {"spec", "seeds", "labels", "metrics"}) {
+    EXPECT_EQ(report.cells[0].to_json().at(key), batch[0].to_json().at(key));
+  }
+}
+
+TEST(SweepCancel, TaskErrorsStillRethrowUnderControl) {
+  std::vector<ScenarioSpec> grid{cell_spec(9, 1)};
+  grid[0].knobs["no-such-knob"] = 1.0;  // registry validation throws
+  const SweepRunner runner(SweepOptions{1, 1, 1});
+  util::CancelToken token;
+  EXPECT_THROW((void)runner.run_controlled(grid, &token), PreconditionError);
+}
+
+}  // namespace
+}  // namespace poq::scenario

@@ -105,5 +105,49 @@ TEST(Json, EqualityIsStructural) {
   EXPECT_FALSE(a == c);  // member order is part of the document
 }
 
+TEST(Json, ParseErrorsCarryLineColumnAndCaretExcerpt) {
+  try {
+    (void)Value::parse("{\n  \"a\": 1,\n  \"b\": oops\n}");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+    EXPECT_NE(message.find("column 8"), std::string::npos) << message;
+    EXPECT_NE(message.find("oops"), std::string::npos)
+        << "excerpt should show the offending line: " << message;
+    EXPECT_NE(message.find('^'), std::string::npos) << message;
+  }
+}
+
+TEST(Json, ParseEofErrorNamesByteOffsetAndLine) {
+  try {
+    (void)Value::parse("{\"a\": [1, 2");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unexpected end of input"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("at byte 11"), std::string::npos) << message;
+    EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+  }
+}
+
+TEST(Json, ParseErrorExcerptClampsToTheOffendingLine) {
+  const std::string long_line(200, ' ');
+  try {
+    (void)Value::parse("{\"key\":\n" + long_line + "@\n}");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+    // The caret line stays short even though the line is 200 bytes.
+    const std::size_t caret = message.find('^');
+    ASSERT_NE(caret, std::string::npos);
+    const std::size_t caret_line = message.rfind('\n', caret);
+    ASSERT_NE(caret_line, std::string::npos);
+    EXPECT_LE(caret - caret_line, 64u);
+  }
+}
+
 }  // namespace
 }  // namespace poq::util::json

@@ -27,6 +27,9 @@
 #include "scenario/protocol.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/sweep.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -165,7 +168,15 @@ void print_protocol_help(const scenario::Protocol& protocol) {
   std::cout << kCommonOptionsHelp;
 }
 
-int cmd_list() {
+int cmd_list(const util::ArgParser& args) {
+  if (args.get_bool("json", false)) {
+    check_unused(args);
+    // Machine-readable listing: the same document the serve `list` op
+    // returns, so tooling has one schema to parse.
+    std::cout << scenario::registry_to_json(scenario::registry()).dump(2);
+    return 0;
+  }
+  check_unused(args);
   for (const std::string& name : scenario::registry().names()) {
     const scenario::Protocol& protocol = scenario::registry().find(name);
     std::cout << util::pad_right(name, 14) << protocol.describe() << '\n';
@@ -185,6 +196,14 @@ int cmd_run(const scenario::Protocol& protocol, const util::ArgParser& args) {
 /// holds one ScenarioSpec as JSON (the same object `sweep --json` echoes
 /// per cell), including the protocol, so an experiment is reproducible
 /// from the file alone; --seed optionally overrides for replication.
+scenario::ScenarioSpec load_spec_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw PreconditionError("cannot read spec file " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return scenario::ScenarioSpec::from_json(util::json::Value::parse(buffer.str()));
+}
+
 int cmd_run_spec(const util::ArgParser& args) {
   if (args.has("help")) {
     std::cout <<
@@ -199,12 +218,7 @@ int cmd_run_spec(const util::ArgParser& args) {
   }
   const std::string path = args.get_string("spec", "");
   if (path.empty()) throw PreconditionError("run: --spec FILE.json is required");
-  std::ifstream file(path);
-  if (!file) throw PreconditionError("run: cannot read spec file " + path);
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  scenario::ScenarioSpec spec =
-      scenario::ScenarioSpec::from_json(util::json::Value::parse(buffer.str()));
+  scenario::ScenarioSpec spec = load_spec_file(path);
   if (args.has("seed")) {
     spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   }
@@ -566,6 +580,186 @@ int cmd_sweep(const util::ArgParser& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve / client: the long-running daemon and its reference client.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kDefaultSocket = "/tmp/poqsim-serve.sock";
+
+int cmd_serve(const util::ArgParser& args) {
+  if (args.has("help")) {
+    std::cout <<
+        "usage: poqsim serve [--socket PATH] [--workers N] [--queue-depth D]\n"
+        "                    [--sweep-threads T] [--intra-threads K]\n"
+        "Long-running simulation server: accepts jobs over a local AF_UNIX\n"
+        "socket speaking newline-delimited JSON (see `poqsim client`), with a\n"
+        "bounded job queue, cooperative cancellation and live per-task\n"
+        "progress events. Blocks until a client sends the shutdown op.\n"
+        "  --socket PATH      socket file (default " << kDefaultSocket << ")\n"
+        "  --workers N        concurrent jobs (default 1)\n"
+        "  --queue-depth D    queued jobs before submits are rejected with\n"
+        "                     code queue_full (default 8)\n"
+        "  --sweep-threads T  sweep pool threads per sweep job (default 1;\n"
+        "                     0 = hardware)\n"
+        "  --intra-threads K  intra-run threads per sweep cell (default 1)\n";
+    return 0;
+  }
+  serve::ServerOptions options;
+  options.socket_path = args.get_string("socket", kDefaultSocket);
+  const std::int64_t workers = args.get_int("workers", 1);
+  if (workers < 1 || workers > 256) {
+    throw PreconditionError("--workers must be in [1, 256]");
+  }
+  options.workers = static_cast<unsigned>(workers);
+  const std::int64_t depth = args.get_int("queue-depth", 8);
+  if (depth < 1 || depth > 4096) {
+    throw PreconditionError("--queue-depth must be in [1, 4096]");
+  }
+  options.queue_depth = static_cast<std::size_t>(depth);
+  const std::int64_t sweep_threads = args.get_int("sweep-threads", 1);
+  if (sweep_threads < 0 || sweep_threads > 4096) {
+    throw PreconditionError("--sweep-threads must be in [0, 4096]");
+  }
+  options.sweep_threads = static_cast<unsigned>(sweep_threads);
+  const std::int64_t intra = args.get_int("intra-threads", 1);
+  if (intra < 1 || intra > 4096) {
+    throw PreconditionError("--intra-threads must be in [1, 4096]");
+  }
+  options.intra_run_threads = static_cast<unsigned>(intra);
+  check_unused(args);
+  serve::Server server(options);
+  server.start();
+  // Scripts wait for this line before connecting.
+  std::cout << "poqsim serve: listening on " << options.socket_path
+            << std::endl;
+  server.wait();
+  server.stop();
+  std::cout << "poqsim serve: shut down\n";
+  return 0;
+}
+
+/// Grid construction for `client sweep`: the same --nodes/--axes surface
+/// as `poqsim sweep`, but the sweep executes inside the server.
+std::vector<scenario::ScenarioSpec> build_client_grid(const util::ArgParser& args,
+                                                      const std::string& name) {
+  const scenario::Protocol& protocol = scenario::registry().find(name);
+  std::vector<SweepAxis> axes;
+  {
+    SweepAxis nodes_axis;
+    nodes_axis.name = "nodes";
+    for (const std::size_t n :
+         parse_node_list(args.get_string("nodes", "9,16,25"))) {
+      nodes_axis.values.push_back(std::to_string(n));
+    }
+    axes.push_back(std::move(nodes_axis));
+  }
+  if (args.has("axes")) {
+    for (SweepAxis& axis : parse_axes(args.get_string("axes", ""))) {
+      if (axis.name == "nodes") {
+        throw PreconditionError(
+            "axis 'nodes' is owned by --nodes; list the counts there");
+      }
+      axes.push_back(std::move(axis));
+    }
+  }
+  scenario::ScenarioSpec base = parse_frame(args, name, false);
+  parse_knobs(args, protocol, base);
+  return build_axis_grid(base, protocol, axes);
+}
+
+int cmd_client(const util::ArgParser& args) {
+  if (args.has("help") || args.positional().empty()) {
+    std::cout <<
+        "usage: poqsim client <action> [options]\n"
+        "Reference client for `poqsim serve`; prints the server's JSON reply\n"
+        "(and, when watching, one event frame per line).\n"
+        "actions:\n"
+        "  submit    submit a run job: --spec FILE.json [--seed S] [--watch]\n"
+        "  sweep     submit a sweep job: --protocol P --nodes LIST\n"
+        "            [--axes \"a=1,2\"] [--seeds K] [--watch] + frame options\n"
+        "  status    job table snapshot, or one job with --job N\n"
+        "  watch     stream a job's events until it ends: --job N\n"
+        "  cancel    request cancellation: --job N\n"
+        "  reset     cancel everything and clear the job table\n"
+        "  shutdown  stop the daemon\n"
+        "  list      protocol/knob registry as JSON\n"
+        "common: --socket PATH (default " << kDefaultSocket << ")\n"
+        "exit code: 0 on ok replies (and job_done/job_cancelled watches),\n"
+        "1 on error replies, 2 when a watched job fails\n";
+    return args.has("help") ? 0 : 1;
+  }
+  const std::string action = args.positional().front();
+  if (args.positional().size() > 1) {
+    throw PreconditionError("client: unexpected argument '" +
+                            args.positional()[1] + "'");
+  }
+  using util::json::Value;
+  Value request = Value::object();
+  const bool watch = args.get_bool("watch", false);
+  if (action == "submit") {
+    const std::string path = args.get_string("spec", "");
+    if (path.empty()) {
+      throw PreconditionError("client submit: --spec FILE.json is required");
+    }
+    scenario::ScenarioSpec spec = load_spec_file(path);
+    if (args.has("seed")) {
+      spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    }
+    request.set("op", "submit_run");
+    request.set("spec", spec.to_json());
+    request.set("watch", watch);
+  } else if (action == "sweep") {
+    const std::string protocol =
+        canonical_protocol(args.get_string("protocol", "balancing"));
+    const std::int64_t seeds = args.get_int("seeds", 3);
+    if (seeds < 1 || seeds > 100000) {
+      throw PreconditionError("--seeds must be in [1, 100000]");
+    }
+    Value grid = Value::array();
+    for (const scenario::ScenarioSpec& cell : build_client_grid(args, protocol)) {
+      grid.push_back(cell.to_json());
+    }
+    request.set("op", "submit_sweep");
+    request.set("grid", std::move(grid));
+    request.set("seeds_per_cell", static_cast<std::uint64_t>(seeds));
+    request.set("watch", watch);
+  } else if (action == "status" || action == "watch" || action == "cancel") {
+    request.set("op", action);
+    if (args.has("job")) {
+      request.set("job", static_cast<std::uint64_t>(args.get_int("job", 0)));
+    } else if (action != "status") {
+      throw PreconditionError("client " + action + ": --job N is required");
+    }
+  } else if (action == "reset" || action == "shutdown" || action == "list") {
+    request.set("op", action);
+  } else {
+    throw PreconditionError("client: unknown action '" + action +
+                            "' (see `poqsim client --help`)");
+  }
+  const std::string socket = args.get_string("socket", kDefaultSocket);
+  {
+    const auto unused = args.unused();
+    if (!unused.empty()) {
+      throw PreconditionError("unknown option --" + unused.front());
+    }
+  }
+
+  serve::Client client(socket);
+  client.connect();
+  const Value reply = client.request(request);
+  std::cout << reply.dump() << '\n';
+  if (!(reply.is_object() && reply.contains("ok") && reply.at("ok").is_bool() &&
+        reply.at("ok").as_bool())) {
+    return 1;
+  }
+  const bool streaming =
+      action == "watch" || ((action == "submit" || action == "sweep") && watch);
+  if (!streaming) return 0;
+  const Value terminal = client.read_events(
+      [](const Value& event) { std::cout << event.dump() << '\n'; });
+  return terminal.at("event").as_string() == "job_failed" ? 2 : 0;
+}
+
 void print_usage() {
   std::cout << "usage: poqsim <subcommand> [options]\nprotocols:\n";
   for (const std::string& name : scenario::registry().names()) {
@@ -574,9 +768,12 @@ void print_usage() {
   }
   std::cout <<
       "other subcommands:\n"
-      "  list         registered protocols and their knobs\n"
+      "  list         registered protocols and their knobs (--json for machines)\n"
       "  run          run a ScenarioSpec JSON file (see `poqsim run --help`)\n"
       "  sweep        parallel grid sweep over any axes (see `poqsim sweep --help`)\n"
+      "  serve        long-running job server on a local socket (see --help)\n"
+      "  client       talk to a running server: submit/sweep/status/watch/\n"
+      "               cancel/reset/shutdown/list (see `poqsim client --help`)\n"
       "common options: --topology <family> --nodes N --pairs P --requests R --seed S\n"
       "               --topo-p X --topo-k K --topo-beta X --topo-m M (family params)\n"
       "families: cycle random-grid full-grid erdos-renyi watts-strogatz barabasi-albert\n";
@@ -592,9 +789,11 @@ int main(int argc, char** argv) {
   try {
     const util::ArgParser args(argc - 1, argv + 1);
     const std::string command = canonical_protocol(argv[1]);
-    if (command == "list") return cmd_list();
+    if (command == "list") return cmd_list(args);
     if (command == "run") return cmd_run_spec(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "client") return cmd_client(args);
     if (!scenario::registry().contains(command)) {
       std::cerr << "unknown subcommand '" << command << "'\n";
       print_usage();

@@ -10,6 +10,7 @@
 //
 // Usage: run_benches [--quick] [--out-dir DIR] [--suite NAME] [--threads N]
 //                    [--intra-threads K] [--check BASELINE.json] [--rel-tol X]
+//                    [--poqsim PATH]
 //   --quick     smaller sweeps and one seed per cell (the `bench` target's
 //               default); omit for the full paper-scale grids
 //   --out-dir   where to write BENCH_*.json (default: current directory)
@@ -22,8 +23,15 @@
 //               committed baseline JSON with a relative tolerance; exits
 //               nonzero on regression (the CI perf/correctness gate)
 //   --rel-tol   relative tolerance for --check (default 0.2)
+//   --poqsim    path to the poqsim binary, used by the serve suite's cold
+//               per-process comparison (default ./poqsim; the cold timing
+//               is skipped when the binary is missing)
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,8 +39,11 @@
 #include <vector>
 
 #include "common.hpp"
+#include "scenario/protocol.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/sweep.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -74,6 +85,8 @@ struct Options {
   unsigned intra_threads = 1;
   std::string check_path;
   double rel_tol = 0.2;
+  /// poqsim binary for the serve suite's cold-launch comparison.
+  std::string poqsim = "./poqsim";
 };
 
 SuiteRun run_grid(const std::string& name, std::vector<scenario::ScenarioSpec> grid,
@@ -392,6 +405,192 @@ SuiteRun suite_async_routing(const Options& options) {
   return run_grid("async_routing", std::move(grid), seeds, options);
 }
 
+// The serve suite's job mix: one cheap cell per protocol family so a warm
+// server request exercises every engine path the daemon can dispatch.
+std::vector<scenario::ScenarioSpec> serve_job_grid(bool quick) {
+  std::vector<scenario::ScenarioSpec> jobs;
+  const std::size_t copies = quick ? 1 : 3;
+  for (std::size_t copy = 0; copy < copies; ++copy) {
+    const std::uint64_t seed = 600 + 10 * copy;
+    scenario::ScenarioSpec balancing;
+    balancing.protocol = "balancing";
+    balancing.topology = "cycle";
+    balancing.nodes = 9;
+    balancing.consumer_pairs = 4;
+    balancing.requests = 12;
+    balancing.seed = seed;
+    jobs.push_back(balancing);
+
+    scenario::ScenarioSpec hybrid = balancing;
+    hybrid.protocol = "hybrid";
+    hybrid.topology = "random-grid";
+    hybrid.nodes = 16;
+    hybrid.seed = seed + 1;
+    jobs.push_back(hybrid);
+
+    scenario::ScenarioSpec gossip = balancing;
+    gossip.protocol = "gossip";
+    gossip.topology = "random-grid";
+    gossip.nodes = 16;
+    gossip.seed = seed + 2;
+    gossip.knobs["fanout"] = std::int64_t{2};
+    gossip.knobs["max-rounds"] = std::int64_t{400000};
+    jobs.push_back(gossip);
+
+    scenario::ScenarioSpec fidelity;
+    fidelity.protocol = "fidelity";
+    fidelity.topology = "random-grid";
+    fidelity.nodes = 16;
+    fidelity.consumer_pairs = 12;
+    fidelity.requests = 100000;
+    fidelity.seed = seed + 3;
+    fidelity.knobs["memory-T"] = 50.0;
+    fidelity.knobs["duration"] = 60.0;
+    jobs.push_back(fidelity);
+  }
+  return jobs;
+}
+
+SuiteRun suite_serve(const Options& options) {
+  // Warm-vs-cold serving gate. An in-process `serve::Server` answers a
+  // mixed-protocol stream of run jobs over its AF_UNIX socket; every
+  // served result must be bit-identical (modulo wall-clock timings) to a
+  // direct registry run of the same spec — that equality is the gated
+  // per-cell scalar, with the job count gated through the cell count.
+  // The warm per-request wall time and, when a poqsim binary is at hand,
+  // the same jobs as cold `poqsim run --spec` process launches land in
+  // the timings (never compared by --check; throughput varies by host).
+  using util::json::Value;
+  const std::vector<scenario::ScenarioSpec> jobs = serve_job_grid(options.quick);
+
+  serve::ServerOptions server_options;
+  server_options.socket_path =
+      "/tmp/poqsim-bench-serve-" + std::to_string(::getpid()) + ".sock";
+  server_options.workers = 1;  // sequential submit+watch: honest per-request cost
+  server_options.queue_depth = jobs.size();
+  serve::Server server(server_options);
+  server.start();
+
+  const Clock::time_point start = Clock::now();
+  std::vector<double> request_ms(jobs.size(), 0.0);
+  std::vector<std::string> served(jobs.size());
+  {
+    serve::Client client(server_options.socket_path);
+    client.connect();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const Clock::time_point job_start = Clock::now();
+      Value request = Value::object();
+      request.set("op", "submit_run");
+      request.set("spec", jobs[i].to_json());
+      request.set("watch", true);
+      const Value reply = client.request(request);
+      if (!reply.at("ok").as_bool()) {
+        throw PreconditionError("serve suite: submit rejected: " + reply.dump());
+      }
+      const Value terminal = client.read_events();
+      if (terminal.at("event").as_string() != "job_done") {
+        throw PreconditionError("serve suite: job did not finish: " +
+                                terminal.dump());
+      }
+      served[i] = scenario::RunMetrics::from_json(
+                      terminal.at("result").at("metrics"))
+                      .to_json(/*include_timings=*/false)
+                      .dump();
+      request_ms[i] = elapsed_ms(job_start);
+    }
+  }
+  const double warm_total_ms = elapsed_ms(start);
+  server.stop();
+
+  // Ground truth after the timed window so the warm numbers stay clean.
+  std::size_t identical_jobs = 0;
+  std::vector<bool> identical(jobs.size(), false);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::string direct = scenario::registry()
+                                   .run(jobs[i].protocol, jobs[i])
+                                   .to_json(/*include_timings=*/false)
+                                   .dump();
+    identical[i] = served[i] == direct;
+    if (identical[i]) ++identical_jobs;
+  }
+
+  // Cold comparison: the same jobs, each as a fresh `poqsim run --spec`
+  // process. Recorded as a timing only — and skipped outright (negative
+  // sentinel never written) when the binary is missing or fails.
+  double cold_total_ms = -1.0;
+  if (std::ifstream(options.poqsim).good()) {
+    const std::string spec_path = server_options.socket_path + ".spec.json";
+    const Clock::time_point cold_start = Clock::now();
+    bool cold_ok = true;
+    for (const scenario::ScenarioSpec& job : jobs) {
+      {
+        std::ofstream file(spec_path);
+        file << job.to_json().dump();
+      }
+      const std::string command = "\"" + options.poqsim + "\" run --spec \"" +
+                                  spec_path + "\" > /dev/null 2>&1";
+      if (std::system(command.c_str()) != 0) {
+        cold_ok = false;
+        break;
+      }
+    }
+    if (cold_ok) cold_total_ms = elapsed_ms(cold_start);
+    std::remove(spec_path.c_str());
+  }
+
+  SuiteRun run;
+  run.name = "serve";
+  run.seeds = 1;
+  run.intra_threads = 1;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    scenario::CellAggregate cell;
+    cell.spec = jobs[i];
+    cell.seeds = 1;
+    util::RunningStats result_identical;
+    result_identical.add(identical[i] ? 1.0 : 0.0);
+    cell.scalars.emplace_back("serve_result_identical", result_identical);
+    util::RunningStats ms;
+    ms.add(request_ms[i]);
+    cell.timings.emplace_back("serve_request_ms", ms);
+    cell.wall_ms = request_ms[i];
+    run.cells.push_back(std::move(cell));
+  }
+  // Suite-level aggregates ride on the first cell: the two gated scalars
+  // the acceptance names, plus the warm/cold throughput as timings.
+  const auto scalar_of = [](double x) {
+    util::RunningStats stats;
+    stats.add(x);
+    return stats;
+  };
+  const double count = static_cast<double>(jobs.size());
+  run.cells.front().scalars.emplace_back("serve_jobs", scalar_of(count));
+  run.cells.front().scalars.emplace_back(
+      "serve_results_identical", scalar_of(static_cast<double>(identical_jobs)));
+  const double warm_rps = count / (warm_total_ms / 1000.0);
+  run.cells.front().timings.emplace_back("serve_warm_req_per_s",
+                                         scalar_of(warm_rps));
+  std::cout << "serve: " << jobs.size() << " warm jobs in "
+            << util::format_double(warm_total_ms, 0) << " ms ("
+            << util::format_double(warm_rps, 1) << " req/s)";
+  if (cold_total_ms >= 0.0) {
+    const double cold_rps = count / (cold_total_ms / 1000.0);
+    run.cells.front().timings.emplace_back("serve_cold_req_per_s",
+                                           scalar_of(cold_rps));
+    run.cells.front().timings.emplace_back("serve_cold_total_ms",
+                                           scalar_of(cold_total_ms));
+    std::cout << "; cold launches: " << util::format_double(cold_total_ms, 0)
+              << " ms (" << util::format_double(cold_rps, 1) << " req/s, warm "
+              << util::format_double(cold_total_ms / warm_total_ms, 1)
+              << "x faster)";
+  } else {
+    std::cout << "; cold comparison skipped (no runnable poqsim at "
+              << options.poqsim << ")";
+  }
+  std::cout << '\n';
+  run.total_wall_ms = warm_total_ms + std::max(cold_total_ms, 0.0);
+  return run;
+}
+
 using SuiteFn = SuiteRun (*)(const Options&);
 const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"fig4_overhead_vs_distillation", suite_fig4},
@@ -403,6 +602,7 @@ const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"parallel_scaling", suite_parallel_scaling},
     {"hotpath", suite_hotpath},
     {"async_routing", suite_async_routing},
+    {"serve", suite_serve},
 };
 
 // ---------------------------------------------------------------------------
@@ -510,6 +710,7 @@ int main(int argc, char** argv) {
           << "usage: run_benches [--quick] [--out-dir DIR] [--suite NAME]\n"
              "                   [--threads N] [--intra-threads K]\n"
              "                   [--check BASELINE.json] [--rel-tol X]\n"
+             "                   [--poqsim PATH]\n"
              "Runs the figure/ablation sweeps and writes unified "
              "BENCH_*.json.\nsuites:\n";
       for (const auto& [name, fn] : kSuites) std::cout << "  " << name << '\n';
@@ -534,6 +735,7 @@ int main(int argc, char** argv) {
         intra_threads == 0 ? 0 : static_cast<unsigned>(intra_threads);
     options.check_path = args.get_string("check", "");
     options.rel_tol = args.get_double("rel-tol", 0.2);
+    options.poqsim = args.get_string("poqsim", "./poqsim");
     const auto unused = args.unused();
     if (!unused.empty()) {
       throw poq::PreconditionError("unknown option --" + unused.front());
