@@ -28,15 +28,21 @@ BalancingSimulation::BalancingSimulation(const graph::Graph& generation_graph,
     : generation_graph_(generation_graph),
       workload_(workload),
       config_(config),
-      distances_(graph::all_pairs_distances(generation_graph)),
+      oracle_(generation_graph),
       state_(generation_graph, config.seed, config.tick),
-      balancer_(DistillationMatrix(config.distillation), config.policy, &distances_),
+      // The dense distance matrix is materialized only when the decide
+      // kernel actually reads it (detour slack); megascale runs stay
+      // O(nodes + edges).
+      balancer_(DistillationMatrix(config.distillation), config.policy,
+                config.policy.detour_slack ? &oracle_.dense() : nullptr),
       generation_rng_(util::Rng(config.seed).fork(1)),
       swap_rng_(util::Rng(config.seed).fork(2)),
       consume_rng_(util::Rng(config.seed).fork(3)) {
   require(config.distillation >= 0.0, "BalancingConfig: D must be >= 0");
   require(config.generation_per_edge_per_round >= 0.0,
           "BalancingConfig: generation rate must be >= 0");
+  require(config.arrival_rate >= 0.0,
+          "BalancingConfig: arrival rate must be >= 0");
   // Uniform distillation: a partner is eligible for the §4 scan only from
   // count ceil(D + 1) (the smallest integer C with C - D >= 1), which
   // lets the incremental decide skip marking for mutations no decision
@@ -45,16 +51,25 @@ BalancingSimulation::BalancingSimulation(const graph::Graph& generation_graph,
       static_cast<std::uint32_t>(std::ceil(config.distillation + 1.0)));
   require(generation_graph.node_count() >= 3,
           "BalancingSimulation: need at least 3 nodes to swap");
+  const std::size_t n = generation_graph.node_count();
+  pool_size_ = config_.consumer_pool > 0
+                   ? static_cast<std::size_t>(config_.consumer_pool)
+                   : n * (n - 1) / 2;
   for (const NodePair& pair : workload.pairs) {
     require(pair.second < generation_graph.node_count(),
             "BalancingSimulation: workload references unknown node");
-    require(distances_[pair.first][pair.second] != graph::kUnreachable,
+    require(oracle_.distance(pair.first, pair.second) != graph::kUnreachable,
             "BalancingSimulation: consumer pair disconnected");
   }
 }
 
 bool BalancingSimulation::finished() const {
-  return head_ >= workload_.request_count() || result_.rounds >= config_.max_rounds;
+  if (result_.rounds >= config_.max_rounds) return true;
+  if (streaming()) {
+    return config_.max_requests > 0 &&
+           result_.requests_satisfied >= config_.max_requests;
+  }
+  return head_ >= workload_.request_count();
 }
 
 void BalancingSimulation::begin_round() { ++result_.rounds; }
@@ -115,9 +130,48 @@ void BalancingSimulation::sharded_swap_phase() {
   }
 }
 
+NodePair BalancingSimulation::pool_pair(std::uint64_t j) const {
+  // Derived, not stored: pair j of the virtual pool comes from its own
+  // keyed stream, so any pool size (millions of consumer pairs) costs
+  // nothing and the draw is independent of when j is first referenced.
+  util::Rng rng =
+      util::Rng::keyed(config_.seed, sim::stream_tag::kConsumerPair, j, 0);
+  const std::size_t n = generation_graph_.node_count();
+  const auto u = static_cast<NodeId>(rng.uniform_index(n));
+  auto v = static_cast<NodeId>(rng.uniform_index(n - 1));
+  if (v >= u) ++v;  // skip u: uniform over the other n-1 nodes
+  return NodePair(u, v);
+}
+
+std::optional<NodePair> BalancingSimulation::head_pair() const {
+  if (streaming()) {
+    if (pending_.empty()) return std::nullopt;
+    return pool_pair(pending_.front());
+  }
+  if (head_ >= workload_.request_count()) return std::nullopt;
+  return workload_.request(head_);
+}
+
+void BalancingSimulation::arrival_phase() {
+  // Serial phase, one keyed stream per round: arrivals are deterministic
+  // at every threads/shards setting and independent of the round's other
+  // draws.
+  util::Rng rng = util::Rng::keyed(config_.seed,
+                                   sim::stream_tag::kConsumerArrival,
+                                   result_.rounds, 0);
+  const std::uint64_t arrivals = rng.poisson(config_.arrival_rate);
+  for (std::uint64_t i = 0; i < arrivals; ++i) {
+    pending_.push_back(rng.uniform_index(pool_size_));
+  }
+  result_.requests_arrived += arrivals;
+}
+
 void BalancingSimulation::consumption_phase() {
-  while (head_ < workload_.request_count()) {
-    const NodePair& pair = workload_.request(head_);
+  if (streaming()) arrival_phase();
+  while (true) {
+    const std::optional<NodePair> head = head_pair();
+    if (!head) break;
+    const NodePair pair = *head;
     const double need = balancer_.distillation().at(pair.first, pair.second);
     // A consumption event uses (and destroys) D_{x,y} pairs (§3.2's r-).
     const auto need_ceiling = static_cast<std::uint32_t>(std::ceil(need));
@@ -128,14 +182,35 @@ void BalancingSimulation::consumption_phase() {
                     std::min(amount, ledger().count(pair.first, pair.second)));
     result_.pairs_consumed += amount;
     ++result_.requests_satisfied;
-    const std::uint32_t hops = distances_[pair.first][pair.second];
+    // Satisfied pairs are connected by construction (their count was
+    // nonzero), so the hop lookup is total; the lazy oracle caches the
+    // few rows the consumer set actually touches.
+    const std::uint32_t hops = oracle_.distance(pair.first, pair.second);
     result_.denominator_paper += nested_swap_cost_paper(hops, config_.distillation);
     result_.denominator_exact += nested_swap_cost_exact(hops, config_.distillation);
     result_.head_wait_rounds.add(static_cast<double>(result_.rounds - head_since_));
-    ++head_;
+    if (streaming()) {
+      pending_.pop_front();
+    } else {
+      ++head_;
+    }
     head_since_ = result_.rounds;
+    if (streaming() && config_.max_requests > 0 &&
+        result_.requests_satisfied >= config_.max_requests) {
+      result_.completed = true;
+      break;
+    }
   }
-  if (head_ >= workload_.request_count()) result_.completed = true;
+  if (streaming()) {
+    result_.backlog = pending_.size();
+  } else if (head_ >= workload_.request_count()) {
+    result_.completed = true;
+  }
+}
+
+std::uint64_t BalancingSimulation::memory_bytes() const {
+  return state_.memory_bytes() + oracle_.memory_bytes() +
+         pending_.size() * sizeof(std::uint64_t);
 }
 
 void BalancingSimulation::step_round() {

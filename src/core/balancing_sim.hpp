@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <vector>
 
 #include "core/ledger.hpp"
@@ -28,6 +30,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "graph/shortest_path.hpp"
 #include "sim/network_state.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/rng.hpp"
@@ -52,6 +55,21 @@ struct BalancingConfig {
   /// Intra-run engine selection (sequential legacy loop vs the sharded
   /// deterministic engine) plus its threads/shards knobs.
   sim::TickConcurrency tick;
+
+  // --- streaming workload (0 = fixed-sequence mode) --------------------
+  /// Expected new consumption requests per round: each round draws
+  /// Poisson(arrival_rate) arrivals from a per-round keyed stream and
+  /// assigns each one a uniformly random pair from the virtual consumer
+  /// pool. Requests keep the paper's head-of-line semantics; the fixed
+  /// workload sequence is ignored while streaming.
+  double arrival_rate = 0.0;
+  /// Virtual consumer-pair pool size for streaming mode (0 = C(n,2)).
+  /// Pool pairs are derived lazily from keyed streams — the pool is never
+  /// materialized, so millions of simulated consumer pairs cost nothing.
+  std::uint64_t consumer_pool = 0;
+  /// Streaming stop condition: finish after satisfying this many requests
+  /// (0 = run until max_rounds).
+  std::uint64_t max_requests = 0;
 };
 
 struct BalancingResult {
@@ -70,6 +88,10 @@ struct BalancingResult {
   double denominator_exact = 0.0;
   /// Rounds each satisfied request spent at the head of the queue.
   util::RunningStats head_wait_rounds;
+  /// Streaming-mode counters (zero in fixed-sequence mode): total
+  /// requests that arrived, and the pending backlog when the run ended.
+  std::uint64_t requests_arrived = 0;
+  std::uint64_t backlog = 0;
   /// Cumulative wall-clock per phase kernel (observability only — outside
   /// the determinism contract). The sequential engine's fused swap sweep
   /// is attributed to the decide phase.
@@ -124,24 +146,45 @@ class BalancingSimulation {
   [[nodiscard]] std::size_t head_request() const { return head_; }
   [[nodiscard]] util::Rng& consume_rng() { return consume_rng_; }
 
+  /// Whether requests stream in over time (config.arrival_rate > 0)
+  /// instead of replaying the fixed workload sequence.
+  [[nodiscard]] bool streaming() const { return config_.arrival_rate > 0.0; }
+  /// The head-of-line consumer pair, if any request is waiting. Protocol
+  /// variants (hybrid assists) use this instead of indexing the fixed
+  /// workload so they work in both modes.
+  [[nodiscard]] std::optional<NodePair> head_pair() const;
+  /// Consumer pair j of the virtual streaming pool, derived lazily from
+  /// its keyed stream (never materialized).
+  [[nodiscard]] NodePair pool_pair(std::uint64_t j) const;
+
   /// Record `extra` additional swaps performed by a protocol variant
   /// (e.g. hybrid path assembly) so overhead accounting stays honest.
   void record_extra_swaps(std::uint64_t extra) { result_.swaps_performed += extra; }
 
   /// All-pairs generation-graph hop distances (shared with variants).
-  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& distances() const {
-    return distances_;
+  /// Materializes the dense O(n^2) matrix on first call — gossip's
+  /// per-message latency lookups need it; everything else reads hop
+  /// counts through the lazy oracle and never pays n^2.
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& distances() {
+    return oracle_.dense();
   }
+
+  /// Deterministic logical bytes held by the simulation (substrate +
+  /// distance cache + pending-request queue). See
+  /// sim::NetworkState::memory_bytes.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
 
  private:
   // --- sharded-engine swap phase (sim::TickMode::kSharded): decide +
   // two-level commit kernels on the NetworkState ---
   void sharded_swap_phase();
+  /// Streaming mode: enqueue this round's Poisson arrivals.
+  void arrival_phase();
 
   const graph::Graph& generation_graph_;
   const Workload& workload_;
   BalancingConfig config_;
-  std::vector<std::vector<std::uint32_t>> distances_;
+  graph::DistanceOracle oracle_;
   sim::NetworkState state_;
   MaxMinBalancer balancer_;
   util::Rng generation_rng_;
@@ -150,6 +193,9 @@ class BalancingSimulation {
   BalancingResult result_;
   std::size_t head_ = 0;          // index of the head-of-line request
   std::uint32_t head_since_ = 0;  // round the current head became head
+  // Streaming mode: pool indices of pending requests, arrival order.
+  std::deque<std::uint64_t> pending_;
+  std::size_t pool_size_ = 0;
 };
 
 /// Convenience wrapper: build the simulation and run to completion.

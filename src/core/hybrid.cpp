@@ -61,9 +61,10 @@ HybridResult run_hybrid(const graph::Graph& generation_graph, const Workload& wo
     sim.swap_phase();
 
     // Assist the head request if it is still blocked after balancing.
-    const std::size_t head = sim.head_request();
-    if (head < workload.request_count()) {
-      const NodePair& pair = workload.request(head);
+    // head_pair() serves both modes: the fixed-sequence cursor and the
+    // streaming pending queue.
+    if (const std::optional<NodePair> head = sim.head_pair()) {
+      const NodePair& pair = *head;
       const auto need = static_cast<std::uint32_t>(
           std::max(1.0, std::ceil(config.base.distillation)));
       if (sim.ledger().count(pair.first, pair.second) < need) {

@@ -15,16 +15,28 @@ std::atomic_ref<T> relaxed(T& value) {
   return std::atomic_ref<T>(value);
 }
 
+/// Index of y in the sorted partner list, or npos when absent.
+std::size_t partner_slot(const std::vector<NodeId>& partners, NodeId y) {
+  const auto it = std::lower_bound(partners.begin(), partners.end(), y);
+  if (it == partners.end() || *it != y) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - partners.begin());
+}
+
 }  // namespace
 
 PairLedger::PairLedger(std::size_t node_count)
     : node_count_(node_count),
-      row_stride_(node_count - 1),
-      counts_(node_count * node_count, 0),
-      partner_arena_(node_count * (node_count - 1), 0),
-      degree_(node_count, 0),
+      rows_(node_count),
       min_histogram_(kMinHistogramCap + 1) {
   require(node_count >= 2, "PairLedger: need at least 2 nodes");
+  // Small networks pre-reserve the dense worst case so steady-state
+  // mutation never allocates; megascale networks grow rows amortized.
+  if (node_count <= kFullReserveNodeLimit) {
+    for (Row& row : rows_) {
+      row.partners.reserve(node_count - 1);
+      row.counts.reserve(node_count - 1);
+    }
+  }
   // Every unordered pair starts at count 0.
   min_histogram_[0].store(
       static_cast<std::uint64_t>(node_count) * (node_count - 1) / 2,
@@ -36,31 +48,25 @@ void PairLedger::check(NodeId x, NodeId y) const {
   require(x != y, "PairLedger: no self-pairs (g(x,x) = c(x,x) = 0)");
 }
 
+std::uint32_t PairLedger::row_count(NodeId x, NodeId y) const {
+  const Row& row = rows_[x];
+  const std::size_t slot = partner_slot(row.partners, y);
+  return slot == static_cast<std::size_t>(-1) ? 0 : row.counts[slot];
+}
+
 std::uint32_t PairLedger::count(NodeId x, NodeId y) const {
   check(x, y);
-  return counts_[index(x, y)];
+  // Search the smaller row; both rows belong to the pair's endpoints, so
+  // under the two-level commit this never reads a row a concurrent
+  // component may be mutating.
+  return rows_[x].partners.size() <= rows_[y].partners.size()
+             ? row_count(x, y)
+             : row_count(y, x);
 }
 
 std::uint32_t PairLedger::degree(NodeId x) const {
   require(x < node_count_, "PairLedger::degree: node out of range");
-  return degree_[x];
-}
-
-void PairLedger::insert_partner(NodeId x, NodeId y) {
-  NodeId* row = partner_row(x);
-  NodeId* end = row + degree_[x];
-  NodeId* pos = std::lower_bound(row, end, y);
-  std::copy_backward(pos, end, end + 1);
-  *pos = y;
-  ++degree_[x];
-}
-
-void PairLedger::erase_partner(NodeId x, NodeId y) {
-  NodeId* row = partner_row(x);
-  NodeId* end = row + degree_[x];
-  NodeId* pos = std::lower_bound(row, end, y);
-  std::copy(pos + 1, end, pos);
-  --degree_[x];
+  return static_cast<std::uint32_t>(rows_[x].partners.size());
 }
 
 void PairLedger::histogram_move(std::uint32_t from, std::uint32_t to) {
@@ -92,15 +98,17 @@ void PairLedger::mark_pair_readers(NodeId x, NodeId y, std::uint32_t before,
   if (dirty_count_.load(std::memory_order_relaxed) == node_count_) return;
   // The other readers of C_x(y) are the nodes holding *eligible* pairs
   // toward both x and y (they see its exact value as a beneficiary
-  // count, at any magnitude). Scan the smaller partner row; membership
-  // and eligibility in the other row are O(1) matrix probes. Under the
+  // count, at any magnitude). Scan the smaller row; membership and
+  // eligibility in the other row are O(log deg) probes. Under the
   // two-level commit only the component owning {x, y} mutates these rows,
   // so the scan never races a concurrent writer.
   NodeId small = x;
   NodeId big = y;
-  if (degree_[big] < degree_[small]) std::swap(small, big);
-  const NodeId* row = partner_row(small);
-  const std::uint32_t deg = degree_[small];
+  if (rows_[big].partners.size() < rows_[small].partners.size()) {
+    std::swap(small, big);
+  }
+  const Row& row = rows_[small];
+  const auto deg = static_cast<std::uint32_t>(row.partners.size());
   // Precision has a per-epoch budget; once the scans have cost more than
   // O(n) this epoch, latch everything-dirty and stop paying (dense
   // regimes re-decide everything anyway).
@@ -111,9 +119,9 @@ void PairLedger::mark_pair_readers(NodeId x, NodeId y, std::uint32_t before,
     return;
   }
   for (std::uint32_t i = 0; i < deg; ++i) {
-    const NodeId z = row[i];
-    if (z != big && counts_[index(small, z)] >= reader_threshold_ &&
-        counts_[index(big, z)] >= reader_threshold_) {
+    const NodeId z = row.partners[i];
+    if (z != big && row.counts[i] >= reader_threshold_ &&
+        row_count(big, z) >= reader_threshold_) {
       mark_dirty(z);
     }
   }
@@ -122,39 +130,62 @@ void PairLedger::mark_pair_readers(NodeId x, NodeId y, std::uint32_t before,
 void PairLedger::add(NodeId x, NodeId y, std::uint32_t amount) {
   check(x, y);
   if (amount == 0) return;
-  std::uint32_t& forward = counts_[index(x, y)];
-  if (forward == 0) {
-    insert_partner(x, y);
-    insert_partner(y, x);
+  Row& row_x = rows_[x];
+  Row& row_y = rows_[y];
+  const auto it_x = std::lower_bound(row_x.partners.begin(),
+                                     row_x.partners.end(), y);
+  std::uint32_t before = 0;
+  if (it_x == row_x.partners.end() || *it_x != y) {
+    const auto slot_x = static_cast<std::size_t>(it_x - row_x.partners.begin());
+    row_x.partners.insert(it_x, y);
+    row_x.counts.insert(row_x.counts.begin() + static_cast<long>(slot_x),
+                        amount);
+    const auto it_y = std::lower_bound(row_y.partners.begin(),
+                                       row_y.partners.end(), x);
+    const auto slot_y = static_cast<std::size_t>(it_y - row_y.partners.begin());
+    row_y.partners.insert(it_y, x);
+    row_y.counts.insert(row_y.counts.begin() + static_cast<long>(slot_y),
+                        amount);
+  } else {
+    const auto slot_x = static_cast<std::size_t>(it_x - row_x.partners.begin());
+    before = row_x.counts[slot_x];
+    row_x.counts[slot_x] = before + amount;
+    const std::size_t slot_y = partner_slot(row_y.partners, x);
+    row_y.counts[slot_y] = before + amount;
   }
-  const std::uint32_t before = forward;
-  forward += amount;
-  counts_[index(y, x)] = forward;
   total_.fetch_add(amount, std::memory_order_relaxed);
-  histogram_move(before, forward);
-  if (!dirty_.empty()) mark_pair_readers(x, y, before, forward);
+  histogram_move(before, before + amount);
+  if (!dirty_.empty()) mark_pair_readers(x, y, before, before + amount);
 }
 
 void PairLedger::remove(NodeId x, NodeId y, std::uint32_t amount) {
   check(x, y);
   if (amount == 0) return;
-  std::uint32_t& forward = counts_[index(x, y)];
-  require(forward >= amount, "PairLedger::remove: count underflow");
-  const std::uint32_t before = forward;
-  forward -= amount;
-  counts_[index(y, x)] = forward;
+  Row& row_x = rows_[x];
+  Row& row_y = rows_[y];
+  const std::size_t slot_x = partner_slot(row_x.partners, y);
+  require(slot_x != static_cast<std::size_t>(-1) &&
+              row_x.counts[slot_x] >= amount,
+          "PairLedger::remove: count underflow");
+  const std::uint32_t before = row_x.counts[slot_x];
+  const std::uint32_t after = before - amount;
+  row_x.counts[slot_x] = after;
+  const std::size_t slot_y = partner_slot(row_y.partners, x);
+  row_y.counts[slot_y] = after;
   total_.fetch_sub(amount, std::memory_order_relaxed);
-  histogram_move(before, forward);
-  if (!dirty_.empty()) mark_pair_readers(x, y, before, forward);
-  if (forward == 0) {
-    erase_partner(x, y);
-    erase_partner(y, x);
+  histogram_move(before, after);
+  if (!dirty_.empty()) mark_pair_readers(x, y, before, after);
+  if (after == 0) {
+    row_x.partners.erase(row_x.partners.begin() + static_cast<long>(slot_x));
+    row_x.counts.erase(row_x.counts.begin() + static_cast<long>(slot_x));
+    row_y.partners.erase(row_y.partners.begin() + static_cast<long>(slot_y));
+    row_y.counts.erase(row_y.counts.begin() + static_cast<long>(slot_y));
   }
 }
 
 std::span<const NodeId> PairLedger::partners(NodeId x) const {
   require(x < node_count_, "PairLedger::partners: node out of range");
-  return {partner_row(x), degree_[x]};
+  return {rows_[x].partners.data(), rows_[x].partners.size()};
 }
 
 std::uint32_t PairLedger::minimum_pair_count() const {
@@ -165,12 +196,14 @@ std::uint32_t PairLedger::minimum_pair_count() const {
   }
   min_hint_.store(bucket, std::memory_order_relaxed);
   if (bucket < kMinHistogramCap) return bucket;
-  // Every pair count is >= the histogram cap: the exact minimum needs the
-  // dense scan (rare — it means every unordered pair holds 256+ pairs).
+  // Every pair count is >= the histogram cap, so every unordered pair is
+  // live in some row: the exact minimum comes from the row scan (rare —
+  // it means every pair holds 256+ pairs).
   std::uint32_t minimum = UINT32_MAX;
   for (NodeId x = 0; x < node_count_; ++x) {
-    for (NodeId y = static_cast<NodeId>(x + 1); y < node_count_; ++y) {
-      minimum = std::min(minimum, counts_[index(x, y)]);
+    const Row& row = rows_[x];
+    for (std::size_t i = 0; i < row.partners.size(); ++i) {
+      if (row.partners[i] > x) minimum = std::min(minimum, row.counts[i]);
     }
   }
   return minimum;
@@ -179,11 +212,27 @@ std::uint32_t PairLedger::minimum_pair_count() const {
 graph::Graph PairLedger::entanglement_graph(std::uint32_t threshold) const {
   graph::Graph result(node_count_);
   for (NodeId x = 0; x < node_count_; ++x) {
-    for (NodeId y : partners(x)) {
-      if (y > x && counts_[index(x, y)] >= threshold) result.add_edge(x, y);
+    const Row& row = rows_[x];
+    for (std::size_t i = 0; i < row.partners.size(); ++i) {
+      if (row.partners[i] > x && row.counts[i] >= threshold) {
+        result.add_edge(x, row.partners[i]);
+      }
     }
   }
   return result;
+}
+
+std::uint64_t PairLedger::memory_bytes() const {
+  // Logical accounting with fixed constants: per-node row headers (two
+  // vector headers + the dirty slot) plus live entries (partner id +
+  // count, both symmetric copies counted) plus the histogram.
+  constexpr std::uint64_t kPerNodeBytes = 56;
+  constexpr std::uint64_t kPerEntryBytes =
+      sizeof(NodeId) + sizeof(std::uint32_t);
+  std::uint64_t bytes = kPerNodeBytes * node_count_;
+  for (const Row& row : rows_) bytes += kPerEntryBytes * row.partners.size();
+  bytes += (kMinHistogramCap + 1) * sizeof(std::uint64_t);
+  return bytes;
 }
 
 void PairLedger::enable_dirty_tracking() {

@@ -7,10 +7,14 @@
 // matrix plus per-node partner sets for fast swap-candidate enumeration,
 // and doubles as the instantaneous entanglement graph (§6).
 //
-// Hot-path layout: the partner sets live in one flat CSR-style arena
-// (node-major rows of stride node_count-1, sorted, with in-place
-// insert/erase), so steady-state add/remove never allocates. The ledger
-// also maintains two incremental structures:
+// Hot-path layout: the counts live in per-node sparse rows — two parallel
+// sorted arrays (partner ids + counts) per node, so memory is
+// O(nodes + live pair types), never O(n^2). Below kFullReserveNodeLimit
+// nodes every row pre-reserves the dense worst case, so steady-state
+// add/remove never allocates (the zero-allocation hot-path contract);
+// above it rows grow amortized — the megascale regime, where a dense
+// reserve would itself be the n^2 allocation this layout exists to avoid.
+// The ledger also maintains two incremental structures:
 //
 //   * a count-of-counts histogram (bucketed at kMinHistogramCap) backing
 //     minimum_pair_count() without the O(n^2) matrix scan — the dense
@@ -143,19 +147,29 @@ class PairLedger {
   /// above the cap share one overflow bucket.
   static constexpr std::uint32_t kMinHistogramCap = 256;
 
+  /// Below this node count every row pre-reserves node_count-1 slots
+  /// (dense worst case, <= ~8 MB total) so steady-state mutation never
+  /// allocates; above it rows grow amortized and memory stays
+  /// O(nodes + live pair types).
+  static constexpr std::size_t kFullReserveNodeLimit = 1024;
+
+  /// Deterministic logical memory accounting: element counts times fixed
+  /// per-element constants (sizes, not capacities), so the value is
+  /// bit-identical across compilers/allocators and bench gates can
+  /// compare it at 1e-9 tolerance.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
  private:
-  [[nodiscard]] std::size_t index(NodeId x, NodeId y) const {
-    return static_cast<std::size_t>(x) * node_count_ + y;
-  }
+  /// One node's pairs: sorted partner ids with parallel counts. Both
+  /// symmetric entries of a pair are maintained (C_x(y) = C_y(x)).
+  struct Row {
+    std::vector<NodeId> partners;
+    std::vector<std::uint32_t> counts;
+  };
+
   void check(NodeId x, NodeId y) const;
-  [[nodiscard]] NodeId* partner_row(NodeId x) {
-    return partner_arena_.data() + static_cast<std::size_t>(x) * row_stride_;
-  }
-  [[nodiscard]] const NodeId* partner_row(NodeId x) const {
-    return partner_arena_.data() + static_cast<std::size_t>(x) * row_stride_;
-  }
-  void insert_partner(NodeId x, NodeId y);
-  void erase_partner(NodeId x, NodeId y);
+  /// Count of (x, y) read from x's row (0 when absent).
+  [[nodiscard]] std::uint32_t row_count(NodeId x, NodeId y) const;
   /// Move one unordered pair between histogram buckets + maintain the
   /// lower-bound hint. Relaxed atomics: safe under the two-level commit.
   void histogram_move(std::uint32_t from, std::uint32_t to);
@@ -166,13 +180,10 @@ class PairLedger {
                          std::uint32_t after);
 
   std::size_t node_count_;
-  std::size_t row_stride_;                      // node_count_ - 1
-  std::vector<std::uint32_t> counts_;           // dense symmetric matrix
-  std::vector<NodeId> partner_arena_;           // CSR rows, sorted, in-place
-  std::vector<std::uint32_t> degree_;           // live entries per row
+  std::vector<Row> rows_;                       // sparse symmetric counts
   /// Atomic so the two-level swap commit may mutate node-disjoint entries
-  /// from concurrent workers (counts_/partner rows are disjoint then;
-  /// the running total is the one shared word). Relaxed is enough: the
+  /// from concurrent workers (the rows they touch are disjoint then; the
+  /// running total is the one shared word). Relaxed is enough: the
   /// commit's phase barrier orders everything else.
   std::atomic<std::uint64_t> total_{0};
 

@@ -1,5 +1,7 @@
 #include "core/workload.hpp"
 
+#include <unordered_set>
+
 #include "graph/shortest_path.hpp"
 #include "util/error.hpp"
 
@@ -12,8 +14,23 @@ Workload make_uniform_workload(std::size_t node_count, std::size_t pair_count,
   require(pair_count >= 1 && pair_count <= all_pairs,
           "make_uniform_workload: pair_count must be in [1, C(n,2)]");
 
-  // Enumerate pair index -> (x, y) lazily via a flat index sample.
-  const std::vector<std::size_t> chosen = rng.sample_indices(all_pairs, pair_count);
+  // Enumerate pair index -> (x, y) lazily via a flat index sample. Small
+  // pair spaces keep the exact historical draw sequence (pool shuffle);
+  // megascale ones rejection-sample distinct flat indices instead — the
+  // pool itself (C(n,2) entries, ~40 GB at n = 10^5) is never built.
+  constexpr std::size_t kDensePairSampleLimit = std::size_t{1} << 20;
+  std::vector<std::size_t> chosen;
+  if (all_pairs <= kDensePairSampleLimit) {
+    chosen = rng.sample_indices(all_pairs, pair_count);
+  } else {
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(pair_count * 2);
+    chosen.reserve(pair_count);
+    while (chosen.size() < pair_count) {
+      const std::size_t flat = rng.uniform_index(all_pairs);
+      if (seen.insert(flat).second) chosen.push_back(flat);
+    }
+  }
   Workload workload;
   workload.pairs.reserve(pair_count);
   for (std::size_t flat : chosen) {

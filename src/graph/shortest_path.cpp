@@ -124,4 +124,40 @@ std::optional<std::vector<NodeId>> dijkstra_path(const Graph& graph, NodeId sour
   return path;
 }
 
+DistanceOracle::DistanceOracle(const Graph& graph, std::size_t max_cached_rows)
+    : graph_(&graph), max_rows_(max_cached_rows == 0 ? 1 : max_cached_rows) {}
+
+const std::vector<std::uint32_t>& DistanceOracle::row(NodeId source) {
+  if (dense_ready_) return dense_[source];
+  const auto it = rows_.find(source);
+  if (it != rows_.end()) return it->second;
+  if (rows_.size() >= max_rows_) {
+    rows_.erase(eviction_order_.front());
+    eviction_order_.pop_front();
+  }
+  eviction_order_.push_back(source);
+  return rows_.emplace(source, bfs_distances(*graph_, source)).first->second;
+}
+
+std::uint32_t DistanceOracle::distance(NodeId source, NodeId target) {
+  return row(source)[target];
+}
+
+const std::vector<std::vector<std::uint32_t>>& DistanceOracle::dense() {
+  if (!dense_ready_) {
+    dense_ = all_pairs_distances(*graph_);
+    dense_ready_ = true;
+    rows_.clear();
+    eviction_order_.clear();
+  }
+  return dense_;
+}
+
+std::uint64_t DistanceOracle::memory_bytes() const {
+  const auto n = static_cast<std::uint64_t>(graph_->node_count());
+  if (dense_ready_) return n * n * sizeof(std::uint32_t);
+  // One cached row = n distances plus a fixed map-entry overhead.
+  return rows_.size() * (n * sizeof(std::uint32_t) + 32);
+}
+
 }  // namespace poq::graph

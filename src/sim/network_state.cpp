@@ -22,9 +22,15 @@ NetworkState::NetworkState(const graph::Graph& generation_graph,
     shard_count_ = pool_->resolve_shards(tick_.shards, n);
     shard_scratch_.resize(shard_count_);
     // Pre-size every per-round scratch once: the steady-state round
-    // allocates nothing (asserted by the hot-path allocation test).
+    // allocates nothing (asserted by the hot-path allocation test). The
+    // eligible list is bounded by a node's partner degree, so megascale
+    // networks cap the reserve at the full-reserve limit — on sparse
+    // topologies degrees never approach it, and a denser node just grows
+    // its shard's scratch once, amortized.
+    const std::size_t scratch_nodes =
+        std::min(n, core::PairLedger::kFullReserveNodeLimit + 1);
     for (core::MaxMinBalancer::Scratch& scratch : shard_scratch_) {
-      scratch.reserve(n);
+      scratch.reserve(scratch_nodes);
     }
     generation_amounts_.assign(graph_.edge_count(), 0);
     candidates_.assign(n, std::nullopt);
@@ -47,9 +53,8 @@ NetworkState::NetworkState(const graph::Graph& generation_graph,
     if (tick_.incremental_decide) ledger_.enable_dirty_tracking();
   }
   if (decay_) {
-    const std::size_t n = graph_.node_count();
-    pair_meta_.resize(n * (n - 1) / 2);
-    purge_dropped_.assign(pair_meta_.size(), 0);
+    pair_store_.emplace(graph_.node_count());
+    purge_entries_.resize(shard_count_);
   }
 }
 
@@ -314,12 +319,6 @@ const DecayModel& NetworkState::decay() const {
   return *decay_;
 }
 
-std::size_t NetworkState::bucket_index(core::NodeId x, core::NodeId y) const {
-  if (x > y) std::swap(x, y);
-  const std::size_t n = graph_.node_count();
-  return static_cast<std::size_t>(x) * (2 * n - x - 1) / 2 + (y - x - 1);
-}
-
 double NetworkState::fidelity_now(const TrackedPair& pair, double now) const {
   // The sharded slice kernels apply a whole slice's arrivals up front, so
   // an event earlier in the slice can observe a pair time-stamped after
@@ -332,14 +331,16 @@ double NetworkState::fidelity_now(const TrackedPair& pair, double now) const {
 void NetworkState::add_pair(core::NodeId x, core::NodeId y, double now,
                             double fidelity) {
   require(decay_.has_value(), "NetworkState::add_pair: decay tracking is off");
-  pair_meta_[bucket_index(x, y)].push_back(TrackedPair{now, fidelity});
+  pair_store_->bucket(x, y).push_back(TrackedPair{now, fidelity});
   ledger_.add(x, y, 1);
 }
 
 TrackedPair NetworkState::take_pair(core::NodeId x, core::NodeId y, double now,
                                     bool freshest) {
-  auto& bucket = pair_meta_[bucket_index(x, y)];
-  ensure(!bucket.empty(), "NetworkState::take_pair: bucket empty");
+  std::vector<TrackedPair>* slot = pair_store_->find(x, y);
+  ensure(slot != nullptr && !slot->empty(),
+         "NetworkState::take_pair: bucket empty");
+  std::vector<TrackedPair>& bucket = *slot;
   std::size_t chosen = 0;
   for (std::size_t i = 1; i < bucket.size(); ++i) {
     if (freshest ? fidelity_now(bucket[i], now) > fidelity_now(bucket[chosen], now)
@@ -355,8 +356,10 @@ TrackedPair NetworkState::take_pair(core::NodeId x, core::NodeId y, double now,
 
 double NetworkState::best_fidelity(core::NodeId x, core::NodeId y,
                                    double now) const {
+  const std::vector<TrackedPair>* bucket = pair_store_->find(x, y);
+  if (bucket == nullptr) return 0.0;
   double best = 0.0;
-  for (const TrackedPair& pair : pair_meta_[bucket_index(x, y)]) {
+  for (const TrackedPair& pair : *bucket) {
     best = std::max(best, fidelity_now(pair, now));
   }
   return best;
@@ -364,7 +367,9 @@ double NetworkState::best_fidelity(core::NodeId x, core::NodeId y,
 
 std::uint64_t NetworkState::purge_pair_type(core::NodeId x, core::NodeId y,
                                             double now) {
-  auto& bucket = pair_meta_[bucket_index(x, y)];
+  std::vector<TrackedPair>* slot = pair_store_->find(x, y);
+  if (slot == nullptr) return 0;
+  std::vector<TrackedPair>& bucket = *slot;
   std::uint64_t dropped = 0;
   for (std::size_t i = bucket.size(); i-- > 0;) {
     if (fidelity_now(bucket[i], now) < decay().usable_fidelity) {
@@ -377,19 +382,30 @@ std::uint64_t NetworkState::purge_pair_type(core::NodeId x, core::NodeId y,
 }
 
 void NetworkState::decohere_shard(std::size_t shard) {
+  // A bucket belongs to the shard of its smaller endpoint; the live pairs
+  // of a node come from its ledger partner row (read-only here), so the
+  // scan touches exactly the live buckets — never n^2 of them. Buckets of
+  // different shards are disjoint, so compaction is race-free.
   const auto [begin, end] = ParallelTickEngine::shard_range(
-      pair_meta_.size(), shard_count_, shard);
+      graph_.node_count(), shard_count_, shard);
   const double usable = decay().usable_fidelity;
-  for (std::size_t b = begin; b < end; ++b) {
-    auto& bucket = pair_meta_[b];
-    std::uint32_t dropped = 0;
-    for (std::size_t i = bucket.size(); i-- > 0;) {
-      if (fidelity_now(bucket[i], decohere_now_) < usable) {
-        bucket.erase(bucket.begin() + static_cast<long>(i));
-        ++dropped;
+  std::vector<PurgeEntry>& drops = purge_entries_[shard];
+  drops.clear();
+  for (auto x = static_cast<core::NodeId>(begin); x < end; ++x) {
+    for (const core::NodeId y : ledger_.partners(x)) {
+      if (y <= x) continue;  // owned by y's shard when y < x
+      std::vector<TrackedPair>* slot = pair_store_->find(x, y);
+      if (slot == nullptr || slot->empty()) continue;
+      std::vector<TrackedPair>& bucket = *slot;
+      std::uint32_t dropped = 0;
+      for (std::size_t i = bucket.size(); i-- > 0;) {
+        if (fidelity_now(bucket[i], decohere_now_) < usable) {
+          bucket.erase(bucket.begin() + static_cast<long>(i));
+          ++dropped;
+        }
       }
+      if (dropped > 0) drops.push_back(PurgeEntry{x, y, dropped});
     }
-    purge_dropped_[b] = dropped;
   }
 }
 
@@ -397,26 +413,41 @@ std::uint64_t NetworkState::decohere_all(double now) {
   require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
   require(decay_.has_value(), "NetworkState::decohere_all: decay tracking off");
   const PhaseStopwatch stopwatch(timers_.decohere_ns);
-  // Phase 1 (sharded over buckets): the exp()-heavy fidelity scan;
-  // each bucket compacts its own metadata vector, a bucket-local effect.
+  // Phase 1 (sharded over nodes): the exp()-heavy fidelity scan; each
+  // bucket compacts its own metadata vector, a bucket-local effect.
   decohere_now_ = now;
   pool_->run_shards(shard_count_,
                     [this](std::size_t shard) { decohere_shard(shard); });
   // Phase 2 (serial, canonical bucket order): ledger updates — buckets
-  // sharing an endpoint touch the same partner list, so these stay on the
-  // caller.
+  // sharing an endpoint touch the same partner row, so these stay on the
+  // caller. Shard ranges are contiguous ascending node ranges and each
+  // shard's drop list ascends in (x, y), so concatenating the lists in
+  // shard order replays exactly the ascending-(x, y) walk the dense
+  // triangle produced — bit-identical remove sequence at every
+  // threads/shards setting.
   std::uint64_t total_dropped = 0;
-  const auto n = static_cast<core::NodeId>(graph_.node_count());
-  std::size_t b = 0;
-  for (core::NodeId x = 0; x < n; ++x) {
-    for (core::NodeId y = x + 1; y < n; ++y, ++b) {
-      if (purge_dropped_[b] > 0) {
-        ledger_.remove(x, y, purge_dropped_[b]);
-        total_dropped += purge_dropped_[b];
-      }
+  for (const std::vector<PurgeEntry>& drops : purge_entries_) {
+    for (const PurgeEntry& entry : drops) {
+      ledger_.remove(entry.x, entry.y, entry.dropped);
+      total_dropped += entry.dropped;
     }
   }
   return total_dropped;
+}
+
+std::uint64_t NetworkState::memory_bytes() const {
+  std::uint64_t bytes = ledger_.memory_bytes();
+  if (pool_ != nullptr) {
+    // Sharded-engine per-node scratch (candidate table, commit outcome
+    // slots, union-find, group arenas, frontier/candidate lists): fixed
+    // logical bytes per node, plus one generation slot per edge.
+    constexpr std::uint64_t kShardedPerNodeBytes = 72;
+    bytes += kShardedPerNodeBytes * graph_.node_count();
+    bytes += sizeof(std::uint32_t) *
+             static_cast<std::uint64_t>(graph_.edge_count());
+  }
+  if (pair_store_) bytes += pair_store_->memory_bytes();
+  return bytes;
 }
 
 }  // namespace poq::sim

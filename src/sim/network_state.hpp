@@ -44,17 +44,11 @@
 #include "core/ledger.hpp"
 #include "core/maxmin_balancer.hpp"
 #include "graph/graph.hpp"
+#include "sim/pair_store.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/rng.hpp"
 
 namespace poq::sim {
-
-/// One stored Bell pair's decay metadata: when it was created and at what
-/// fidelity (F(t) = 1/4 + (F0 - 1/4) e^{-t/T} under storage).
-struct TrackedPair {
-  double created = 0.0;
-  double initial_fidelity = 1.0;
-};
 
 /// Decay model for tracked pairs (fidelity-aware protocols).
 struct DecayModel {
@@ -190,14 +184,25 @@ class NetworkState {
   /// Drop (x, y) pairs decayed below usable_fidelity at `now`; returns
   /// how many were dropped.
   std::uint64_t purge_pair_type(core::NodeId x, core::NodeId y, double now);
-  /// Decohere kernel: purge every bucket at `now`. The per-pair fidelity
-  /// scan fans across bucket shards (buckets own their metadata vectors);
-  /// the ledger updates apply on the caller in canonical bucket order.
-  /// Returns the total pairs dropped. Requires sharded().
+  /// Decohere kernel: purge every live bucket at `now`. The per-pair
+  /// fidelity scan fans across node shards — a bucket belongs to the
+  /// shard of its smaller endpoint, enumerated via the ledger partner
+  /// rows, so only live pairs are ever visited (O(live pairs), not
+  /// O(n^2)). Buckets own their metadata vectors, so compaction is
+  /// shard-local; the ledger updates apply on the caller by concatenating
+  /// the per-shard drop lists in shard order, which is exactly ascending
+  /// (x, y) — the same canonical order as a full triangular walk over the
+  /// non-empty buckets. Returns the total pairs dropped. Requires
+  /// sharded().
   std::uint64_t decohere_all(double now);
 
+  /// Deterministic logical bytes held by the simulation state (ledger
+  /// rows, candidate/commit scratch, decay store). Element counts times
+  /// fixed constants — bit-identical across compilers, so bench gates can
+  /// compare memory-per-node at 1e-9 tolerance.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
  private:
-  [[nodiscard]] std::size_t bucket_index(core::NodeId x, core::NodeId y) const;
   /// Shard bodies for the kernels. Their contexts live in members (not
   /// lambda captures) so the std::function handed to the pool stays
   /// within the small-object buffer — the hot path never allocates.
@@ -259,11 +264,19 @@ class NetworkState {
   std::uint32_t commit_attempt_ = 0;
   double decohere_now_ = 0.0;
 
-  // Decay state (tracks_pairs() only): one metadata bucket per unordered
-  // node pair, mirroring the ledger counts.
+  // Decay state (tracks_pairs() only): sparse metadata buckets keyed by
+  // live pairs, mirroring the ledger counts (bucket size == count).
   std::optional<DecayModel> decay_;
-  std::vector<std::vector<TrackedPair>> pair_meta_;
-  std::vector<std::uint32_t> purge_dropped_;  // per bucket, decohere scratch
+  std::optional<PairStore> pair_store_;
+  /// One (x, y, dropped) record per bucket the decohere scan purged from;
+  /// per-shard lists so the concurrent phase appends without contention.
+  /// Capacities persist across rounds (steady state appends only).
+  struct PurgeEntry {
+    core::NodeId x = 0;
+    core::NodeId y = 0;
+    std::uint32_t dropped = 0;
+  };
+  std::vector<std::vector<PurgeEntry>> purge_entries_;  // per shard
 };
 
 }  // namespace poq::sim

@@ -1,0 +1,42 @@
+#include "sim/pair_store.hpp"
+
+namespace poq::sim {
+
+PairStore::PairStore(std::size_t node_count) {
+  // Seed the map capacity with the sparse expectation (a few live pair
+  // types per node); it grows amortized beyond that. Never O(n^2).
+  slot_of_.reserve(node_count * 4);
+  buckets_.reserve(node_count * 4);
+}
+
+std::vector<TrackedPair>& PairStore::bucket(core::NodeId x, core::NodeId y) {
+  const auto [it, inserted] =
+      slot_of_.try_emplace(key(x, y), static_cast<std::uint32_t>(buckets_.size()));
+  if (inserted) buckets_.emplace_back();
+  return buckets_[it->second];
+}
+
+std::vector<TrackedPair>* PairStore::find(core::NodeId x, core::NodeId y) {
+  const auto it = slot_of_.find(key(x, y));
+  return it == slot_of_.end() ? nullptr : &buckets_[it->second];
+}
+
+const std::vector<TrackedPair>* PairStore::find(core::NodeId x,
+                                                core::NodeId y) const {
+  const auto it = slot_of_.find(key(x, y));
+  return it == slot_of_.end() ? nullptr : &buckets_[it->second];
+}
+
+std::uint64_t PairStore::memory_bytes() const {
+  // Fixed logical constants: one map entry (key + slot + bucket overhead)
+  // plus one vector header per slot, plus the live pairs themselves.
+  constexpr std::uint64_t kPerSlotBytes = 16 + 24;
+  constexpr std::uint64_t kPerPairBytes = sizeof(TrackedPair);
+  std::uint64_t bytes = kPerSlotBytes * buckets_.size();
+  for (const std::vector<TrackedPair>& bucket : buckets_) {
+    bytes += kPerPairBytes * bucket.size();
+  }
+  return bytes;
+}
+
+}  // namespace poq::sim

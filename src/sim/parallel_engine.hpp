@@ -67,6 +67,12 @@ inline constexpr std::uint64_t kScan = 0x7363616EULL;      // "scan"
 inline constexpr std::uint64_t kReport = 0x7265706F7274ULL;  // "report"
 inline constexpr std::uint64_t kSwapBits = 0x73626974ULL;  // "sbit"
 inline constexpr std::uint64_t kArrival = 0x61727276ULL;   // "arrv"
+// Streaming consumption workload (balancing family): the per-round
+// request-arrival draw keyed (seed, tag, round, 0), and the lazy
+// consumer-pool pair derivation keyed (seed, tag, pool index, 0) — the
+// pool itself is never materialized.
+inline constexpr std::uint64_t kConsumerArrival = 0x63617272ULL;  // "carr"
+inline constexpr std::uint64_t kConsumerPair = 0x63706169ULL;     // "cpai"
 }  // namespace stream_tag
 
 /// The intra-run concurrency knobs every ported simulator carries.

@@ -196,6 +196,72 @@ TEST(ParallelDeterminism, FidelityEventOrderingStaysDeterministic) {
   }
 }
 
+TEST(ParallelDeterminism, MegascaleSparseCellStaysDeterministic) {
+  // A 10^4-node sparse torus with streaming arrivals — the megascale
+  // regime the BENCH_megascale gate runs at. Everything the round loop
+  // touches at this scale is sparse (partner rows, live-pair buckets,
+  // lazy distance rows), so this cell pins the whole sparse path to the
+  // determinism contract: threads {1,8} x shards {1,16} bit-identical,
+  // including the memory_bytes_per_node scalar.
+  ScenarioSpec spec;
+  spec.protocol = "balancing";
+  spec.topology = "full-grid";
+  spec.nodes = 10000;  // 100^2
+  spec.consumer_pairs = 4;
+  spec.requests = 1;
+  spec.seed = 41;
+  spec.knobs["arrival-rate"] = 8.0;
+  spec.knobs["consumer-pool"] = std::int64_t{2000000};
+  spec.knobs["max-rounds"] = std::int64_t{40};
+  std::string reference;
+  for (const std::int64_t threads : {1, 8}) {
+    for (const std::int64_t shards : {1, 16}) {
+      ScenarioSpec cell = spec;
+      cell.knobs["threads"] = threads;
+      cell.knobs["shards"] = shards;
+      const std::string dump = run_dump(cell);
+      if (reference.empty()) {
+        reference = dump;
+        EXPECT_NE(dump.find("memory_bytes_per_node"), std::string::npos);
+      } else {
+        EXPECT_EQ(dump, reference) << "megascale cell drifted at threads="
+                                   << threads << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, StreamingArrivalsStayDeterministic) {
+  // Small streaming run that actually serves requests: the Poisson
+  // arrival stream, the lazily derived pool pairs, and the backlog
+  // accounting must all be pure functions of (seed, round), never of the
+  // worker schedule.
+  ScenarioSpec spec;
+  spec.protocol = "balancing";
+  spec.topology = "full-grid";
+  spec.nodes = 49;
+  spec.consumer_pairs = 4;
+  spec.requests = 1;
+  spec.seed = 41;
+  spec.knobs["arrival-rate"] = 2.0;
+  spec.knobs["consumer-pool"] = std::int64_t{2000000};
+  spec.knobs["max-rounds"] = std::int64_t{2000};
+  spec.knobs["max-requests"] = std::int64_t{100};
+  spec.knobs["threads"] = std::int64_t{1};
+  const std::string reference = run_dump(spec);
+  const RunMetrics reference_metrics = registry().run("balancing", spec);
+  EXPECT_EQ(reference_metrics.scalar("satisfied"), 100.0);
+  EXPECT_GT(reference_metrics.scalar("arrivals"), 0.0);
+  for (const std::int64_t threads : {2, 8}) {
+    for (const std::int64_t shards : {3, 16}) {
+      spec.knobs["threads"] = threads;
+      spec.knobs["shards"] = shards;
+      EXPECT_EQ(run_dump(spec), reference)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+}
+
 TEST(ParallelDeterminism, SeedReplicatedSweepCellIsThreadInvariant) {
   // One sweep cell replicated over seeds, swept at different pool sizes
   // and intra-run thread counts: the aggregated cell JSON must not move.

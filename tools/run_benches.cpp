@@ -591,6 +591,75 @@ SuiteRun suite_serve(const Options& options) {
   return run;
 }
 
+SuiteRun suite_megascale(const Options& options) {
+  // Megascale stress gate: streaming workloads on sparse full-grid tori.
+  // Each cell runs the balancing protocol in streaming mode — Poisson
+  // arrivals drawn from a virtual pool of two million consumer pairs
+  // (derived lazily from keyed streams; the pool is never materialized) —
+  // for a fixed round budget on n = 10^4 and ~10^5 grids (quick; the
+  // full run adds 10^6). The gated scalars include
+  // `memory_bytes_per_node`, the deterministic logical footprint of the
+  // sparse ledger + pair store + substrate: it holds the
+  // O(nodes + edges + live pairs) memory discipline to 1e-9, so any
+  // dense n^2 structure creeping back moves it by orders of magnitude
+  // and fails the gate. Rounds/sec is derived into the cell timings
+  // (wall time is never compared by --check). Budgets shrink as n grows
+  // so every cell does comparable total work; arrivals/backlog/satisfied
+  // gate the streaming pipeline itself at every scale.
+  // The 10^4+ cells run in the supply-building regime: random consumer
+  // pairs on a torus that size are ~50+ hops apart, so no request
+  // completes within a CI budget — they gate memory, arrivals, and the
+  // swap kernels. The n = 49 anchor cell is small enough that the head
+  // of the queue is actually served, gating the whole streaming
+  // consumption path (arrival -> head_pair -> consume -> oracle hops ->
+  // backlog) including both overhead denominators.
+  struct Cell {
+    std::size_t nodes;
+    std::int64_t rounds;
+    std::int64_t requests;  // 0 = run the full round budget
+  };
+  std::vector<Cell> cells = {
+      {49, 2000, 300}, {10000, 120, 0}, {99856, 24, 0}};  // 7^2/100^2/316^2
+  if (!options.quick) cells.push_back({1000000, 8, 0});   // 1000^2
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const Cell& cell : cells) {
+    scenario::ScenarioSpec spec;
+    spec.protocol = "balancing";
+    spec.topology = "full-grid";
+    spec.nodes = cell.nodes;
+    spec.consumer_pairs = 4;  // vestigial fixed sequence; streaming ignores it
+    spec.requests = 1;
+    spec.seed = 41;
+    spec.knobs["arrival-rate"] = cell.nodes == 49 ? 2.0 : 8.0;
+    spec.knobs["consumer-pool"] = std::int64_t{2000000};
+    spec.knobs["max-rounds"] = cell.rounds;
+    if (cell.requests > 0) spec.knobs["max-requests"] = cell.requests;
+    grid.push_back(std::move(spec));
+  }
+  Options serial = options;
+  serial.threads = 1;  // one cell at a time: honest rounds/sec
+  SuiteRun run = run_grid("megascale", std::move(grid), 1, serial);
+  for (scenario::CellAggregate& cell : run.cells) {
+    if (!cell.has("rounds") || cell.wall_ms <= 0.0) continue;
+    const double rounds = cell.at("rounds").mean();
+    const double rounds_per_s = rounds / (cell.wall_ms / 1000.0);
+    util::RunningStats stats;
+    stats.add(rounds_per_s);
+    cell.timings.emplace_back("rounds_per_s", stats);
+    std::cout << "megascale: n=" << cell.spec.nodes << ": "
+              << util::format_double(rounds, 0) << " rounds in "
+              << util::format_double(cell.wall_ms, 0) << " ms ("
+              << util::format_double(rounds_per_s, 1) << " rounds/s, "
+              << util::format_double(
+                     cell.has("memory_bytes_per_node")
+                         ? cell.at("memory_bytes_per_node").mean()
+                         : 0.0,
+                     0)
+              << " bytes/node)\n";
+  }
+  return run;
+}
+
 using SuiteFn = SuiteRun (*)(const Options&);
 const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"fig4_overhead_vs_distillation", suite_fig4},
@@ -603,6 +672,7 @@ const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"hotpath", suite_hotpath},
     {"async_routing", suite_async_routing},
     {"serve", suite_serve},
+    {"megascale", suite_megascale},
 };
 
 // ---------------------------------------------------------------------------
