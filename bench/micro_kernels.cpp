@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "core/balancing_sim.hpp"
 #include "core/distributed.hpp"
@@ -36,6 +39,103 @@ void BM_LedgerAddRemove(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LedgerAddRemove);
+
+/// Keyed stream derivation, scalar vs batched: the batch hoists the
+/// (seed, a, b) sponge prefix and loops one mix per entity, so the
+/// per-stream cost should drop well below the scalar 4-fold derivation.
+void BM_KeyedDeriveScalar(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<util::Rng> streams(count, util::Rng(0));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    for (std::size_t e = 0; e < count; ++e) {
+      streams[e] = util::Rng::keyed(42, 7, round, e);
+    }
+    benchmark::DoNotOptimize(streams.data());
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_KeyedDeriveScalar)->Arg(1024)->Arg(16384);
+
+void BM_KeyedDeriveBatch(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<util::Rng> streams(count, util::Rng(0));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    util::Rng::keyed_batch(42, 7, round, 0, streams);
+    benchmark::DoNotOptimize(streams.data());
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_KeyedDeriveBatch)->Arg(1024)->Arg(16384);
+
+/// Per-entity Bernoulli decisions, branching scalar path (full stream
+/// construction + uniform_double compare) vs the branch-free batched
+/// integer-threshold loop. Both produce bit-identical decisions.
+void BM_BernoulliScalar(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> flags(count, 0);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    for (std::size_t e = 0; e < count; ++e) {
+      util::Rng rng = util::Rng::keyed(42, 7, round, e);
+      flags[e] = rng.bernoulli(0.37) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(flags.data());
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_BernoulliScalar)->Arg(1024)->Arg(16384);
+
+void BM_BernoulliBatchBranchFree(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> flags(count, 0);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    util::Rng::bernoulli_batch(42, 7, round, 0, 0.37, flags);
+    benchmark::DoNotOptimize(flags.data());
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_BernoulliBatchBranchFree)->Arg(1024)->Arg(16384);
+
+/// Batched canonical ledger merge vs edge-by-edge adds on the megascale
+/// generation shape (every edge +1 per round over a fixed grid).
+void ledger_generate_bench(benchmark::State& state, bool batched) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng topo_rng(3);
+  const graph::Graph graph = graph::make_random_connected_grid(n, topo_rng);
+  core::PairLedger ledger(n);
+  ledger.enable_dirty_tracking();
+  const std::span<const graph::Edge> edges(graph.edges());
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(ledger.add_edges(edges, 1));
+    } else {
+      for (const graph::Edge& edge : edges) ledger.add(edge.a(), edge.b(), 1);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+
+void BM_LedgerGenerateMergeScalar(benchmark::State& state) {
+  ledger_generate_bench(state, /*batched=*/false);
+}
+BENCHMARK(BM_LedgerGenerateMergeScalar)->Arg(1024)->Arg(10000);
+
+void BM_LedgerGenerateMergeBatched(benchmark::State& state) {
+  ledger_generate_bench(state, /*batched=*/true);
+}
+BENCHMARK(BM_LedgerGenerateMergeBatched)->Arg(1024)->Arg(10000);
 
 void BM_BestSwapScan(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

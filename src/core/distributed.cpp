@@ -373,11 +373,15 @@ class Driver {
 
   void generate() {
     const auto& edges = graph_.edges();
+    // Batched per-edge draw (bit-identical to the scalar keyed + poisson
+    // loop; the sponge prefix is hoisted once per epoch).
+    born_scratch_.resize(edges.size());
+    util::Rng::poisson_batch(config_.seed, sim::stream_tag::kGeneration,
+                             epoch_, 0,
+                             config_.generation_rate * config_.dt,
+                             born_scratch_);
     for (std::size_t index = 0; index < edges.size(); ++index) {
-      util::Rng rng = util::Rng::keyed(config_.seed, sim::stream_tag::kGeneration,
-                                       epoch_, index);
-      const std::uint64_t born =
-          rng.poisson(config_.generation_rate * config_.dt);
+      const std::uint64_t born = born_scratch_[index];
       for (std::uint64_t k = 0; k < born; ++k) {
         const graph::Edge& edge = edges[index];
         const QubitId qa = truth_.create(edge.a());
@@ -600,6 +604,8 @@ class Driver {
 
   std::uint64_t epoch_ = 0;
   double now_ = 0.0;
+  /// Per-edge generation draws (resized once, reused every epoch).
+  std::vector<std::uint64_t> born_scratch_;
   DistributedResult result_;
 };
 

@@ -206,6 +206,11 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
   const std::size_t edge_count = generation_graph.edge_count();
   std::vector<std::vector<double>> edge_arrivals(edge_count);
   std::vector<std::vector<double>> node_scans(n);
+  // Flat per-entity stream buffers: each shard batch-derives its keyed
+  // streams into its slice (Rng::keyed_batch hoists the per-slice sponge
+  // prefix; every element is bit-identical to the scalar derivation).
+  std::vector<util::Rng> edge_rngs(edge_count);
+  std::vector<util::Rng> node_rngs(n);
   std::vector<NodeDecision> decisions(n);
   std::vector<MaxMinBalancer::Scratch> shard_scratch(state.shard_count());
   for (MaxMinBalancer::Scratch& scratch : shard_scratch) scratch.reserve(n);
@@ -244,9 +249,11 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
       state.pool().run_shards(state.shard_count(), [&](std::size_t shard) {
         const auto [begin, end] = sim::ParallelTickEngine::shard_range(
             edge_count, state.shard_count(), shard);
+        util::Rng::keyed_batch(
+            config.seed, sim::stream_tag::kGeneration, s, begin,
+            std::span<util::Rng>(edge_rngs.data() + begin, end - begin));
         for (std::size_t e = begin; e < end; ++e) {
-          util::Rng rng =
-              util::Rng::keyed(config.seed, sim::stream_tag::kGeneration, s, e);
+          util::Rng& rng = edge_rngs[e];
           const std::uint64_t arrivals =
               rng.poisson(config.generation_rate * span);
           edge_arrivals[e].clear();
@@ -277,10 +284,12 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
         const auto [begin, end] = sim::ParallelTickEngine::shard_range(
             n, state.shard_count(), shard);
         MaxMinBalancer::Scratch& scratch = shard_scratch[shard];
+        util::Rng::keyed_batch(
+            config.seed, sim::stream_tag::kEventTimes, s, begin,
+            std::span<util::Rng>(node_rngs.data() + begin, end - begin));
         for (std::size_t node = begin; node < end; ++node) {
           const auto x = static_cast<NodeId>(node);
-          util::Rng rng =
-              util::Rng::keyed(config.seed, sim::stream_tag::kEventTimes, s, x);
+          util::Rng& rng = node_rngs[node];
           const std::uint64_t scans = rng.poisson(config.scan_rate * span);
           node_scans[x].clear();
           for (std::uint64_t k = 0; k < scans; ++k) {

@@ -27,7 +27,8 @@ std::size_t partner_slot(const std::vector<NodeId>& partners, NodeId y) {
 PairLedger::PairLedger(std::size_t node_count)
     : node_count_(node_count),
       rows_(node_count),
-      min_histogram_(kMinHistogramCap + 1) {
+      min_histogram_(kMinHistogramCap + 1),
+      histogram_delta_(kMinHistogramCap + 1, 0) {
   require(node_count >= 2, "PairLedger: need at least 2 nodes");
   // Small networks pre-reserve the dense worst case so steady-state
   // mutation never allocates; megascale networks grow rows amortized.
@@ -127,9 +128,7 @@ void PairLedger::mark_pair_readers(NodeId x, NodeId y, std::uint32_t before,
   }
 }
 
-void PairLedger::add(NodeId x, NodeId y, std::uint32_t amount) {
-  check(x, y);
-  if (amount == 0) return;
+std::uint32_t PairLedger::bump_pair(NodeId x, NodeId y, std::uint32_t amount) {
   Row& row_x = rows_[x];
   Row& row_y = rows_[y];
   const auto it_x = std::lower_bound(row_x.partners.begin(),
@@ -153,9 +152,89 @@ void PairLedger::add(NodeId x, NodeId y, std::uint32_t amount) {
     const std::size_t slot_y = partner_slot(row_y.partners, x);
     row_y.counts[slot_y] = before + amount;
   }
+  return before;
+}
+
+void PairLedger::add(NodeId x, NodeId y, std::uint32_t amount) {
+  check(x, y);
+  if (amount == 0) return;
+  const std::uint32_t before = bump_pair(x, y, amount);
   total_.fetch_add(amount, std::memory_order_relaxed);
   histogram_move(before, before + amount);
   if (!dirty_.empty()) mark_pair_readers(x, y, before, before + amount);
+}
+
+template <typename AmountOf>
+std::uint64_t PairLedger::add_edges_impl(std::span<const graph::Edge> edges,
+                                         AmountOf amount_of) {
+  // Per-edge work is the same row mutation and (when tracking is on) the
+  // same reader marking, in the same order, as the scalar add loop — the
+  // mark-budget trajectory and the dirty frontier are bit-identical. The
+  // global bookkeeping (total, histogram moves, min hint) commutes across
+  // the batch and nothing reads it mid-merge, so it accumulates locally
+  // and flushes once.
+  std::uint64_t added = 0;
+  std::uint32_t lowest_to = UINT32_MAX;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const NodeId x = edges[i].a();
+    const NodeId y = edges[i].b();
+    check(x, y);
+    const std::uint32_t amount = amount_of(i);
+    if (amount == 0) continue;
+    const std::uint32_t before = bump_pair(x, y, amount);
+    const std::uint32_t after = before + amount;
+    added += amount;
+    const std::uint32_t from = std::min(before, kMinHistogramCap);
+    const std::uint32_t to = std::min(after, kMinHistogramCap);
+    if (from != to) {
+      --histogram_delta_[from];
+      ++histogram_delta_[to];
+      lowest_to = std::min(lowest_to, to);
+    }
+    if (!dirty_.empty()) mark_pair_readers(x, y, before, after);
+  }
+  if (added == 0) return 0;
+  total_.fetch_add(added, std::memory_order_relaxed);
+  for (std::uint32_t bucket = 0; bucket <= kMinHistogramCap; ++bucket) {
+    const std::int64_t delta = histogram_delta_[bucket];
+    if (delta != 0) {
+      min_histogram_[bucket].fetch_add(static_cast<std::uint64_t>(delta),
+                                       std::memory_order_relaxed);
+      histogram_delta_[bucket] = 0;
+    }
+  }
+  // Sequential histogram_moves end the hint at min(hint, all to-buckets);
+  // one CAS-lower to the batch minimum lands on the same value.
+  std::uint32_t hint = min_hint_.load(std::memory_order_relaxed);
+  while (lowest_to < hint &&
+         !min_hint_.compare_exchange_weak(hint, lowest_to,
+                                          std::memory_order_relaxed)) {
+  }
+  return added;
+}
+
+std::uint64_t PairLedger::add_edges(std::span<const graph::Edge> edges,
+                                    std::uint32_t amount) {
+  return add_edges_impl(edges, [amount](std::size_t) { return amount; });
+}
+
+std::uint64_t PairLedger::add_edges(std::span<const graph::Edge> edges,
+                                    std::span<const std::uint32_t> amounts) {
+  require(amounts.size() == edges.size(),
+          "PairLedger::add_edges: amounts must match edges");
+  const std::uint32_t* data = amounts.data();
+  return add_edges_impl(edges, [data](std::size_t i) { return data[i]; });
+}
+
+std::uint64_t PairLedger::add_edges(std::span<const graph::Edge> edges,
+                                    std::uint32_t base,
+                                    std::span<const std::uint8_t> extra) {
+  require(extra.size() == edges.size(),
+          "PairLedger::add_edges: extra flags must match edges");
+  const std::uint8_t* data = extra.data();
+  return add_edges_impl(edges, [base, data](std::size_t i) {
+    return base + static_cast<std::uint32_t>(data[i]);
+  });
 }
 
 void PairLedger::remove(NodeId x, NodeId y, std::uint32_t amount) {
@@ -265,7 +344,14 @@ void PairLedger::set_reader_threshold(std::uint32_t minimum_eligible_count) {
 
 void PairLedger::mark_dirty(NodeId x) {
   if (dirty_.empty()) return;
-  if (relaxed(dirty_[x]).exchange(1, std::memory_order_relaxed) == 0) {
+  // Dirty bits are monotone within a marking epoch (only serial phase
+  // boundaries clear them), so an already-set bit needs no RMW — the
+  // common re-mark in a hot merge is a plain load. Two concurrent callers
+  // passing the load still race benignly on the exchange: exactly one
+  // sees 0 and bumps the count.
+  auto bit = relaxed(dirty_[x]);
+  if (bit.load(std::memory_order_relaxed) != 0) return;
+  if (bit.exchange(1, std::memory_order_relaxed) == 0) {
     dirty_count_.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -52,6 +52,28 @@ class PairLedger {
   /// Add `amount` pairs between x and y (x != y).
   void add(NodeId x, NodeId y, std::uint32_t amount = 1);
 
+  /// Batched canonical-order merge: exactly equivalent to calling
+  /// add(edges[i].a(), edges[i].b(), amount) for i ascending — same rows, same
+  /// reader marks in the same order, same histogram/min-hint/total — but
+  /// with the global bookkeeping accumulated in pre-sized local scratch
+  /// and applied once per batch instead of once per edge. This is the
+  /// generation merge's hot path. Serial phase contexts only:
+  /// total_pairs()/minimum_pair_count() are not coherent mid-call.
+  /// Returns the total amount added.
+  std::uint64_t add_edges(std::span<const graph::Edge> edges,
+                          std::uint32_t amount = 1);
+
+  /// Per-edge amounts variant (amounts.size() == edges.size()); zero
+  /// amounts are skipped exactly like add(x, y, 0).
+  std::uint64_t add_edges(std::span<const graph::Edge> edges,
+                          std::span<const std::uint32_t> amounts);
+
+  /// Bernoulli-rounding variant: edge i adds base + extra[i] pairs
+  /// (extra holds 0/1 flags, e.g. a batched fractional-rate draw).
+  std::uint64_t add_edges(std::span<const graph::Edge> edges,
+                          std::uint32_t base,
+                          std::span<const std::uint8_t> extra);
+
   /// Remove `amount` pairs; requires count(x, y) >= amount.
   void remove(NodeId x, NodeId y, std::uint32_t amount = 1);
 
@@ -170,6 +192,14 @@ class PairLedger {
   void check(NodeId x, NodeId y) const;
   /// Count of (x, y) read from x's row (0 when absent).
   [[nodiscard]] std::uint32_t row_count(NodeId x, NodeId y) const;
+  /// The row mutation shared by add and add_edges: insert-or-increment
+  /// both symmetric entries by `amount` (> 0); returns the count before.
+  std::uint32_t bump_pair(NodeId x, NodeId y, std::uint32_t amount);
+  /// Shared body of the add_edges overloads; `amount_of(i)` yields the
+  /// i-th edge's amount.
+  template <typename AmountOf>
+  std::uint64_t add_edges_impl(std::span<const graph::Edge> edges,
+                               AmountOf amount_of);
   /// Move one unordered pair between histogram buckets + maintain the
   /// lower-bound hint. Relaxed atomics: safe under the two-level commit.
   void histogram_move(std::uint32_t from, std::uint32_t to);
@@ -201,6 +231,11 @@ class PairLedger {
   /// Probes left in this marking epoch; overflow latches all-dirty.
   std::atomic<std::int64_t> mark_budget_{0};
   std::atomic<std::uint8_t> mark_overflow_{0};
+
+  /// add_edges scratch: per-bucket histogram deltas accumulated over a
+  /// batch and flushed once (pre-sized to kMinHistogramCap + 1, zeroed
+  /// after each flush — the batch path never allocates).
+  std::vector<std::int64_t> histogram_delta_;
 };
 
 }  // namespace poq::core

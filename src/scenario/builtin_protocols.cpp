@@ -96,6 +96,17 @@ void add_phase_timings(RunMetrics& metrics, const sim::PhaseTimers& phase) {
   metrics.set_timing("phase_ms.decide", static_cast<double>(phase.decide_ns) / 1e6);
   metrics.set_timing("phase_ms.commit", static_cast<double>(phase.commit_ns) / 1e6);
   metrics.set_timing("phase_ms.decohere", static_cast<double>(phase.decohere_ns) / 1e6);
+  // Chunk-scheduler load balance (max-over-mean chunk wall-clock): a
+  // timing like the phase_ms entries — observability only, never part of
+  // a --check comparison. Phases that never dispatched chunks report
+  // nothing.
+  const auto add_imbalance = [&](const char* name,
+                                 const sim::ChunkLoad& load) {
+    if (load.chunks > 0) metrics.set_timing(name, load.imbalance());
+  };
+  add_imbalance("shard_imbalance.generate", phase.generate_load);
+  add_imbalance("shard_imbalance.decide", phase.decide_load);
+  add_imbalance("shard_imbalance.decohere", phase.decohere_load);
 }
 
 void add_overhead_metrics(RunMetrics& metrics, double swaps,

@@ -8,6 +8,18 @@
 
 namespace poq::sim {
 
+namespace {
+
+// Default chunk grains (entities per chunk) for the dynamically
+// scheduled kernels, tuned for cheap-per-entity generation flags vs the
+// partner-scan-heavy decide and the exp()-heavy decohere. Pure
+// performance constants — never part of the determinism contract.
+constexpr std::size_t kGenerateGrain = 2048;
+constexpr std::size_t kDecideGrain = 64;
+constexpr std::size_t kDecohereGrain = 256;
+
+}  // namespace
+
 NetworkState::NetworkState(const graph::Graph& generation_graph,
                            std::uint64_t seed, const TickConcurrency& tick,
                            std::optional<DecayModel> decay)
@@ -20,19 +32,30 @@ NetworkState::NetworkState(const graph::Graph& generation_graph,
     const std::size_t n = graph_.node_count();
     pool_ = std::make_unique<ParallelTickEngine>(tick_.threads);
     shard_count_ = pool_->resolve_shards(tick_.shards, n);
-    shard_scratch_.resize(shard_count_);
+    // Decide scratch is per pool worker (chunks of the frontier are
+    // claimed dynamically; any worker may run any chunk, and scratch
+    // never leaks into results).
+    worker_scratch_.resize(pool_->thread_count());
     // Pre-size every per-round scratch once: the steady-state round
     // allocates nothing (asserted by the hot-path allocation test). The
     // eligible list is bounded by a node's partner degree, so megascale
     // networks cap the reserve at the full-reserve limit — on sparse
     // topologies degrees never approach it, and a denser node just grows
-    // its shard's scratch once, amortized.
+    // its worker's scratch once, amortized.
     const std::size_t scratch_nodes =
         std::min(n, core::PairLedger::kFullReserveNodeLimit + 1);
-    for (core::MaxMinBalancer::Scratch& scratch : shard_scratch_) {
+    for (core::MaxMinBalancer::Scratch& scratch : worker_scratch_) {
       scratch.reserve(scratch_nodes);
     }
-    generation_amounts_.assign(graph_.edge_count(), 0);
+    generation_flags_.assign(graph_.edge_count(), 0);
+    // Chunk grains for the dynamically scheduled kernels. Fixed ranges
+    // (edges, all nodes) resolve once here; the decide grain resolves per
+    // call against the live frontier size. Grain is a pure performance
+    // knob — chunk boundaries are canonical, results never move.
+    generate_grain_ = ParallelTickEngine::resolve_grain(
+        tick_.shards, graph_.edge_count(), kGenerateGrain);
+    decohere_grain_ =
+        ParallelTickEngine::resolve_grain(tick_.shards, n, kDecohereGrain);
     candidates_.assign(n, std::nullopt);
     committed_.assign(n, 0);
     executions_.resize(n);
@@ -54,7 +77,11 @@ NetworkState::NetworkState(const graph::Graph& generation_graph,
   }
   if (decay_) {
     pair_store_.emplace(graph_.node_count());
-    purge_entries_.resize(shard_count_);
+    // One drop list per decohere chunk (the chunk count is fixed: nodes
+    // and grain never change after construction).
+    purge_entries_.resize(
+        pool_ ? (graph_.node_count() + decohere_grain_ - 1) / decohere_grain_
+              : 1);
   }
 }
 
@@ -65,18 +92,13 @@ ParallelTickEngine& NetworkState::pool() {
 
 std::size_t NetworkState::shard_count() const { return shard_count_; }
 
-void NetworkState::generate_shard(std::size_t shard) {
-  const auto [begin, end] = ParallelTickEngine::shard_range(
-      graph_.edge_count(), shard_count_, shard);
-  for (std::size_t e = begin; e < end; ++e) {
-    std::uint32_t amount = gen_whole_;
-    if (gen_frac_ > 0.0) {
-      util::Rng edge_rng =
-          util::Rng::keyed(seed_, stream_tag::kGeneration, gen_round_, e);
-      if (edge_rng.bernoulli(gen_frac_)) ++amount;
-    }
-    generation_amounts_[e] = amount;
-  }
+void NetworkState::generate_chunk(std::size_t begin, std::size_t end) {
+  // One batched draw over the chunk's edge range: bernoulli_batch is
+  // element-for-element the scalar keyed(seed, tag, round, e).bernoulli
+  // decision, so the flags are identical however the range is chunked.
+  util::Rng::bernoulli_batch(
+      seed_, stream_tag::kGeneration, gen_round_, begin, gen_frac_,
+      std::span<std::uint8_t>(generation_flags_.data() + begin, end - begin));
 }
 
 std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
@@ -85,10 +107,10 @@ std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
   const double whole = std::floor(rate);
   const double frac = rate - whole;
   const auto whole_amount = static_cast<std::uint32_t>(whole);
-  std::uint64_t generated = 0;
   if (!sharded()) {
     require(sequential_rng != nullptr,
             "NetworkState::generate: sequential mode needs an RNG stream");
+    std::uint64_t generated = 0;
     for (const graph::Edge& edge : graph_.edges()) {
       std::uint32_t amount = whole_amount;
       if (frac > 0.0 && sequential_rng->bernoulli(frac)) ++amount;
@@ -98,31 +120,34 @@ std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
     }
     return generated;
   }
-  // Each edge draws from its own stream keyed (seed, round, edge), so the
-  // draws are identical however the edge range is partitioned. Workers
-  // fill disjoint slices of generation_amounts_; the ledger merge below
-  // runs on the caller in canonical edge order (adds commute, but a fixed
-  // order keeps the ledger internals single-threaded here).
-  const std::size_t edge_count = graph_.edge_count();
-  gen_round_ = round;
-  gen_whole_ = whole_amount;
-  gen_frac_ = frac;
-  pool_->run_shards(shard_count_,
-                    [this](std::size_t shard) { generate_shard(shard); });
-  const auto& edges = graph_.edges();
-  for (std::size_t e = 0; e < edge_count; ++e) {
-    const std::uint32_t amount = generation_amounts_[e];
-    if (amount == 0) continue;
-    ledger_.add(edges[e].a(), edges[e].b(), amount);
-    generated += amount;
+  // The merge runs on the caller in canonical edge order through the
+  // ledger's batched add_edges (adds commute, but a fixed order keeps the
+  // ledger internals single-threaded here; the batch hoists the global
+  // bookkeeping without changing any observable state).
+  const std::span<const graph::Edge> edges(graph_.edges());
+  if (frac <= 0.0) {
+    // Integral rate: every edge adds the same amount — no draws at all,
+    // straight to the merge (the hot regime of the megascale cells).
+    if (whole_amount == 0) return 0;
+    return ledger_.add_edges(edges, whole_amount);
   }
-  return generated;
+  // Fractional rate: each edge's rounding flag comes from its own stream
+  // keyed (seed, tag, round, edge), batch-derived over dynamically
+  // scheduled chunks into disjoint slices of generation_flags_.
+  gen_round_ = round;
+  gen_frac_ = frac;
+  pool_->run_chunks(edges.size(), generate_grain_, &timers_.generate_load,
+                    [this](std::size_t begin, std::size_t end, unsigned) {
+                      generate_chunk(begin, end);
+                    });
+  return ledger_.add_edges(edges, whole_amount, generation_flags_);
 }
 
-void NetworkState::decide_shard(std::size_t shard) {
-  const auto [begin, end] = ParallelTickEngine::shard_range(
-      dirty_nodes_.size(), decide_shard_count_, shard);
-  core::MaxMinBalancer::Scratch& scratch = shard_scratch_[shard];
+void NetworkState::decide_chunk(std::size_t begin, std::size_t end,
+                                unsigned worker) {
+  // Scratch is indexed by worker, not chunk: it is pure workspace, so the
+  // dynamic chunk-to-worker assignment never reaches a result.
+  core::MaxMinBalancer::Scratch& scratch = worker_scratch_[worker];
   for (std::size_t i = begin; i < end; ++i) {
     const core::NodeId x = dirty_nodes_[i];
     candidates_[x] = (*decide_fn_)(x, scratch);
@@ -146,12 +171,17 @@ void NetworkState::decide_swaps(const DecideFn& decide) {
     for (core::NodeId x = 0; x < n; ++x) dirty_nodes_.push_back(x);
   }
   decide_fn_ = &decide;
-  // A tiny frontier does not warrant the pool handshake: capping the
-  // shard count at the frontier size makes a 1-node decide hit the
-  // engine's inline fast path. Shard partitioning never affects results.
-  decide_shard_count_ = std::min(shard_count_, dirty_nodes_.size());
-  pool_->run_shards(decide_shard_count_,
-                    [this](std::size_t shard) { decide_shard(shard); });
+  // The grain resolves against the live frontier size (an explicit
+  // shards knob keeps its partitioning meaning); a frontier within one
+  // grain hits the engine's inline fast path, so a 1-node decide still
+  // skips the pool handshake. Chunking never affects results.
+  const std::size_t grain = ParallelTickEngine::resolve_grain(
+      tick_.shards, dirty_nodes_.size(), kDecideGrain);
+  pool_->run_chunks(dirty_nodes_.size(), grain, &timers_.decide_load,
+                    [this](std::size_t begin, std::size_t end,
+                           unsigned worker) {
+                      decide_chunk(begin, end, worker);
+                    });
   decide_fn_ = nullptr;
   // Fold the frontier into the sorted candidate-node list (two-pointer
   // merge, both inputs ascending): frontier nodes are re-tested against
@@ -381,15 +411,13 @@ std::uint64_t NetworkState::purge_pair_type(core::NodeId x, core::NodeId y,
   return dropped;
 }
 
-void NetworkState::decohere_shard(std::size_t shard) {
-  // A bucket belongs to the shard of its smaller endpoint; the live pairs
+void NetworkState::decohere_chunk(std::size_t begin, std::size_t end) {
+  // A bucket belongs to the chunk of its smaller endpoint; the live pairs
   // of a node come from its ledger partner row (read-only here), so the
   // scan touches exactly the live buckets — never n^2 of them. Buckets of
-  // different shards are disjoint, so compaction is race-free.
-  const auto [begin, end] = ParallelTickEngine::shard_range(
-      graph_.node_count(), shard_count_, shard);
+  // different chunks are disjoint, so compaction is race-free.
   const double usable = decay().usable_fidelity;
-  std::vector<PurgeEntry>& drops = purge_entries_[shard];
+  std::vector<PurgeEntry>& drops = purge_entries_[begin / decohere_grain_];
   drops.clear();
   for (auto x = static_cast<core::NodeId>(begin); x < end; ++x) {
     for (const core::NodeId y : ledger_.partners(x)) {
@@ -413,16 +441,19 @@ std::uint64_t NetworkState::decohere_all(double now) {
   require(pool_ != nullptr, "NetworkState: kernel requires the sharded engine");
   require(decay_.has_value(), "NetworkState::decohere_all: decay tracking off");
   const PhaseStopwatch stopwatch(timers_.decohere_ns);
-  // Phase 1 (sharded over nodes): the exp()-heavy fidelity scan; each
+  // Phase 1 (chunked over nodes): the exp()-heavy fidelity scan; each
   // bucket compacts its own metadata vector, a bucket-local effect.
   decohere_now_ = now;
-  pool_->run_shards(shard_count_,
-                    [this](std::size_t shard) { decohere_shard(shard); });
+  pool_->run_chunks(graph_.node_count(), decohere_grain_,
+                    &timers_.decohere_load,
+                    [this](std::size_t begin, std::size_t end, unsigned) {
+                      decohere_chunk(begin, end);
+                    });
   // Phase 2 (serial, canonical bucket order): ledger updates — buckets
   // sharing an endpoint touch the same partner row, so these stay on the
-  // caller. Shard ranges are contiguous ascending node ranges and each
-  // shard's drop list ascends in (x, y), so concatenating the lists in
-  // shard order replays exactly the ascending-(x, y) walk the dense
+  // caller. Chunk ranges are contiguous ascending node ranges and each
+  // chunk's drop list ascends in (x, y), so concatenating the lists in
+  // chunk order replays exactly the ascending-(x, y) walk the dense
   // triangle produced — bit-identical remove sequence at every
   // threads/shards setting.
   std::uint64_t total_dropped = 0;

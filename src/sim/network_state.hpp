@@ -90,9 +90,12 @@ class NetworkState {
 
   // --- generation kernel ----------------------------------------------
   /// Add `rate` Bell pairs per generation edge (fractional rates use
-  /// Bernoulli rounding). Sharded mode draws each edge's amount from a
-  /// stream keyed (seed, generation-tag, round, edge) and merges into the
-  /// ledger in canonical edge order; sequential mode consumes
+  /// Bernoulli rounding). Sharded mode draws each edge's rounding flag
+  /// from a stream keyed (seed, generation-tag, round, edge) — batched
+  /// per chunk through util::Rng::bernoulli_batch, bit-identical to the
+  /// scalar draws — and merges into the ledger in canonical edge order
+  /// via the batched PairLedger::add_edges. Integral rates skip the draw
+  /// pass entirely and merge directly. Sequential mode consumes
   /// `sequential_rng` edge by edge, reproducing the legacy loop bit for
   /// bit. Returns the number of pairs generated.
   std::uint64_t generate(std::uint32_t round, double rate,
@@ -104,10 +107,12 @@ class NetworkState {
   /// scratch. Requires sharded().
   using DecideFn = std::function<std::optional<core::SwapCandidate>(
       core::NodeId, core::MaxMinBalancer::Scratch&)>;
-  /// Refresh the candidate table: fan `decide` across shards of the dirty
-  /// frontier (incremental mode) or of every node (full-rescan mode).
-  /// Clean nodes keep their cached candidate, which by the purity
-  /// contract equals what `decide` would return.
+  /// Refresh the candidate table: fan `decide` across dynamically
+  /// scheduled chunks of the dirty frontier (incremental mode) or of
+  /// every node (full-rescan mode) — chunk boundaries are canonical, so
+  /// the schedule never affects results. Clean nodes keep their cached
+  /// candidate, which by the purity contract equals what `decide` would
+  /// return.
   void decide_swaps(const DecideFn& decide);
   [[nodiscard]] const std::vector<std::optional<core::SwapCandidate>>&
   candidates() const {
@@ -185,15 +190,15 @@ class NetworkState {
   /// how many were dropped.
   std::uint64_t purge_pair_type(core::NodeId x, core::NodeId y, double now);
   /// Decohere kernel: purge every live bucket at `now`. The per-pair
-  /// fidelity scan fans across node shards — a bucket belongs to the
-  /// shard of its smaller endpoint, enumerated via the ledger partner
-  /// rows, so only live pairs are ever visited (O(live pairs), not
-  /// O(n^2)). Buckets own their metadata vectors, so compaction is
-  /// shard-local; the ledger updates apply on the caller by concatenating
-  /// the per-shard drop lists in shard order, which is exactly ascending
-  /// (x, y) — the same canonical order as a full triangular walk over the
-  /// non-empty buckets. Returns the total pairs dropped. Requires
-  /// sharded().
+  /// fidelity scan fans across dynamically scheduled node chunks — a
+  /// bucket belongs to the chunk of its smaller endpoint, enumerated via
+  /// the ledger partner rows, so only live pairs are ever visited
+  /// (O(live pairs), not O(n^2)). Buckets own their metadata vectors, so
+  /// compaction is chunk-local; the ledger updates apply on the caller by
+  /// concatenating the per-chunk drop lists in chunk order, which is
+  /// exactly ascending (x, y) — the same canonical order as a full
+  /// triangular walk over the non-empty buckets. Returns the total pairs
+  /// dropped. Requires sharded().
   std::uint64_t decohere_all(double now);
 
   /// Deterministic logical bytes held by the simulation state (ledger
@@ -203,13 +208,16 @@ class NetworkState {
   [[nodiscard]] std::uint64_t memory_bytes() const;
 
  private:
-  /// Shard bodies for the kernels. Their contexts live in members (not
-  /// lambda captures) so the std::function handed to the pool stays
-  /// within the small-object buffer — the hot path never allocates.
-  void generate_shard(std::size_t shard);
-  void decide_shard(std::size_t shard);
+  /// Chunk/shard bodies for the kernels. Their contexts live in members
+  /// (not lambda captures) so the std::function handed to the pool stays
+  /// within the small-object buffer — the hot path never allocates. The
+  /// chunked kernels (generate, decide, decohere) go through the engine's
+  /// dynamic chunk scheduler; commit keeps the one-shard-per-conflict-
+  /// group mapping (groups are the unit of serial order).
+  void generate_chunk(std::size_t begin, std::size_t end);
+  void decide_chunk(std::size_t begin, std::size_t end, unsigned worker);
   void commit_group(std::size_t group);
-  void decohere_shard(std::size_t shard);
+  void decohere_chunk(std::size_t begin, std::size_t end);
 
   const graph::Graph& graph_;
   std::uint64_t seed_;
@@ -220,8 +228,14 @@ class NetworkState {
   // Sharded-engine state (null/empty when sequential).
   std::unique_ptr<ParallelTickEngine> pool_;
   std::size_t shard_count_ = 1;
-  std::vector<core::MaxMinBalancer::Scratch> shard_scratch_;  // one per shard
-  std::vector<std::uint32_t> generation_amounts_;             // per edge
+  // Decide scratch is pure per-invocation workspace, so one per pool
+  // worker suffices under the chunk scheduler (results never depend on
+  // which worker ran a chunk).
+  std::vector<core::MaxMinBalancer::Scratch> worker_scratch_;
+  // Per-edge Bernoulli rounding flags for fractional generation rates,
+  // filled chunk-parallel by bernoulli_batch and merged through
+  // add_edges (integral rates never touch it).
+  std::vector<std::uint8_t> generation_flags_;
   std::vector<std::optional<core::SwapCandidate>> candidates_;  // per node
   // Per-node commit outcome slots (filled by concurrent groups, read by
   // the canonical walk; a node belongs to exactly one conflict group).
@@ -243,19 +257,22 @@ class NetworkState {
   std::vector<std::uint32_t> group_fill_;    // per-group fill cursor
   std::vector<core::NodeId> group_members_;  // flat member arena
   std::size_t group_count_ = 0;
-  // Dirty frontier of the current decide call (pre-sized to node_count)
-  // and the shard count its dispatch used (capped at the frontier size).
+  // Dirty frontier of the current decide call (pre-sized to node_count).
   std::vector<core::NodeId> dirty_nodes_;
-  std::size_t decide_shard_count_ = 1;
   // Sorted list of nodes with a non-null cached candidate, plus the merge
   // scratch decide_swaps folds the frontier through. Both pre-sized; the
   // swap between them keeps the decide phase allocation-free.
   std::vector<core::NodeId> candidate_nodes_;
   std::vector<core::NodeId> candidate_scratch_;
   std::uint64_t last_commit_probes_ = 0;
-  // Per-kernel contexts (see the shard bodies above).
+  // Per-kernel contexts (see the chunk bodies above), plus the fixed
+  // chunk grains each kernel resolved at construction (grain is a pure
+  // performance knob; an explicit shards setting keeps its partitioning
+  // meaning through ParallelTickEngine::resolve_grain).
+  std::size_t generate_grain_ = 1;
+  std::size_t decide_grain_ = 1;
+  std::size_t decohere_grain_ = 1;
   std::uint32_t gen_round_ = 0;
-  std::uint32_t gen_whole_ = 0;
   double gen_frac_ = 0.0;
   const DecideFn* decide_fn_ = nullptr;
   const core::MaxMinBalancer* commit_balancer_ = nullptr;
@@ -269,14 +286,16 @@ class NetworkState {
   std::optional<DecayModel> decay_;
   std::optional<PairStore> pair_store_;
   /// One (x, y, dropped) record per bucket the decohere scan purged from;
-  /// per-shard lists so the concurrent phase appends without contention.
-  /// Capacities persist across rounds (steady state appends only).
+  /// per-chunk lists so the concurrent phase appends without contention
+  /// and the serial merge replays canonical (x, y) order by walking the
+  /// lists in chunk order. Capacities persist across rounds (steady state
+  /// appends only).
   struct PurgeEntry {
     core::NodeId x = 0;
     core::NodeId y = 0;
     std::uint32_t dropped = 0;
   };
-  std::vector<std::vector<PurgeEntry>> purge_entries_;  // per shard
+  std::vector<std::vector<PurgeEntry>> purge_entries_;  // per chunk
 };
 
 }  // namespace poq::sim

@@ -35,11 +35,28 @@ std::size_t ParallelTickEngine::resolve_shards(std::uint32_t requested,
       1, std::min(auto_shards, std::max<std::size_t>(items, 1)));
 }
 
+std::size_t ParallelTickEngine::resolve_grain(std::uint32_t requested_shards,
+                                              std::size_t items,
+                                              std::size_t default_grain) {
+  if (requested_shards == 0) return std::max<std::size_t>(1, default_grain);
+  // An explicit shards knob keeps its pre-chunking meaning: partition the
+  // range into that many near-equal chunks.
+  return std::max<std::size_t>(1,
+                               (items + requested_shards - 1) / requested_shards);
+}
+
 ParallelTickEngine::ParallelTickEngine(unsigned threads)
     : threads_(resolve_threads(threads)) {
+  // Adapter bodies are built once; each captures only `this` so the
+  // std::function stays in its small-object buffer and a phase dispatch
+  // never allocates.
+  shard_body_ = [this](std::size_t index, unsigned) { (*shard_fn_)(index); };
+  chunk_body_ = [this](std::size_t chunk, unsigned worker) {
+    run_one_chunk(chunk, worker);
+  };
   workers_.reserve(threads_ - 1);
   for (unsigned i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -52,17 +69,21 @@ ParallelTickEngine::~ParallelTickEngine() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ParallelTickEngine::drain(const std::shared_ptr<Job>& job) {
-  // Claim shard indices off the job's counter until it drains. A stale
-  // drain (a worker waking after the job completed) claims an exhausted
-  // index and returns without touching the callback, so the callback
-  // reference is never dereferenced after run_shards returns.
+void ParallelTickEngine::drain(const std::shared_ptr<Job>& job,
+                               unsigned worker) {
+  // Claim work indices off the job's counter until it drains — this
+  // atomic cursor IS the work-stealing: a worker that finishes a cheap
+  // chunk immediately claims the next canonical index, so a skewed range
+  // never serializes on one pre-assigned partition. A stale drain (a
+  // worker waking after the job completed) claims an exhausted index and
+  // returns without touching the callback, so the callback reference is
+  // never dereferenced after the dispatching call returns.
   while (true) {
-    const std::size_t shard = job->next.fetch_add(1, std::memory_order_relaxed);
-    if (shard >= job->shards) return;
+    const std::size_t index = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job->shards) return;
     std::exception_ptr failure;
     try {
-      (*job->fn)(shard);
+      (*job->fn)(index, worker);
     } catch (...) {
       failure = std::current_exception();
     }
@@ -74,7 +95,7 @@ void ParallelTickEngine::drain(const std::shared_ptr<Job>& job) {
   }
 }
 
-void ParallelTickEngine::worker_loop() {
+void ParallelTickEngine::worker_loop(unsigned worker) {
   std::uint64_t seen_job = 0;
   while (true) {
     std::shared_ptr<Job> job;
@@ -85,8 +106,41 @@ void ParallelTickEngine::worker_loop() {
       seen_job = job_id_;
       job = job_;
     }
-    if (job) drain(job);
+    if (job) drain(job, worker);
   }
+}
+
+void ParallelTickEngine::dispatch(
+    std::size_t count, const std::function<void(std::size_t, unsigned)>& body) {
+  std::shared_ptr<Job> job;
+  if (spare_ && spare_.use_count() == 1) {
+    // No late-waking worker still holds the previous phase's Job, so its
+    // allocation can be reused — the steady state allocates nothing.
+    job = spare_;
+    job->error = nullptr;
+  } else {
+    job = std::make_shared<Job>();
+    spare_ = job;
+  }
+  job->fn = &body;
+  job->shards = count;
+  job->next.store(0, std::memory_order_relaxed);
+  job->completed = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  drain(job, /*worker=*/0);  // the caller is a pool member too
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job->completed == job->shards; });
+    if (job_ == job) job_.reset();
+    failure = job->error;
+  }
+  if (failure) std::rethrow_exception(failure);
 }
 
 void ParallelTickEngine::run_shards(
@@ -98,35 +152,59 @@ void ParallelTickEngine::run_shards(
     for (std::size_t shard = 0; shard < shard_count; ++shard) shard_fn(shard);
     return;
   }
-  std::shared_ptr<Job> job;
-  if (spare_ && spare_.use_count() == 1) {
-    // No late-waking worker still holds the previous phase's Job, so its
-    // allocation can be reused — the steady state allocates nothing.
-    job = spare_;
-    job->error = nullptr;
+  shard_fn_ = &shard_fn;
+  dispatch(shard_count, shard_body_);
+  shard_fn_ = nullptr;
+}
+
+void ParallelTickEngine::run_one_chunk(std::size_t chunk, unsigned worker) {
+  const std::size_t begin = chunk * chunk_grain_;
+  const std::size_t end = std::min(begin + chunk_grain_, chunk_items_);
+  if (chunk_load_ == nullptr) {
+    (*chunk_fn_)(begin, end, worker);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  (*chunk_fn_)(begin, end, worker);
+  const auto elapsed = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  // Concurrent workers accumulate into the same load record; relaxed
+  // atomics suffice (the phase barrier orders the final read).
+  std::atomic_ref<std::uint64_t>(chunk_load_->total_ns)
+      .fetch_add(elapsed, std::memory_order_relaxed);
+  std::atomic_ref<std::uint64_t>(chunk_load_->chunks)
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<std::uint64_t> max_ref(chunk_load_->max_ns);
+  std::uint64_t seen = max_ref.load(std::memory_order_relaxed);
+  while (elapsed > seen &&
+         !max_ref.compare_exchange_weak(seen, elapsed,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void ParallelTickEngine::run_chunks(std::size_t items, std::size_t grain,
+                                    ChunkLoad* load, const ChunkFn& chunk_fn) {
+  if (items == 0) return;
+  require(grain > 0, "run_chunks: grain must be positive");
+  const std::size_t chunk_count = (items + grain - 1) / grain;
+  chunk_fn_ = &chunk_fn;
+  chunk_items_ = items;
+  chunk_grain_ = grain;
+  chunk_load_ = load;
+  if (threads_ == 1 || chunk_count == 1) {
+    // Inline fast path: same canonical chunk walk, no handshake. The
+    // load accounting still runs so shard_imbalance is observable at
+    // every threads setting.
+    for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) {
+      run_one_chunk(chunk, /*worker=*/0);
+    }
   } else {
-    job = std::make_shared<Job>();
-    spare_ = job;
+    dispatch(chunk_count, chunk_body_);
   }
-  job->fn = &shard_fn;
-  job->shards = shard_count;
-  job->next.store(0, std::memory_order_relaxed);
-  job->completed = 0;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    job_ = job;
-    ++job_id_;
-  }
-  work_cv_.notify_all();
-  drain(job);  // the caller is a pool member too
-  std::exception_ptr failure;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return job->completed == job->shards; });
-    if (job_ == job) job_.reset();
-    failure = job->error;
-  }
-  if (failure) std::rethrow_exception(failure);
+  chunk_fn_ = nullptr;
+  chunk_load_ = nullptr;
 }
 
 }  // namespace poq::sim

@@ -92,6 +92,23 @@ struct TickConcurrency {
   bool incremental_decide = true;
 };
 
+/// Per-phase chunk-load accounting from the dynamic chunk scheduler:
+/// max/total wall-clock across the chunks a phase dispatched, cumulative
+/// over a run. max/(total/chunks) is the scheduler's load-imbalance
+/// signal (1.0 = perfectly even chunks), surfaced as the shard_imbalance
+/// timings. Observability only — never part of the determinism contract.
+struct ChunkLoad {
+  std::uint64_t max_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t chunks = 0;
+  /// Max-over-mean chunk time (0 when the phase never dispatched chunks).
+  [[nodiscard]] double imbalance() const {
+    if (chunks == 0 || total_ns == 0) return 0.0;
+    return static_cast<double>(max_ns) * static_cast<double>(chunks) /
+           static_cast<double>(total_ns);
+  }
+};
+
 /// Cumulative wall-clock nanoseconds spent in each phase kernel of one
 /// run. Pure observability: timings ride along in RunMetrics/BENCH JSON
 /// but are explicitly outside the determinism contract (like wall_ms) and
@@ -101,6 +118,9 @@ struct PhaseTimers {
   std::uint64_t decide_ns = 0;
   std::uint64_t commit_ns = 0;
   std::uint64_t decohere_ns = 0;
+  ChunkLoad generate_load;
+  ChunkLoad decide_load;
+  ChunkLoad decohere_load;
 };
 
 /// RAII accumulator for one PhaseTimers field: adds the scope's elapsed
@@ -145,8 +165,35 @@ class ParallelTickEngine {
   void run_shards(std::size_t shard_count,
                   const std::function<void(std::size_t)>& shard_fn);
 
+  /// Chunked dynamic scheduling (deterministic work stealing): split
+  /// [0, items) into canonical contiguous chunks of `grain` entities
+  /// (the last chunk may be short) and run
+  /// `chunk_fn(begin, end, worker)` for each, with chunks claimed off an
+  /// atomic cursor by whichever worker is free. Chunk boundaries depend
+  /// only on (items, grain) — never on the thread count or the claiming
+  /// schedule — so per-chunk effects merged in ascending chunk order
+  /// replay canonical entity order and results are bit-identical at every
+  /// threads setting. `worker` (< thread_count(), 0 = the caller) indexes
+  /// per-worker scratch only; results must never depend on it. When
+  /// `load` is non-null each chunk's wall-clock is accumulated into it
+  /// (max/total/count) for the shard_imbalance observability. Blocks
+  /// until all chunks complete; first exception rethrown on the caller.
+  /// Not reentrant.
+  using ChunkFn = std::function<void(std::size_t begin, std::size_t end,
+                                     unsigned worker)>;
+  void run_chunks(std::size_t items, std::size_t grain, ChunkLoad* load,
+                  const ChunkFn& chunk_fn);
+
   /// Resolve a threads knob: 0 = hardware concurrency (minimum 1).
   [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+
+  /// Resolve the chunk grain for `items` entities: an explicit shards
+  /// knob partitions the range into that many near-equal chunks (its
+  /// pre-chunking meaning); 0 = auto, the kernel's default grain. Pure
+  /// performance knob — grain never affects results.
+  [[nodiscard]] static std::size_t resolve_grain(std::uint32_t requested_shards,
+                                                 std::size_t items,
+                                                 std::size_t default_grain);
 
   /// Contiguous [begin, end) range of shard `shard` when `items` entities
   /// are split into `shard_count` near-equal blocks. Trailing shards may
@@ -160,21 +207,38 @@ class ParallelTickEngine {
                                            std::size_t items) const;
 
  private:
-  /// One run_shards call. Heap-allocated and shared so a worker waking
-  /// late for an already-finished phase operates on that phase's own
-  /// (exhausted) counter instead of racing the next phase's state.
+  /// One run_shards/run_chunks call. Heap-allocated and shared so a
+  /// worker waking late for an already-finished phase operates on that
+  /// phase's own (exhausted) counter instead of racing the next phase's
+  /// state. `fn` takes (index, worker): run_shards and run_chunks adapt
+  /// their callbacks through the pre-built members below, so dispatching
+  /// a phase never constructs (or allocates) a std::function.
   struct Job {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const std::function<void(std::size_t, unsigned)>* fn = nullptr;
     std::size_t shards = 0;
     std::atomic<std::size_t> next{0};
     std::size_t completed = 0;  // guarded by mutex_
     std::exception_ptr error;   // first failure, guarded by mutex_
   };
 
-  void worker_loop();
-  void drain(const std::shared_ptr<Job>& job);
+  void worker_loop(unsigned worker);
+  void drain(const std::shared_ptr<Job>& job, unsigned worker);
+  void dispatch(std::size_t count,
+                const std::function<void(std::size_t, unsigned)>& body);
+  void run_one_chunk(std::size_t chunk, unsigned worker);
 
   unsigned threads_ = 1;
+
+  // Phase contexts for the pre-built adapter bodies (single-word lambda
+  // captures keep the std::function in its small-object buffer; the
+  // contexts live here because run_* is not reentrant anyway).
+  const std::function<void(std::size_t)>* shard_fn_ = nullptr;
+  const ChunkFn* chunk_fn_ = nullptr;
+  std::size_t chunk_items_ = 0;
+  std::size_t chunk_grain_ = 1;
+  ChunkLoad* chunk_load_ = nullptr;
+  std::function<void(std::size_t, unsigned)> shard_body_;
+  std::function<void(std::size_t, unsigned)> chunk_body_;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -13,13 +13,34 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
-}  // namespace
+constexpr std::uint64_t kSplitmixGamma = 0x9E3779B97F4A7C15ULL;
 
-std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+/// The stateless finalizer of splitmix64: splitmix64(s) == mix64(s + gamma).
+/// The batch derivation loops over this directly, with the counter folded
+/// into the pre-increment value, so it never threads mutable state.
+constexpr std::uint64_t mix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+/// The (seed, a, b) sponge prefix of Rng::keyed — everything that does not
+/// depend on the per-entity key word c, hoisted once per batch.
+constexpr std::uint64_t keyed_prefix(std::uint64_t seed, std::uint64_t a,
+                                     std::uint64_t b) {
+  std::uint64_t sm = seed;
+  std::uint64_t hash = mix64(sm + kSplitmixGamma);
+  sm = hash ^ a;
+  hash = mix64(sm + kSplitmixGamma);
+  sm = hash ^ b;
+  hash = mix64(sm + kSplitmixGamma);
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  return mix64(state += kSplitmixGamma);
 }
 
 Rng::Rng(std::uint64_t seed) {
@@ -62,6 +83,54 @@ Rng Rng::keyed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
   sm = hash ^ c;
   hash = splitmix64(sm);
   return Rng(hash);
+}
+
+void Rng::keyed_batch(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                      std::uint64_t c0, std::span<Rng> out) {
+  const std::uint64_t prefix = keyed_prefix(seed, a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t hash = mix64((prefix ^ (c0 + i)) + kSplitmixGamma);
+    out[i] = Rng(hash);
+  }
+}
+
+void Rng::bernoulli_batch(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c0, double p,
+                          std::span<std::uint8_t> out) {
+  // Scalar equivalence: bernoulli(p) for p in (0, 1) draws one output and
+  // tests (output >> 11) * 2^-53 < p. Both sides scale exactly by 2^53
+  // (power-of-two scaling of a 53-bit integer and of p), so the test is
+  // the integer compare (output >> 11) < ceil(p * 2^53) — for an integer
+  // k, k < x iff k < ceil(x). p <= 0 / p >= 1 reproduce the scalar
+  // early-outs as thresholds 0 / 2^53 (no 53-bit value reaches 2^53).
+  std::uint64_t threshold = 0;
+  if (p >= 1.0) {
+    threshold = 1ULL << 53;
+  } else if (p > 0.0) {
+    threshold = static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+  }
+  // The stream's first raw output depends only on state_[1] — the second
+  // seeding step of Rng(hash) — so one derivation mix and one seeding mix
+  // per entity suffice: 3 mix64 calls replace the scalar path's 8 plus an
+  // engine step, and the loop body is branch-free and independent across
+  // entities (auto-vectorizable).
+  const std::uint64_t prefix = keyed_prefix(seed, a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t hash = mix64((prefix ^ (c0 + i)) + kSplitmixGamma);
+    const std::uint64_t state1 = mix64(hash + 2 * kSplitmixGamma);
+    const std::uint64_t output = rotl(state1 * 5, 7) * 9;
+    out[i] = static_cast<std::uint8_t>((output >> 11) < threshold);
+  }
+}
+
+void Rng::poisson_batch(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c0, double mean,
+                        std::span<std::uint64_t> out) {
+  const std::uint64_t prefix = keyed_prefix(seed, a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Rng rng(mix64((prefix ^ (c0 + i)) + kSplitmixGamma));
+    out[i] = rng.poisson(mean);
+  }
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {

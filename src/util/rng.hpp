@@ -57,6 +57,35 @@ class Rng {
   [[nodiscard]] static Rng keyed(std::uint64_t seed, std::uint64_t a,
                                  std::uint64_t b = 0, std::uint64_t c = 0);
 
+  // --- batched counter-based derivation ---------------------------------
+  // The hot kernels key one stream per entity and consume one decision
+  // from it. Deriving the streams one by one repeats the (seed, a, b)
+  // sponge prefix per entity; the batch forms below hoist that prefix
+  // once and run one tight loop over the entity counter. Every element
+  // is bit-identical to the scalar path — out[i] equals
+  // Rng::keyed(seed, a, b, c0 + i) (resp. its .bernoulli(p) / .poisson(mean)
+  // decision) — so batching a kernel never moves a baseline.
+
+  /// Fill `out` with streams keyed (seed, a, b, c0 + i).
+  static void keyed_batch(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c0, std::span<Rng> out);
+
+  /// out[i] = Rng::keyed(seed, a, b, c0 + i).bernoulli(p), computed as a
+  /// branch-free integer threshold compare on the stream's first raw
+  /// output (exactly equivalent to the scalar uniform_double() < p: the
+  /// 53-bit mantissa compare scales both sides by 2^53, which is exact).
+  static void bernoulli_batch(std::uint64_t seed, std::uint64_t a,
+                              std::uint64_t b, std::uint64_t c0, double p,
+                              std::span<std::uint8_t> out);
+
+  /// out[i] = Rng::keyed(seed, a, b, c0 + i).poisson(mean). Only the
+  /// stream derivation is batched; the per-entity draw consumes a
+  /// variable number of stream outputs, so it runs the scalar sampler on
+  /// the derived stream (bit-identical by construction).
+  static void poisson_batch(std::uint64_t seed, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t c0, double mean,
+                            std::span<std::uint64_t> out);
+
   /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "graph/graph.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -248,6 +251,117 @@ TEST(PairLedger, ResetMarkingBudgetConvertsOverflowToBits) {
   ledger.clear_dirty(3);
   EXPECT_EQ(ledger.dirty_count(), 5u);
   EXPECT_FALSE(ledger.dirty(3));
+}
+
+// add_edges must be indistinguishable from the scalar add() loop it
+// replaces in the generation merge: same rows, same totals, same
+// minimum, and the same dirty frontier in the same drain order.
+TEST(PairLedger, AddEdgesMatchesScalarAddLoop) {
+  constexpr std::size_t kNodes = 24;
+  util::Rng rng(90210);
+  std::vector<graph::Edge> edges;
+  for (NodeId x = 0; x < kNodes; ++x) {
+    for (NodeId y = static_cast<NodeId>(x + 1); y < kNodes; ++y) {
+      if (rng.uniform_double() < 0.4) {
+        // Mix endpoint orders: add_edges must normalize via a()/b().
+        if (rng.uniform_double() < 0.5) edges.push_back({x, y});
+        else edges.push_back({y, x});
+      }
+    }
+  }
+  ASSERT_GT(edges.size(), 50u);
+  std::vector<std::uint32_t> amounts(edges.size());
+  std::vector<std::uint8_t> extra(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    amounts[i] = static_cast<std::uint32_t>(rng.uniform_index(4));  // has zeros
+    extra[i] = static_cast<std::uint8_t>(rng.uniform_index(2));
+  }
+
+  const auto expect_equivalent = [&](PairLedger& batched, PairLedger& scalar,
+                                     auto amount_of, std::uint64_t added) {
+    std::uint64_t expected_added = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      scalar.add(edges[i].a(), edges[i].b(), amount_of(i));
+      expected_added += amount_of(i);
+    }
+    EXPECT_EQ(added, expected_added);
+    EXPECT_EQ(batched.total_pairs(), scalar.total_pairs());
+    EXPECT_EQ(batched.minimum_pair_count(), scalar.minimum_pair_count());
+    for (NodeId x = 0; x < kNodes; ++x) {
+      for (NodeId y = static_cast<NodeId>(x + 1); y < kNodes; ++y) {
+        EXPECT_EQ(batched.count(x, y), scalar.count(x, y));
+      }
+    }
+    std::vector<NodeId> batched_dirty;
+    std::vector<NodeId> scalar_dirty;
+    batched.drain_dirty(batched_dirty);
+    scalar.drain_dirty(scalar_dirty);
+    EXPECT_EQ(batched_dirty, scalar_dirty);
+  };
+
+  const auto fresh_pair = [&](PairLedger& ledger) {
+    ledger.enable_dirty_tracking();
+    ledger.set_reader_threshold(2);
+    // Seed some counts so mark_pair_readers has common partners to walk,
+    // then start from a clean frontier.
+    ledger.add(0, 1, 2);
+    ledger.add(1, 2, 2);
+    ledger.add(2, 3, 1);
+    std::vector<NodeId> drain;
+    ledger.drain_dirty(drain);
+  };
+
+  {  // Uniform-amount overload.
+    PairLedger batched(kNodes), scalar(kNodes);
+    fresh_pair(batched);
+    fresh_pair(scalar);
+    const std::uint64_t added = batched.add_edges(edges, 3);
+    expect_equivalent(batched, scalar, [](std::size_t) { return 3u; }, added);
+  }
+  {  // Per-edge amounts overload (zero amounts skipped).
+    PairLedger batched(kNodes), scalar(kNodes);
+    fresh_pair(batched);
+    fresh_pair(scalar);
+    const std::uint64_t added =
+        batched.add_edges(edges, std::span<const std::uint32_t>(amounts));
+    expect_equivalent(
+        batched, scalar, [&](std::size_t i) { return amounts[i]; }, added);
+  }
+  {  // base + 0/1 flags overload (the generation-merge shape).
+    PairLedger batched(kNodes), scalar(kNodes);
+    fresh_pair(batched);
+    fresh_pair(scalar);
+    const std::uint64_t added =
+        batched.add_edges(edges, 2, std::span<const std::uint8_t>(extra));
+    expect_equivalent(
+        batched, scalar, [&](std::size_t i) { return 2u + extra[i]; }, added);
+  }
+  {  // base 0 + flags: exercises the amount == 0 skip path heavily.
+    PairLedger batched(kNodes), scalar(kNodes);
+    fresh_pair(batched);
+    fresh_pair(scalar);
+    const std::uint64_t added =
+        batched.add_edges(edges, 0, std::span<const std::uint8_t>(extra));
+    expect_equivalent(
+        batched, scalar,
+        [&](std::size_t i) { return static_cast<std::uint32_t>(extra[i]); },
+        added);
+  }
+}
+
+TEST(PairLedger, AddEdgesValidatesLikeScalarAdd) {
+  PairLedger ledger(4);
+  const std::vector<graph::Edge> self_loop{{2, 2}};
+  EXPECT_THROW((void)ledger.add_edges(self_loop, 1), PreconditionError);
+  const std::vector<graph::Edge> out_of_range{{1, 9}};
+  EXPECT_THROW((void)ledger.add_edges(out_of_range, 1), PreconditionError);
+  const std::vector<graph::Edge> edges{{0, 1}, {1, 2}};
+  const std::vector<std::uint32_t> short_amounts{1};
+  EXPECT_THROW(
+      (void)ledger.add_edges(edges,
+                             std::span<const std::uint32_t>(short_amounts)),
+      PreconditionError);
+  EXPECT_EQ(ledger.total_pairs(), 0u);  // failed batches may not commit totals
 }
 
 TEST(PairLedger, DirtyTrackingOffByDefaultAndMarkAllOnEnable) {

@@ -219,36 +219,43 @@ TEST(IncrementalDecide, RoundTrajectoriesMatchFullRescan) {
 
 TEST(HotPathAllocations, SteadyStateRoundAllocatesNothing) {
   // After warm-up, a balancing round on the sharded engine — generation
-  // (fractional rate: keyed streams exercised), dirty-set decide,
+  // (fractional rate: batched keyed streams exercised), dirty-set decide,
   // two-level commit, consumption — must not touch the heap: all
   // per-round scratch is pre-sized, the CSR partner arena mutates in
-  // place, and the pool recycles its job allocation.
+  // place, and the pool recycles its job allocation. shards=8 forces the
+  // chunk grain small enough that every phase goes through the dynamic
+  // work-stealing dispatch (multiple chunks claimed off the atomic
+  // cursor), so the chunked scheduler path is held to the same
+  // zero-allocation contract as the inline path.
 #ifdef POQ_UNDER_TSAN
   GTEST_SKIP() << "the TSan runtime allocates behind the program's back, "
                   "so a heap-silence assertion is meaningless under it";
 #endif
   for (const unsigned threads : {1u, 2u}) {
-    util::Rng topology_rng(3);
-    const graph::Graph graph =
-        graph::make_random_connected_grid(49, topology_rng);
-    util::Rng workload_rng(5);
-    const core::Workload workload =
-        core::make_uniform_workload(49, 20, 100000, workload_rng);
-    core::BalancingConfig config;
-    config.generation_per_edge_per_round = 0.5;
-    config.seed = 9;
-    config.tick.mode = sim::TickMode::kSharded;
-    config.tick.threads = threads;
-    core::BalancingSimulation sim(graph, workload, config);
-    for (int round = 0; round < 300; ++round) sim.step_round();
-    const std::uint64_t before =
-        g_allocation_count.load(std::memory_order_relaxed);
-    for (int round = 0; round < 200; ++round) sim.step_round();
-    const std::uint64_t after =
-        g_allocation_count.load(std::memory_order_relaxed);
-    EXPECT_EQ(after - before, 0u)
-        << (after - before) << " allocations in 200 steady-state rounds at "
-        << "threads=" << threads;
+    for (const unsigned shards : {0u, 8u}) {
+      util::Rng topology_rng(3);
+      const graph::Graph graph =
+          graph::make_random_connected_grid(49, topology_rng);
+      util::Rng workload_rng(5);
+      const core::Workload workload =
+          core::make_uniform_workload(49, 20, 100000, workload_rng);
+      core::BalancingConfig config;
+      config.generation_per_edge_per_round = 0.5;
+      config.seed = 9;
+      config.tick.mode = sim::TickMode::kSharded;
+      config.tick.threads = threads;
+      config.tick.shards = shards;
+      core::BalancingSimulation sim(graph, workload, config);
+      for (int round = 0; round < 300; ++round) sim.step_round();
+      const std::uint64_t before =
+          g_allocation_count.load(std::memory_order_relaxed);
+      for (int round = 0; round < 200; ++round) sim.step_round();
+      const std::uint64_t after =
+          g_allocation_count.load(std::memory_order_relaxed);
+      EXPECT_EQ(after - before, 0u)
+          << (after - before) << " allocations in 200 steady-state rounds at "
+          << "threads=" << threads << " shards=" << shards;
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -97,6 +98,108 @@ TEST(ParallelTickEngine, ResolveShardsAutoIsBoundedAndExplicitPassesThrough) {
   EXPECT_LE(auto_shards, 100u);
   // Tiny inputs never get more auto shards than items.
   EXPECT_LE(engine.resolve_shards(0, 3), 3u);
+}
+
+TEST(ParallelTickEngine, RunChunksCoversEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ParallelTickEngine engine(threads);
+    for (const std::size_t grain : {1u, 3u, 64u, 1000u}) {
+      const std::size_t items = 137;
+      std::vector<std::atomic<int>> hits(items);
+      engine.run_chunks(items, grain, nullptr,
+                        [&](std::size_t begin, std::size_t end, unsigned) {
+                          // Chunk boundaries are canonical multiples of the
+                          // grain regardless of which worker ran the chunk.
+                          EXPECT_EQ(begin % grain, 0u);
+                          EXPECT_LE(end - begin, grain);
+                          for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                        });
+      for (const auto& hit : hits) {
+        EXPECT_EQ(hit.load(), 1) << threads << " threads, grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(ParallelTickEngine, RunChunksWorkerIndexStaysBelowThreadCount) {
+  for (const unsigned threads : {1u, 3u}) {
+    ParallelTickEngine engine(threads);
+    std::atomic<bool> in_range{true};
+    engine.run_chunks(500, 7, nullptr,
+                      [&](std::size_t, std::size_t, unsigned worker) {
+                        if (worker >= engine.thread_count()) in_range = false;
+                      });
+    EXPECT_TRUE(in_range.load());
+  }
+}
+
+TEST(ParallelTickEngine, RunChunksZeroItemsIsANoop) {
+  ParallelTickEngine engine(2);
+  bool touched = false;
+  engine.run_chunks(0, 8, nullptr,
+                    [&](std::size_t, std::size_t, unsigned) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelTickEngine, RunChunksRejectsZeroGrain) {
+  ParallelTickEngine engine(2);
+  EXPECT_THROW(
+      engine.run_chunks(4, 0, nullptr,
+                        [](std::size_t, std::size_t, unsigned) {}),
+      PreconditionError);
+}
+
+TEST(ParallelTickEngine, RunChunksExceptionsPropagateAndEngineStaysUsable) {
+  for (const unsigned threads : {1u, 4u}) {
+    ParallelTickEngine engine(threads);
+    EXPECT_THROW(engine.run_chunks(90, 10, nullptr,
+                                   [&](std::size_t begin, std::size_t,
+                                       unsigned) {
+                                     if (begin == 40) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    engine.run_chunks(30, 4, nullptr,
+                      [&](std::size_t begin, std::size_t end, unsigned) {
+                        count += static_cast<int>(end - begin);
+                      });
+    EXPECT_EQ(count.load(), 30);
+  }
+}
+
+TEST(ParallelTickEngine, RunChunksAccumulatesChunkLoad) {
+  ParallelTickEngine engine(2);
+  ChunkLoad load;
+  engine.run_chunks(100, 16, &load,
+                    [](std::size_t begin, std::size_t end, unsigned) {
+                      volatile std::uint64_t sink = 0;
+                      for (std::size_t i = begin; i < end * 50; ++i) {
+                        sink = sink + i;
+                      }
+                    });
+  EXPECT_EQ(load.chunks, 7u);  // ceil(100 / 16)
+  EXPECT_GE(load.total_ns, load.max_ns);
+  EXPECT_GT(load.max_ns, 0u);
+  EXPECT_GE(load.imbalance(), 1.0);
+}
+
+TEST(ChunkLoad, EmptyLoadReportsZeroImbalance) {
+  const ChunkLoad load;
+  EXPECT_EQ(load.imbalance(), 0.0);
+}
+
+TEST(ParallelTickEngine, ResolveGrainDefaultsAndExplicitShardSplit) {
+  // shards == 0 (auto): the kernel's default grain wins.
+  EXPECT_EQ(ParallelTickEngine::resolve_grain(0, 100000, 2048), 2048u);
+  EXPECT_EQ(ParallelTickEngine::resolve_grain(0, 5, 256), 256u);
+  // Explicit shard counts keep their meaning: grain = ceil(items / shards).
+  EXPECT_EQ(ParallelTickEngine::resolve_grain(4, 100, 2048), 25u);
+  EXPECT_EQ(ParallelTickEngine::resolve_grain(3, 100, 2048), 34u);
+  // Never rounds down to a zero grain.
+  EXPECT_EQ(ParallelTickEngine::resolve_grain(16, 3, 2048), 1u);
+  EXPECT_GE(ParallelTickEngine::resolve_grain(0, 10, 0), 1u);
 }
 
 }  // namespace

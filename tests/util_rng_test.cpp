@@ -235,6 +235,81 @@ TEST(Rng, KeyedStreamsFromAdjacentCountersLookUniform) {
   EXPECT_NEAR(ones, streams / 2, streams * 0.05);
 }
 
+// --- batched keyed derivation: bit-equivalence with the scalar path ----
+
+TEST(RngBatch, KeyedBatchMatchesScalarStreams) {
+  std::vector<Rng> batch(257);
+  Rng::keyed_batch(99, 7, 123, 1000, std::span<Rng>(batch));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Rng scalar = Rng::keyed(99, 7, 123, 1000 + i);
+    for (int draw = 0; draw < 8; ++draw) {
+      ASSERT_EQ(batch[i](), scalar()) << "stream " << i << " draw " << draw;
+    }
+  }
+}
+
+// The acceptance grid: >= 10^6 (seed, tag, round, entity) tuples, varied
+// across every key word and across probabilities (including the scalar
+// early-out edges), each compared against Rng::keyed(...).bernoulli(p).
+TEST(RngBatch, BernoulliBatchMatchesScalarOverMillionTuples) {
+  const std::vector<double> probabilities = {0.0,  1e-12, 0.037, 0.3,
+                                             0.5,  0.7,   0.999, 1.0};
+  Rng meta(2026);
+  std::vector<std::uint8_t> batch(8192);
+  std::uint64_t tuples = 0;
+  std::uint64_t hits = 0;
+  for (int block = 0; block < 128; ++block) {
+    const std::uint64_t seed = meta();
+    const std::uint64_t tag = meta();
+    const std::uint64_t round = meta();
+    const std::uint64_t base = meta() % 1000;  // entity counters overlap
+    const double p = probabilities[block % probabilities.size()];
+    Rng::bernoulli_batch(seed, tag, round, base, p,
+                         std::span<std::uint8_t>(batch));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const bool scalar = Rng::keyed(seed, tag, round, base + i).bernoulli(p);
+      ASSERT_EQ(batch[i] != 0, scalar)
+          << "seed=" << seed << " tag=" << tag << " round=" << round
+          << " entity=" << base + i << " p=" << p;
+      ++tuples;
+      hits += batch[i];
+    }
+  }
+  EXPECT_GE(tuples, 1000000u);
+  EXPECT_GT(hits, 0u);  // the grid exercised both decision outcomes
+  EXPECT_LT(hits, tuples);
+}
+
+TEST(RngBatch, PoissonBatchMatchesScalarOverMillionTuples) {
+  // Means straddle the sampler's small/large split (Knuth product vs
+  // normal approximation) plus the zero shortcut.
+  const std::vector<double> means = {0.0, 0.2, 1.0, 3.5, 29.9, 30.0, 80.0};
+  Rng meta(4052);
+  std::vector<std::uint64_t> batch(8192);
+  std::uint64_t tuples = 0;
+  for (int block = 0; block < 128; ++block) {
+    const std::uint64_t seed = meta();
+    const std::uint64_t tag = meta();
+    const std::uint64_t round = meta();
+    const double mean = means[block % means.size()];
+    Rng::poisson_batch(seed, tag, round, 0, mean,
+                       std::span<std::uint64_t>(batch));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(batch[i], Rng::keyed(seed, tag, round, i).poisson(mean))
+          << "seed=" << seed << " tag=" << tag << " round=" << round
+          << " entity=" << i << " mean=" << mean;
+      ++tuples;
+    }
+  }
+  EXPECT_GE(tuples, 1000000u);
+}
+
+TEST(RngBatch, EmptyBatchesAreLegal) {
+  Rng::keyed_batch(1, 2, 3, 0, std::span<Rng>());
+  Rng::bernoulli_batch(1, 2, 3, 0, 0.5, std::span<std::uint8_t>());
+  Rng::poisson_batch(1, 2, 3, 0, 1.0, std::span<std::uint64_t>());
+}
+
 // Every element should be roughly equally likely to be sampled.
 TEST(Rng, SampleIndicesUnbiased) {
   Rng rng(61);

@@ -601,7 +601,8 @@ int cmd_serve(const util::ArgParser& args) {
         "                     code queue_full (default 8)\n"
         "  --sweep-threads T  sweep pool threads per sweep job (default 1;\n"
         "                     0 = hardware)\n"
-        "  --intra-threads K  intra-run threads per sweep cell (default 1)\n";
+        "  --intra-threads K  intra-run threads per sweep cell (default 1;\n"
+        "                     0 = hardware)\n";
     return 0;
   }
   serve::ServerOptions options;
@@ -622,8 +623,8 @@ int cmd_serve(const util::ArgParser& args) {
   }
   options.sweep_threads = static_cast<unsigned>(sweep_threads);
   const std::int64_t intra = args.get_int("intra-threads", 1);
-  if (intra < 1 || intra > 4096) {
-    throw PreconditionError("--intra-threads must be in [1, 4096]");
+  if (intra < 0 || intra > 4096) {
+    throw PreconditionError("--intra-threads must be in [0, 4096]");
   }
   options.intra_run_threads = static_cast<unsigned>(intra);
   check_unused(args);
