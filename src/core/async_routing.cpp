@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "core/ledger.hpp"
@@ -47,6 +49,9 @@ class Driver {
             pool_ ? pool_->resolve_shards(config.tick.shards, n_) : 1) {
     timeout_epochs_ = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(std::ceil(config.timeout / config.dt)));
+    if (config.faults.enabled()) {
+      fault_plan_.emplace(graph, config.faults, config.seed);
+    }
   }
 
   AsyncRoutingResult run() {
@@ -56,6 +61,7 @@ class Driver {
       util::this_thread_check_cancelled();
       epoch_ = epoch;
       now_ = static_cast<double>(epoch + 1) * config_.dt;
+      fault_phase();
       apply_phase();
       generate();
       admit_arrivals();
@@ -63,6 +69,13 @@ class Driver {
       vp_.signals().reset_budget();
     }
     result_.control_messages = vp_.messages_sent();
+    if (fault_plan_) {
+      const sim::FaultStats& fault_stats = fault_plan_->stats();
+      result_.availability = fault_stats.availability();
+      result_.fault_rounds_degraded = fault_stats.degraded_rounds;
+      result_.node_crashes = fault_stats.node_crashes;
+      result_.link_downs = fault_stats.link_downs;
+    }
     return std::move(result_);
   }
 
@@ -74,6 +87,34 @@ class Driver {
         config_.latency_per_hop * static_cast<double>(distances_[a][b]);
     return std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(std::floor(latency / config_.dt + 0.5)));
+  }
+
+  /// Fault phase (serial): advance the plan, destroy crashed nodes' pairs
+  /// via the ledger's canonical remove path, track degraded episodes.
+  void fault_phase() {
+    if (!fault_plan_) return;
+    const std::vector<NodeId>& crashed = fault_plan_->advance(epoch_);
+    for (const NodeId x : crashed) {
+      const std::span<const NodeId> row = ledger_.partners(x);
+      purge_partners_.assign(row.begin(), row.end());
+      for (const NodeId y : purge_partners_) {
+        const std::uint32_t count = ledger_.count(x, y);
+        if (count == 0) continue;
+        ledger_.remove(x, y, count);
+        result_.pairs_purged_by_faults += count;
+        vp_.signals().signal(y);  // its routing options shrank
+      }
+      vp_.signals().signal(x);
+    }
+    const bool degraded = fault_plan_->degraded();
+    if (degraded) {
+      in_degraded_episode_ = true;
+    } else if (in_degraded_episode_) {
+      in_degraded_episode_ = false;
+      awaiting_recovery_ = true;
+      episode_end_ = now_;
+    }
+    round_degraded_ = degraded;
   }
 
   /// Deliver token handoffs: the apply kernel appends each arriving token
@@ -99,12 +140,16 @@ class Driver {
     // Batched per-edge draw: poisson_batch derives the per-(epoch, edge)
     // keyed streams with the sponge prefix hoisted once, bit-identical to
     // the scalar keyed + poisson loop.
+    // Under faults the rate scales by the degradation factor and downed
+    // edges drop their draw (per-edge keyed streams: nothing else shifts).
+    const double rate = config_.generation_rate * config_.dt *
+                        (fault_plan_ ? fault_plan_->rate_factor() : 1.0);
+    const bool masked = fault_plan_ && fault_plan_->any_edge_down();
     born_scratch_.resize(edges.size());
     util::Rng::poisson_batch(config_.seed, sim::stream_tag::kGeneration,
-                             epoch_, 0,
-                             config_.generation_rate * config_.dt,
-                             born_scratch_);
+                             epoch_, 0, rate, born_scratch_);
     for (std::size_t index = 0; index < edges.size(); ++index) {
+      if (masked && !fault_plan_->edge_up(index)) continue;
       const std::uint64_t born = born_scratch_[index];
       if (born == 0) continue;
       const graph::Edge& edge = edges[index];
@@ -167,6 +212,12 @@ class Driver {
         continue;
       }
       expire(queue);
+      if (fault_plan_ && !fault_plan_->node_up(u)) {
+        // Crashed: tokens wait (expiring on timeout) until recovery.
+        // blocked_ stays 0 so the node is re-examined once it is back up.
+        blocked_[u] = 0;
+        continue;
+      }
       if (config_.tick.incremental_decide && blocked_[u] != 0 &&
           !vp_.signals().test(u)) {
         continue;  // blocked and nothing it reads changed: still blocked
@@ -223,6 +274,11 @@ class Driver {
 
   void complete(const Token& token) {
     ++result_.requests_satisfied;
+    if (round_degraded_) ++result_.delivered_under_fault;
+    if (awaiting_recovery_) {
+      result_.time_to_recover.add(now_ - episode_end_);
+      awaiting_recovery_ = false;
+    }
     result_.request_latency.add(now_ - token.arrival_time);
     result_.request_hops.add(static_cast<double>(token.hops));
   }
@@ -248,6 +304,13 @@ class Driver {
   double now_ = 0.0;
   /// Per-edge generation draws (resized once, reused every epoch).
   std::vector<std::uint64_t> born_scratch_;
+  // Fault phase state (engaged only when config.faults.enabled()).
+  std::optional<sim::FaultPlan> fault_plan_;
+  std::vector<NodeId> purge_partners_;
+  bool round_degraded_ = false;
+  bool in_degraded_episode_ = false;
+  bool awaiting_recovery_ = false;
+  double episode_end_ = 0.0;
   AsyncRoutingResult result_;
 };
 

@@ -27,6 +27,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/stats.hpp"
 
@@ -51,6 +52,12 @@ struct AsyncRoutingConfig {
   /// Intra-run engine knobs (vertex-program substrate; results are
   /// bit-identical for every mode/threads/shards/decide setting).
   sim::TickConcurrency tick;
+
+  /// Fault-injection plan (one fault round per epoch). A crash destroys
+  /// the Bell pairs at the node's links and halts its routing steps while
+  /// down; waiting tokens are classical and survive (they still expire on
+  /// timeout). Disabled by default (bit-identical historical path).
+  sim::FaultConfig faults;
 };
 
 struct AsyncRoutingResult {
@@ -70,6 +77,18 @@ struct AsyncRoutingResult {
   util::RunningStats request_latency;
   /// Segments consumed per satisfied request.
   util::RunningStats request_hops;
+
+  /// Fault-injection resilience counters (zero / availability 1 when
+  /// faults are disabled — the historical metric set is untouched).
+  double availability = 1.0;
+  std::uint64_t fault_rounds_degraded = 0;
+  std::uint64_t delivered_under_fault = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t link_downs = 0;
+  std::uint64_t pairs_purged_by_faults = 0;
+  /// Simulated time from the end of each degraded episode to the next
+  /// satisfied request.
+  util::RunningStats time_to_recover;
 
   [[nodiscard]] double satisfied_fraction() const {
     return requests_arrived == 0

@@ -1,5 +1,6 @@
 #include "core/balancing_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/nested.hpp"
@@ -51,6 +52,10 @@ BalancingSimulation::BalancingSimulation(const graph::Graph& generation_graph,
       static_cast<std::uint32_t>(std::ceil(config.distillation + 1.0)));
   require(generation_graph.node_count() >= 3,
           "BalancingSimulation: need at least 3 nodes to swap");
+  if (config_.faults.enabled()) {
+    fault_plan_.emplace(generation_graph, config_.faults, config_.seed);
+    state_.set_fault_plan(&*fault_plan_);
+  }
   const std::size_t n = generation_graph.node_count();
   pool_size_ = config_.consumer_pool > 0
                    ? static_cast<std::size_t>(config_.consumer_pool)
@@ -73,6 +78,27 @@ bool BalancingSimulation::finished() const {
 }
 
 void BalancingSimulation::begin_round() { ++result_.rounds; }
+
+void BalancingSimulation::fault_phase() {
+  if (!fault_plan_) return;
+  // Serial phase between the round boundary and the generation kernel:
+  // the plan's keyed streams make the trajectory identical at every
+  // threads/shards setting, and the crash purges run through the ledger's
+  // canonical remove path (reader marks included).
+  const std::vector<NodeId>& crashed = fault_plan_->advance(result_.rounds);
+  for (const NodeId x : crashed) {
+    result_.pairs_purged_by_faults += state_.purge_node(x);
+  }
+  round_degraded_ = fault_plan_->degraded();
+  if (round_degraded_) {
+    in_degraded_episode_ = true;
+  } else if (in_degraded_episode_) {
+    // Episode over: measure rounds until delivery resumes.
+    in_degraded_episode_ = false;
+    awaiting_recovery_ = true;
+    episode_end_round_ = result_.rounds;
+  }
+}
 
 void BalancingSimulation::generation_phase() {
   // Sequential mode consumes generation_rng_ edge by edge (the legacy
@@ -182,6 +208,12 @@ void BalancingSimulation::consumption_phase() {
                     std::min(amount, ledger().count(pair.first, pair.second)));
     result_.pairs_consumed += amount;
     ++result_.requests_satisfied;
+    if (round_degraded_) ++result_.delivered_under_fault;
+    if (awaiting_recovery_) {
+      result_.time_to_recover.add(
+          static_cast<double>(result_.rounds - episode_end_round_));
+      awaiting_recovery_ = false;
+    }
     // Satisfied pairs are connected by construction (their count was
     // nonzero), so the hop lookup is total; the lazy oracle caches the
     // few rows the consumer set actually touches.
@@ -203,6 +235,7 @@ void BalancingSimulation::consumption_phase() {
   }
   if (streaming()) {
     result_.backlog = pending_.size();
+    result_.backlog_peak = std::max(result_.backlog_peak, result_.backlog);
   } else if (head_ >= workload_.request_count()) {
     result_.completed = true;
   }
@@ -215,6 +248,7 @@ std::uint64_t BalancingSimulation::memory_bytes() const {
 
 void BalancingSimulation::step_round() {
   begin_round();
+  fault_phase();
   generation_phase();
   swap_phase();
   consumption_phase();

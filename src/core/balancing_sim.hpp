@@ -70,6 +70,11 @@ struct BalancingConfig {
   /// Streaming stop condition: finish after satisfying this many requests
   /// (0 = run until max_rounds).
   std::uint64_t max_requests = 0;
+
+  /// Fault-injection plan (node churn, link up/down, rate degradation).
+  /// Disabled by default; when disabled the simulation takes its
+  /// historical fault-free path bit for bit.
+  sim::FaultConfig faults;
 };
 
 struct BalancingResult {
@@ -92,6 +97,21 @@ struct BalancingResult {
   /// requests that arrived, and the pending backlog when the run ended.
   std::uint64_t requests_arrived = 0;
   std::uint64_t backlog = 0;
+  /// Fault-injection resilience counters (all zero with availability 1
+  /// when faults are disabled — the historical metric set is untouched).
+  double availability = 1.0;
+  std::uint64_t fault_rounds_degraded = 0;
+  /// Requests satisfied during degraded rounds (the paper's
+  /// delivered-under-fault ordering reads this).
+  std::uint64_t delivered_under_fault = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t link_downs = 0;
+  std::uint64_t pairs_purged_by_faults = 0;
+  /// Peak pending backlog over the run (streaming mode).
+  std::uint64_t backlog_peak = 0;
+  /// Rounds from the end of each degraded episode to the next satisfied
+  /// request — how fast delivery recovers once the churn pauses.
+  util::RunningStats time_to_recover;
   /// Cumulative wall-clock per phase kernel (observability only — outside
   /// the determinism contract). The sequential engine's fused swap sweep
   /// is attributed to the decide phase.
@@ -125,6 +145,12 @@ class BalancingSimulation {
   [[nodiscard]] bool finished() const;
 
   // --- individual phases, public for protocol variants ---
+  /// Fault phase: advance the fault plan to this round, purge crashed
+  /// nodes' pairs, track degraded-episode boundaries. Runs between
+  /// begin_round and the generation kernel; a no-op when faults are
+  /// disabled. Protocol variants driving their own loops (gossip, hybrid)
+  /// call it at the same point.
+  void fault_phase();
   void generation_phase();
   void swap_phase();
   void consumption_phase();
@@ -136,9 +162,17 @@ class BalancingSimulation {
   /// protocol variants (gossip) drive their own decide/commit kernels
   /// through it.
   [[nodiscard]] sim::NetworkState& state() { return state_; }
-  /// Result snapshot; syncs the per-phase timers from the substrate.
+  /// Result snapshot; syncs the per-phase timers from the substrate and
+  /// the resilience counters from the fault plan.
   [[nodiscard]] const BalancingResult& result() {
     result_.phase = state_.timers();
+    if (fault_plan_) {
+      const sim::FaultStats& fault_stats = fault_plan_->stats();
+      result_.availability = fault_stats.availability();
+      result_.fault_rounds_degraded = fault_stats.degraded_rounds;
+      result_.node_crashes = fault_stats.node_crashes;
+      result_.link_downs = fault_stats.link_downs;
+    }
     return result_;
   }
   [[nodiscard]] const MaxMinBalancer& balancer() const { return balancer_; }
@@ -196,6 +230,12 @@ class BalancingSimulation {
   // Streaming mode: pool indices of pending requests, arrival order.
   std::deque<std::uint64_t> pending_;
   std::size_t pool_size_ = 0;
+  // Fault phase state (engaged only when config.faults.enabled()).
+  std::optional<sim::FaultPlan> fault_plan_;
+  bool round_degraded_ = false;
+  bool in_degraded_episode_ = false;
+  bool awaiting_recovery_ = false;
+  std::uint32_t episode_end_round_ = 0;
 };
 
 /// Convenience wrapper: build the simulation and run to completion.

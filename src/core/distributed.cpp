@@ -105,6 +105,16 @@ class NodeState {
     return kDead;
   }
 
+  /// Every qubit this node believes it holds, ascending (canonical order
+  /// for the crash purge, independent of the hash map's iteration order).
+  [[nodiscard]] std::vector<QubitId> believed_qubits() const {
+    std::vector<QubitId> result;
+    result.reserve(beliefs_.size());
+    for (const auto& [qubit, belief] : beliefs_) result.push_back(qubit);
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+
   /// Partners with at least one believed pair (ascending).
   [[nodiscard]] std::vector<NodeId> partners(QubitId locked) const {
     std::vector<NodeId> result;
@@ -193,7 +203,11 @@ class Driver {
         vp_(n_, pool_.get(),
             pool_ ? pool_->resolve_shards(config.tick.shards, n_) : 1),
         shard_stats_(vp_.shard_count()),
-        deferred_consume_(vp_.shard_count()) {}
+        deferred_consume_(vp_.shard_count()) {
+    if (config.faults.enabled()) {
+      fault_plan_.emplace(graph, config.faults, config.seed);
+    }
+  }
 
   DistributedResult run() {
     const auto epochs =
@@ -205,6 +219,7 @@ class Driver {
       util::this_thread_check_cancelled();
       epoch_ = epoch;
       now_ = static_cast<double>(epoch + 1) * config_.dt;
+      fault_phase();
       apply_phase();
       resolve_consume();
       generate();
@@ -212,6 +227,13 @@ class Driver {
       commit();
       if (epoch % retry_epochs == 0) try_offer();
       vp_.signals().reset_budget();
+    }
+    if (fault_plan_) {
+      const sim::FaultStats& fault_stats = fault_plan_->stats();
+      result_.availability = fault_stats.availability();
+      result_.fault_rounds_degraded = fault_stats.degraded_rounds;
+      result_.node_crashes = fault_stats.node_crashes;
+      result_.link_downs = fault_stats.link_downs;
     }
     return std::move(result_);
   }
@@ -236,6 +258,48 @@ class Driver {
   void mark_serial(NodeId v) {
     serial_dirty_[v] = epoch_;
     vp_.signals().signal(v);
+  }
+
+  // --- phase 0: fault injection (serial) ------------------------------
+
+  void fault_phase() {
+    if (!fault_plan_) return;
+    const std::vector<NodeId>& crashed = fault_plan_->advance(epoch_);
+    for (const NodeId x : crashed) purge_crashed(x);
+    const bool degraded = fault_plan_->degraded();
+    if (degraded) {
+      in_degraded_episode_ = true;
+    } else if (in_degraded_episode_) {
+      in_degraded_episode_ = false;
+      awaiting_recovery_ = true;
+      episode_end_ = now_;
+    }
+    round_degraded_ = degraded;
+  }
+
+  /// Crash purge: measure every qubit x holds. Heralded loss — the *true*
+  /// far endpoint's holder (not the possibly stale believed partner)
+  /// forgets its half through the reliable control plane, preserving the
+  /// invariant that believed unlocked qubits are truth-alive. Both ends
+  /// are marked serial so cached decisions recompute.
+  void purge_crashed(NodeId x) {
+    const std::vector<QubitId> qubits = nodes_[x].believed_qubits();
+    for (const QubitId q : qubits) {
+      if (!truth_.alive(q)) {
+        // A locked qubit already measured by the responder's accept, or
+        // the far half of a pair whose near half this loop purged first.
+        nodes_[x].forget(q);
+        continue;
+      }
+      const QubitId far = truth_.partner(q);
+      const NodeId far_holder = truth_.holder(far);
+      truth_.measure(q);  // severs both ends
+      nodes_[x].forget(q);
+      if (nodes_[far_holder].knows(far)) nodes_[far_holder].forget(far);
+      mark_serial(far_holder);
+      ++result_.pairs_purged_by_faults;
+    }
+    mark_serial(x);
   }
 
   // --- phase 1: deliver + apply ---------------------------------------
@@ -333,6 +397,11 @@ class Driver {
       initiator.forget(offered_qubit_);
       offered_qubit_ = kDead;
       ++result_.requests_satisfied;
+      if (round_degraded_) ++result_.delivered_under_fault;
+      if (awaiting_recovery_) {
+        result_.time_to_recover.add(now_ - episode_end_);
+        awaiting_recovery_ = false;
+      }
       result_.request_latency.add(now_ - head_since_);
       ++head_;
       head_since_ = now_;
@@ -374,13 +443,17 @@ class Driver {
   void generate() {
     const auto& edges = graph_.edges();
     // Batched per-edge draw (bit-identical to the scalar keyed + poisson
-    // loop; the sponge prefix is hoisted once per epoch).
+    // loop; the sponge prefix is hoisted once per epoch). Under faults the
+    // rate scales by the degradation factor and downed edges drop their
+    // draw (per-edge keyed streams: no other edge's stream shifts).
+    const double rate = config_.generation_rate * config_.dt *
+                        (fault_plan_ ? fault_plan_->rate_factor() : 1.0);
+    const bool masked = fault_plan_ && fault_plan_->any_edge_down();
     born_scratch_.resize(edges.size());
     util::Rng::poisson_batch(config_.seed, sim::stream_tag::kGeneration,
-                             epoch_, 0,
-                             config_.generation_rate * config_.dt,
-                             born_scratch_);
+                             epoch_, 0, rate, born_scratch_);
     for (std::size_t index = 0; index < edges.size(); ++index) {
+      if (masked && !fault_plan_->edge_up(index)) continue;
       const std::uint64_t born = born_scratch_[index];
       for (std::uint64_t k = 0; k < born; ++k) {
         const graph::Edge& edge = edges[index];
@@ -405,6 +478,11 @@ class Driver {
           sim::ParallelTickEngine::shard_range(n_, vp_.shard_count(), shard);
       for (NodeId x = static_cast<NodeId>(begin); x < end; ++x) {
         scanned_[x] = 0;
+        // A crashed node neither reports nor scans; its streams are keyed
+        // per (epoch, node), so skipping shifts nothing else. The masks
+        // only change in the serial fault phase, so the kernel reads a
+        // frozen plan.
+        if (fault_plan_ && !fault_plan_->node_up(x)) continue;
         util::Rng report_rng =
             util::Rng::keyed(config_.seed, sim::stream_tag::kReport, epoch_, x);
         if (report_rng.poisson(config_.report_rate * config_.dt) > 0) {
@@ -606,6 +684,12 @@ class Driver {
   double now_ = 0.0;
   /// Per-edge generation draws (resized once, reused every epoch).
   std::vector<std::uint64_t> born_scratch_;
+  // Fault phase state (engaged only when config.faults.enabled()).
+  std::optional<sim::FaultPlan> fault_plan_;
+  bool round_degraded_ = false;
+  bool in_degraded_episode_ = false;
+  bool awaiting_recovery_ = false;
+  double episode_end_ = 0.0;
   DistributedResult result_;
 };
 

@@ -30,6 +30,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/stats.hpp"
 
@@ -57,6 +58,13 @@ struct DistributedConfig {
   /// kernels across a worker pool; results are bit-identical for every
   /// mode/threads/shards/decide setting (vertex-program canonical merge).
   sim::TickConcurrency tick;
+
+  /// Fault-injection plan (one fault round per epoch). A crash measures
+  /// every qubit the node holds — heralded loss: the true far endpoint's
+  /// holder forgets its half through the reliable control plane — and
+  /// halts the node's generation, scans and reports while down. Disabled
+  /// by default (bit-identical historical path).
+  sim::FaultConfig faults;
 };
 
 struct DistributedResult {
@@ -74,6 +82,18 @@ struct DistributedResult {
   util::RunningStats request_latency;
   /// Age (time units) of the beneficiary views used at swap decisions.
   util::RunningStats decision_view_age;
+
+  /// Fault-injection resilience counters (zero / availability 1 when
+  /// faults are disabled — the historical metric set is untouched).
+  double availability = 1.0;
+  std::uint64_t fault_rounds_degraded = 0;
+  std::uint64_t delivered_under_fault = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t link_downs = 0;
+  std::uint64_t pairs_purged_by_faults = 0;
+  /// Simulated time from the end of each degraded episode to the next
+  /// satisfied request.
+  util::RunningStats time_to_recover;
 
   [[nodiscard]] double stale_swap_fraction() const {
     return swaps == 0 ? 0.0

@@ -42,6 +42,23 @@ struct Consumer {
   FidelitySimResult& result;
   std::size_t head = 0;
   double head_since = 0.0;
+  // Fault-episode tracking (both engines feed note_fault_round).
+  bool degraded_now = false;
+  bool in_degraded_episode = false;
+  bool awaiting_recovery = false;
+  double episode_end = 0.0;
+
+  /// Record this fault round's degraded flag and episode boundaries.
+  void note_fault_round(bool degraded, double now) {
+    degraded_now = degraded;
+    if (degraded) {
+      in_degraded_episode = true;
+    } else if (in_degraded_episode) {
+      in_degraded_episode = false;
+      awaiting_recovery = true;
+      episode_end = now;
+    }
+  }
 
   void try_consume(double now) {
     while (head < workload.request_count()) {
@@ -56,6 +73,11 @@ struct Consumer {
       result.storage_age_at_use.add(now - used.created);
       result.request_latency.add(now - head_since);
       ++result.requests_satisfied;
+      if (degraded_now) ++result.delivered_under_fault;
+      if (awaiting_recovery) {
+        result.time_to_recover.add(now - episode_end);
+        awaiting_recovery = false;
+      }
       ++head;
       head_since = now;
     }
@@ -96,6 +118,16 @@ FidelitySimResult run_fidelity_sequential(const graph::Graph& generation_graph,
 
   Consumer consumer{workload, config, state, result};
 
+  // Fault plan: advanced on a timer of the slice width (one fault round
+  // per 0.25/scan_rate of simulated time, matching the sharded engine's
+  // slice cadence). Rate degradation thins accepted generation arrivals
+  // from a dedicated fork so the base processes' draws are untouched.
+  std::optional<sim::FaultPlan> fault_plan;
+  if (config.faults.enabled()) {
+    fault_plan.emplace(generation_graph, config.faults, config.seed);
+  }
+  util::Rng fault_thin_rng = engine.rng().fork(0xFA17);
+
   const auto purge_node = [&](NodeId x) {
     const double now = engine.now();
     // Copy: purge mutates the partner list.
@@ -106,9 +138,18 @@ FidelitySimResult run_fidelity_sequential(const graph::Graph& generation_graph,
     }
   };
 
-  // Poisson generation per edge.
-  for (const graph::Edge& edge : generation_graph.edges()) {
-    engine.poisson_process(config.generation_rate, [&, edge] {
+  // Poisson generation per edge. Under faults an arrival on a downed edge
+  // is dropped, and rate degradation thins the survivors (accept with
+  // probability rate_factor — an exact Poisson rate scaling).
+  const auto& graph_edges = generation_graph.edges();
+  for (std::size_t e = 0; e < graph_edges.size(); ++e) {
+    const graph::Edge edge = graph_edges[e];
+    engine.poisson_process(config.generation_rate, [&, edge, e] {
+      if (fault_plan) {
+        if (!fault_plan->edge_up(e)) return true;
+        const double factor = fault_plan->rate_factor();
+        if (factor < 1.0 && !fault_thin_rng.bernoulli(factor)) return true;
+      }
       state.add_pair(edge.a(), edge.b(), engine.now(), config.raw_fidelity);
       ++result.pairs_generated;
       return true;
@@ -119,6 +160,7 @@ FidelitySimResult run_fidelity_sequential(const graph::Graph& generation_graph,
   const bool freshest = config.policy == PairingPolicy::kFreshest;
   for (NodeId x = 0; x < n; ++x) {
     engine.poisson_process(config.scan_rate, [&, x] {
+      if (fault_plan && !fault_plan->node_up(x)) return true;  // crashed
       const double now = engine.now();
       purge_node(x);
       const auto candidate = balancer.best_swap(state.ledger(), x);
@@ -162,8 +204,32 @@ FidelitySimResult run_fidelity_sequential(const graph::Graph& generation_graph,
     return true;
   });
 
+  // Fault rounds on the same cadence: advance the plan, purge crashed
+  // nodes' stored pairs, note episode boundaries for the consumer.
+  if (fault_plan) {
+    std::uint64_t fault_round = 0;
+    fault_plan->advance(fault_round);
+    consumer.note_fault_round(fault_plan->degraded(), 0.0);
+    engine.every(0.25 / config.scan_rate, [&] {
+      ++fault_round;
+      const std::vector<NodeId>& crashed = fault_plan->advance(fault_round);
+      for (const NodeId x : crashed) {
+        result.pairs_purged_by_faults += state.purge_node(x);
+      }
+      consumer.note_fault_round(fault_plan->degraded(), engine.now());
+      return true;
+    });
+  }
+
   engine.run(config.duration);
   result.pairs_in_storage_at_end = state.ledger().total_pairs();
+  if (fault_plan) {
+    const sim::FaultStats& fault_stats = fault_plan->stats();
+    result.availability = fault_stats.availability();
+    result.fault_rounds_degraded = fault_stats.degraded_rounds;
+    result.node_crashes = fault_stats.node_crashes;
+    result.link_downs = fault_stats.link_downs;
+  }
   return result;
 }
 
@@ -190,6 +256,13 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
   FidelitySimResult result;
   Consumer consumer{workload, config, state, result};
   const bool freshest = config.policy == PairingPolicy::kFreshest;
+
+  // Fault plan: one fault round per slice. Advanced serially at the slice
+  // start, so every shard reads the same up/down masks and rate factor.
+  std::optional<sim::FaultPlan> fault_plan;
+  if (config.faults.enabled()) {
+    fault_plan.emplace(generation_graph, config.faults, config.seed);
+  }
 
   // Slice width mirrors the sequential consumption-check cadence; it is a
   // semantic constant of the sharded discipline, not a tuning knob.
@@ -235,6 +308,20 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
     const double t1 = std::min(config.duration, t0 + dt);
     const double span = t1 - t0;
 
+    // 0. Fault phase (serial): advance the plan to this slice, destroy
+    // crashed nodes' stored pairs (purged, not decayed), note episode
+    // boundaries for the consumer.
+    if (fault_plan) {
+      const std::vector<NodeId>& crashed = fault_plan->advance(s);
+      for (const NodeId x : crashed) {
+        result.pairs_purged_by_faults += state.purge_node(x);
+      }
+      consumer.note_fault_round(fault_plan->degraded(), t0);
+    }
+    const bool masked = fault_plan && fault_plan->any_edge_down();
+    const double generation_rate =
+        config.generation_rate * (fault_plan ? fault_plan->rate_factor() : 1.0);
+
     // 1. Decohere kernel: purge every bucket at the slice start. The
     // slice boundary is also the marking-epoch boundary for the cached
     // best_swap dirty bits (fidelity clears bits per scanned node, so it
@@ -253,10 +340,12 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
             config.seed, sim::stream_tag::kGeneration, s, begin,
             std::span<util::Rng>(edge_rngs.data() + begin, end - begin));
         for (std::size_t e = begin; e < end; ++e) {
-          util::Rng& rng = edge_rngs[e];
-          const std::uint64_t arrivals =
-              rng.poisson(config.generation_rate * span);
           edge_arrivals[e].clear();
+          // A downed edge skips its draw entirely — its stream is keyed
+          // per (slice, edge), so no other edge's stream shifts.
+          if (masked && !fault_plan->edge_up(e)) continue;
+          util::Rng& rng = edge_rngs[e];
+          const std::uint64_t arrivals = rng.poisson(generation_rate * span);
           for (std::uint64_t k = 0; k < arrivals; ++k) {
             edge_arrivals[e].push_back(t0 + rng.uniform_double() * span);
           }
@@ -289,9 +378,13 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
             std::span<util::Rng>(node_rngs.data() + begin, end - begin));
         for (std::size_t node = begin; node < end; ++node) {
           const auto x = static_cast<NodeId>(node);
+          node_scans[x].clear();
+          if (fault_plan && !fault_plan->node_up(x)) {
+            decisions[x] = NodeDecision{std::nullopt, x};  // crashed: no scans
+            continue;
+          }
           util::Rng& rng = node_rngs[node];
           const std::uint64_t scans = rng.poisson(config.scan_rate * span);
-          node_scans[x].clear();
           for (std::uint64_t k = 0; k < scans; ++k) {
             node_scans[x].push_back(t0 + rng.uniform_double() * span);
           }
@@ -313,8 +406,11 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
     }
 
     // 4. Commit kernel: all scan events in canonical order — ascending
-    // timestamp, ties broken by node id then per-node event index (the
-    // stable sort keeps the canonical node-major insertion order).
+    // timestamp, ties broken by node id then per-node event index. The
+    // (node, index) pair is unique, so sorting on the full key is a total
+    // order and an in-place std::sort lands the same permutation a stable
+    // time-only sort of the node-major insertion order would — without
+    // stable_sort's per-slice temporary buffer.
     {
       const sim::PhaseStopwatch stopwatch(state.timers().commit_ns);
       events.clear();
@@ -324,10 +420,12 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
                                      static_cast<std::uint32_t>(k)});
         }
       }
-      std::stable_sort(events.begin(), events.end(),
-                       [](const ScanEvent& lhs, const ScanEvent& rhs) {
-                         return lhs.time < rhs.time;
-                       });
+      std::sort(events.begin(), events.end(),
+                [](const ScanEvent& lhs, const ScanEvent& rhs) {
+                  if (lhs.time != rhs.time) return lhs.time < rhs.time;
+                  if (lhs.node != rhs.node) return lhs.node < rhs.node;
+                  return lhs.index < rhs.index;
+                });
       for (const ScanEvent& event : events) {
         const NodeId x = event.node;
         const double now = event.time;
@@ -390,6 +488,13 @@ FidelitySimResult run_fidelity_sharded(const graph::Graph& generation_graph,
 
   result.pairs_in_storage_at_end = state.ledger().total_pairs();
   result.phase = state.timers();
+  if (fault_plan) {
+    const sim::FaultStats& fault_stats = fault_plan->stats();
+    result.availability = fault_stats.availability();
+    result.fault_rounds_degraded = fault_stats.degraded_rounds;
+    result.node_crashes = fault_stats.node_crashes;
+    result.link_downs = fault_stats.link_downs;
+  }
   return result;
 }
 

@@ -29,6 +29,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/stats.hpp"
 
@@ -64,6 +65,16 @@ struct FidelitySimConfig {
   /// Intra-run engine selection (sequential event loop vs the sharded
   /// slice-kernel engine) plus its threads/shards knobs.
   sim::TickConcurrency tick;
+
+  /// Fault-injection plan. A fault "round" here is one slice of width
+  /// 0.25/scan_rate — the sharded engine advances the plan at every slice
+  /// boundary and the sequential engine on a timer of the same period, so
+  /// MTBF/MTTR knobs mean the same timescale under both engines. A crash
+  /// destroys the node's stored tracked pairs (counted as purged, not
+  /// decayed) and halts generation and scans at that node; a downed link
+  /// halts generation only. Disabled by default (bit-identical historical
+  /// path).
+  sim::FaultConfig faults;
 };
 
 struct FidelitySimResult {
@@ -92,6 +103,18 @@ struct FidelitySimResult {
   util::RunningStats consumed_fidelity;   // fidelity at consumption time
   util::RunningStats request_latency;     // head-of-line wait per request
   util::RunningStats storage_age_at_use;  // how long used pairs sat in memory
+
+  /// Fault-injection resilience counters (zero / availability 1 when
+  /// faults are disabled — the historical metric set is untouched).
+  double availability = 1.0;
+  std::uint64_t fault_rounds_degraded = 0;
+  std::uint64_t delivered_under_fault = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t link_downs = 0;
+  std::uint64_t pairs_purged_by_faults = 0;
+  /// Simulated time from the end of each degraded episode to the next
+  /// satisfied request.
+  util::RunningStats time_to_recover;
 
   /// Cumulative wall-clock per slice kernel (sharded engine only; the
   /// sequential event loop is fused and leaves these at zero).

@@ -129,6 +129,7 @@ GossipResult run_gossip_sharded(const graph::Graph& generation_graph,
   while (!sim.finished()) {
     util::this_thread_check_cancelled();
     sim.begin_round();
+    sim.fault_phase();
     const auto round = static_cast<std::uint32_t>(sim.round());
     const double now = static_cast<double>(round);
 
@@ -246,6 +247,7 @@ GossipResult run_gossip(const graph::Graph& generation_graph, const Workload& wo
   while (!sim.finished()) {
     util::this_thread_check_cancelled();
     sim.begin_round();
+    sim.fault_phase();
     const auto round = static_cast<std::uint32_t>(sim.round());
     const double now = static_cast<double>(round);
 

@@ -57,6 +57,7 @@ HybridResult run_hybrid(const graph::Graph& generation_graph, const Workload& wo
   while (!sim.finished()) {
     util::this_thread_check_cancelled();
     sim.begin_round();
+    sim.fault_phase();
     sim.generation_phase();
     sim.swap_phase();
 

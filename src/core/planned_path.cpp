@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <optional>
 
 #include "core/nested.hpp"
 #include "graph/shortest_path.hpp"
@@ -49,6 +50,7 @@ struct Connection {
   std::size_t request_index = 0;
   std::vector<std::size_t> edge_indices;   // into graph.edges()
   std::vector<double> remaining;           // per edge_indices entry
+  std::vector<double> demand;              // original per-edge demand
   double swap_count = 0.0;
   std::uint32_t admitted_round = 0;
 
@@ -71,6 +73,15 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
   PlannedPathResult result;
   util::Rng rng(config.seed);
   util::Rng generation_rng = rng.fork(1);
+
+  std::optional<sim::FaultPlan> fault_plan;
+  if (config.faults.enabled()) {
+    fault_plan.emplace(generation_graph, config.faults, config.seed);
+  }
+  bool round_degraded = false;
+  bool in_degraded_episode = false;
+  bool awaiting_recovery = false;
+  std::uint32_t episode_end_round = 0;
 
   const bool sharded = config.tick.mode == sim::TickMode::kSharded;
   std::unique_ptr<sim::ParallelTickEngine> pool;
@@ -113,7 +124,8 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
       for (std::size_t e : connection.edge_indices) reserved[e] = true;
     }
     NestedDemand demand = compute_nested_demand(hops, config.distillation);
-    connection.remaining = std::move(demand.edge_raw_demand);
+    connection.remaining = demand.edge_raw_demand;
+    connection.demand = std::move(demand.edge_raw_demand);
     connection.swap_count = demand.swap_count;
     connection.admitted_round = result.rounds;
     active.push_back(std::move(connection));
@@ -124,6 +136,12 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
   const auto complete = [&](Connection& connection) {
     result.swaps_performed += connection.swap_count;
     ++result.requests_satisfied;
+    if (round_degraded) ++result.delivered_under_fault;
+    if (awaiting_recovery) {
+      result.time_to_recover.add(
+          static_cast<double>(result.rounds - episode_end_round));
+      awaiting_recovery = false;
+    }
     result.service_rounds.add(
         static_cast<double>(result.rounds - connection.admitted_round));
     const auto hops = static_cast<std::uint32_t>(connection.edge_indices.size());
@@ -139,18 +157,55 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
     util::this_thread_check_cancelled();
     ++result.rounds;
 
+    // 0. Fault phase: advance the plan, destroy the raw pairs buffered at
+    //    a crashed node's links (claimed pairs included — the in-flight
+    //    demand resets), track degraded episodes. Serial, keyed streams:
+    //    the trajectory is identical at every threads/shards setting.
+    if (fault_plan) {
+      const std::vector<NodeId>& crashed = fault_plan->advance(result.rounds);
+      for (const NodeId x : crashed) {
+        for (const NodeId y : generation_graph.neighbors(x)) {
+          const std::size_t e = *generation_graph.edge_index(x, y);
+          result.pairs_purged_by_faults += static_cast<std::uint64_t>(buffer[e]);
+          buffer[e] = 0.0;
+          for (Connection& connection : active) {
+            for (std::size_t k = 0; k < connection.edge_indices.size(); ++k) {
+              if (connection.edge_indices[k] != e) continue;
+              result.pairs_purged_by_faults += static_cast<std::uint64_t>(
+                  connection.demand[k] - connection.remaining[k]);
+              connection.remaining[k] = connection.demand[k];
+            }
+          }
+        }
+      }
+      round_degraded = fault_plan->degraded();
+      if (round_degraded) {
+        in_degraded_episode = true;
+      } else if (in_degraded_episode) {
+        in_degraded_episode = false;
+        awaiting_recovery = true;
+        episode_end_round = result.rounds;
+      }
+    }
+
     // 1. Generation into shared edge buffers.
-    const double whole = std::floor(config.generation_per_edge_per_round);
-    const double frac = config.generation_per_edge_per_round - whole;
+    const bool masked = fault_plan && fault_plan->any_edge_down();
+    const double rate = config.generation_per_edge_per_round *
+                        (fault_plan ? fault_plan->rate_factor() : 1.0);
+    const double whole = std::floor(rate);
+    const double frac = rate - whole;
     if (sharded) {
       // Per-(round, edge) streams + disjoint buffer slices per shard; the
       // per-shard totals merge in shard order, so any threads/shards
-      // setting produces the same result bit for bit.
+      // setting produces the same result bit for bit. Masked edges skip
+      // their draw — each edge's stream is keyed, so no other stream
+      // shifts.
       pool->run_shards(shard_count, [&](std::size_t shard) {
         const auto [begin, end] = sim::ParallelTickEngine::shard_range(
             buffer.size(), shard_count, shard);
         std::uint64_t generated = 0;
         for (std::size_t e = begin; e < end; ++e) {
+          if (masked && !fault_plan->edge_up(e)) continue;
           double amount = whole;
           if (frac > 0.0) {
             util::Rng edge_rng = util::Rng::keyed(
@@ -167,6 +222,7 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
       }
     } else {
       for (std::size_t e = 0; e < buffer.size(); ++e) {
+        if (masked && !fault_plan->edge_up(e)) continue;
         double amount = whole;
         if (frac > 0.0 && generation_rng.bernoulli(frac)) amount += 1.0;
         buffer[e] += amount;
@@ -202,6 +258,13 @@ PlannedPathResult run_planned_path(const graph::Graph& generation_graph,
     }
   }
 
+  if (fault_plan) {
+    const sim::FaultStats& fault_stats = fault_plan->stats();
+    result.availability = fault_stats.availability();
+    result.fault_rounds_degraded = fault_stats.degraded_rounds;
+    result.node_crashes = fault_stats.node_crashes;
+    result.link_downs = fault_stats.link_downs;
+  }
   result.completed = result.requests_satisfied == workload.request_count();
   return result;
 }

@@ -22,6 +22,7 @@
 #include "core/types.hpp"
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/stats.hpp"
 
@@ -58,6 +59,13 @@ struct PlannedPathConfig {
   /// are bit-identical for any threads/shards). Admission/allocation stay
   /// sequential — they are head-of-line by definition.
   sim::TickConcurrency tick;
+
+  /// Fault-injection plan. A crash destroys the raw pairs buffered at the
+  /// node's incident links — including pairs already claimed by in-flight
+  /// connections, whose per-edge demand resets — and reservation-based
+  /// admission stalls behind the outage (the planned-path cliff the paper
+  /// predicts). Disabled by default (bit-identical historical path).
+  sim::FaultConfig faults;
 };
 
 struct PlannedPathResult {
@@ -70,6 +78,17 @@ struct PlannedPathResult {
   double denominator_exact = 0.0;
   /// Rounds from admission to completion per request.
   util::RunningStats service_rounds;
+  /// Fault-injection resilience counters (zero / availability 1 when
+  /// faults are disabled — the historical metric set is untouched).
+  double availability = 1.0;
+  std::uint64_t fault_rounds_degraded = 0;
+  std::uint64_t delivered_under_fault = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t link_downs = 0;
+  std::uint64_t pairs_purged_by_faults = 0;
+  /// Rounds from the end of each degraded episode to the next completed
+  /// request.
+  util::RunningStats time_to_recover;
 
   [[nodiscard]] double swap_overhead_paper() const {
     return denominator_paper > 0.0 ? swaps_performed / denominator_paper : 0.0;

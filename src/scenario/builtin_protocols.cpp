@@ -23,6 +23,7 @@
 #include "core/lp_formulation.hpp"
 #include "core/planned_path.hpp"
 #include "scenario/protocol.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -89,6 +90,60 @@ sim::TickConcurrency tick_from_spec(const std::string& protocol,
   return tick;
 }
 
+/// Fault-injection knobs shared by every simulator protocol (everything
+/// except lp, which scales capacities by expected availability instead of
+/// simulating churn). Scripted events travel as the spec's `faults` array,
+/// not a knob: they are structured (round, kind, entity) rather than a
+/// scalar.
+std::vector<KnobSpec> fault_knobs() {
+  return {
+      {"fault-node-mtbf", KnobType::kDouble, 0.0,
+       "mean rounds between crashes per node (0 = no stochastic node "
+       "faults); crash purges the node's stored pairs"},
+      {"fault-node-mttr", KnobType::kDouble, 10.0,
+       "mean rounds to recover a crashed node"},
+      {"fault-link-mtbf", KnobType::kDouble, 0.0,
+       "mean rounds between failures per generation edge (0 = none); a "
+       "down link halts generation, stored pairs survive"},
+      {"fault-link-mttr", KnobType::kDouble, 10.0,
+       "mean rounds to recover a failed link"},
+      {"fault-rate-degradation", KnobType::kDouble, 0.0,
+       "per-round generation-rate degradation depth in [0, 1)"},
+  };
+}
+
+sim::FaultConfig fault_config_from_spec(const ScenarioSpec& spec) {
+  sim::FaultConfig config;
+  config.node_mtbf = spec.knob_double("fault-node-mtbf", 0.0);
+  config.node_mttr = spec.knob_double("fault-node-mttr", 10.0);
+  config.link_mtbf = spec.knob_double("fault-link-mtbf", 0.0);
+  config.link_mttr = spec.knob_double("fault-link-mttr", 10.0);
+  config.rate_degradation = spec.knob_double("fault-rate-degradation", 0.0);
+  config.script = spec.faults;
+  return config;
+}
+
+/// Resilience metrics, emitted only when faults are engaged so fault-free
+/// runs (and every committed baseline) keep their historical metric set
+/// byte for byte — the same conditional-emission discipline as the
+/// streaming counters. Works on any family Result carrying the shared
+/// resilience field set.
+template <typename Result>
+void add_fault_metrics(RunMetrics& metrics, const sim::FaultConfig& config,
+                       const Result& result) {
+  if (!config.enabled()) return;
+  metrics.set_scalar("availability", result.availability);
+  metrics.set_scalar("fault_rounds_degraded",
+                     static_cast<double>(result.fault_rounds_degraded));
+  metrics.set_scalar("delivered_under_fault",
+                     static_cast<double>(result.delivered_under_fault));
+  metrics.set_scalar("node_crashes", static_cast<double>(result.node_crashes));
+  metrics.set_scalar("link_downs", static_cast<double>(result.link_downs));
+  metrics.set_scalar("pairs_purged_by_faults",
+                     static_cast<double>(result.pairs_purged_by_faults));
+  metrics.set_stats("time_to_recover", result.time_to_recover);
+}
+
 /// Surface the phase-kernel wall-clock (RunMetrics timings; excluded from
 /// every determinism/regression comparison, like wall_ms).
 void add_phase_timings(RunMetrics& metrics, const sim::PhaseTimers& phase) {
@@ -141,6 +196,19 @@ void add_balancing_metrics(RunMetrics& metrics, const core::BalancingResult& res
   add_phase_timings(metrics, result.phase);
 }
 
+/// Resilience metrics of the balancing family (balancing, hybrid,
+/// gossip): the shared set plus the backlog high-water mark, which only
+/// this family tracks (streaming consumption is where churn shows up as
+/// queue growth).
+void add_balancing_fault_metrics(RunMetrics& metrics,
+                                 const sim::FaultConfig& config,
+                                 const core::BalancingResult& result) {
+  add_fault_metrics(metrics, config, result);
+  if (config.enabled()) {
+    metrics.set_scalar("backlog_peak", static_cast<double>(result.backlog_peak));
+  }
+}
+
 core::BalancingConfig balancing_config(const ScenarioSpec& spec) {
   core::BalancingConfig config;
   config.distillation = spec.knob_double("distillation", 1.0);
@@ -160,6 +228,7 @@ core::BalancingConfig balancing_config(const ScenarioSpec& spec) {
   const std::int64_t max_requests = spec.knob_int("max-requests", 0);
   require(max_requests >= 0, "knob 'max-requests' must be >= 0");
   config.max_requests = static_cast<std::uint64_t>(max_requests);
+  config.faults = fault_config_from_spec(spec);
   return config;
 }
 
@@ -187,6 +256,7 @@ std::vector<KnobSpec> balancing_knobs() {
 std::vector<KnobSpec> balancing_knobs_with_tick() {
   std::vector<KnobSpec> knobs = balancing_knobs();
   for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+  for (KnobSpec& knob : fault_knobs()) knobs.push_back(std::move(knob));
   return knobs;
 }
 
@@ -208,6 +278,7 @@ class BalancingProtocol final : public Protocol {
     const core::BalancingResult result = simulation.run();
     RunMetrics metrics;
     add_balancing_metrics(metrics, result);
+    add_balancing_fault_metrics(metrics, config.faults, result);
     // Streaming (megascale) runs report the deterministic logical memory
     // footprint; at a fixed engine knob the scalar is identical for every
     // threads/shards setting, so the BENCH_megascale gate holds it to
@@ -237,6 +308,7 @@ class PlannedProtocol final : public Protocol {
         {"max-rounds", KnobType::kInt, std::int64_t{200000}, "round budget"},
     };
     for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+    for (KnobSpec& knob : fault_knobs()) knobs.push_back(std::move(knob));
     return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
@@ -247,6 +319,7 @@ class PlannedProtocol final : public Protocol {
         static_cast<std::uint32_t>(spec.knob_int("max-rounds", 200000));
     config.seed = spec.seed;
     config.tick = tick_from_spec("planned", spec);
+    config.faults = fault_config_from_spec(spec);
     const std::string mode = spec.knob_string("mode", "oriented");
     if (mode == "connectionless") {
       config.mode = core::PlannedPathMode::kConnectionless;
@@ -272,6 +345,7 @@ class PlannedProtocol final : public Protocol {
                          result.denominator_exact);
     metrics.set_scalar("mean_service", result.service_rounds.mean());
     metrics.set_stats("service_rounds", result.service_rounds);
+    add_fault_metrics(metrics, config.faults, result);
     return metrics;
   }
 };
@@ -299,6 +373,7 @@ class HybridProtocol final : public Protocol {
         core::run_hybrid(instance.graph, instance.workload, config);
     RunMetrics metrics;
     add_balancing_metrics(metrics, result.base);
+    add_balancing_fault_metrics(metrics, config.base.faults, result.base);
     metrics.set_scalar("assists_attempted",
                        static_cast<double>(result.assists_attempted));
     metrics.set_scalar("assists_succeeded",
@@ -336,6 +411,7 @@ class GossipProtocol final : public Protocol {
         core::run_gossip(instance.graph, instance.workload, config);
     RunMetrics metrics;
     add_balancing_metrics(metrics, result.base);
+    add_balancing_fault_metrics(metrics, config.base.faults, result.base);
     metrics.set_scalar("view_age", result.mean_view_age);
     metrics.set_scalar("control_messages",
                        static_cast<double>(result.control_messages));
@@ -362,6 +438,7 @@ class DistributedProtocol final : public Protocol {
          "epoch length of the vertex-program loop (time units)"},
     };
     for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+    for (KnobSpec& knob : fault_knobs()) knobs.push_back(std::move(knob));
     return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
@@ -374,6 +451,7 @@ class DistributedProtocol final : public Protocol {
     config.dt = spec.knob_double("dt", 0.25);
     config.seed = spec.seed;
     config.tick = tick_from_spec("distributed", spec);
+    config.faults = fault_config_from_spec(spec);
     const ScenarioInstance instance = instantiate(spec);
     const core::DistributedResult result =
         core::run_distributed(instance.graph, instance.workload, config);
@@ -390,6 +468,7 @@ class DistributedProtocol final : public Protocol {
                        static_cast<double>(result.pairs_generated));
     metrics.set_stats("request_latency", result.request_latency);
     metrics.set_stats("decision_view_age", result.decision_view_age);
+    add_fault_metrics(metrics, config.faults, result);
     return metrics;
   }
 };
@@ -416,6 +495,7 @@ class AsyncRoutingProtocol final : public Protocol {
          "epoch length of the vertex-program loop (time units)"},
     };
     for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+    for (KnobSpec& knob : fault_knobs()) knobs.push_back(std::move(knob));
     return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
@@ -428,6 +508,7 @@ class AsyncRoutingProtocol final : public Protocol {
     config.dt = spec.knob_double("dt", 0.25);
     config.seed = spec.seed;
     config.tick = tick_from_spec("async_routing", spec);
+    config.faults = fault_config_from_spec(spec);
     const ScenarioInstance instance = instantiate(spec);
     const core::AsyncRoutingResult result =
         core::run_async_routing(instance.graph, instance.workload, config);
@@ -447,6 +528,7 @@ class AsyncRoutingProtocol final : public Protocol {
                        static_cast<double>(result.control_messages));
     metrics.set_stats("request_latency", result.request_latency);
     metrics.set_stats("request_hops", result.request_hops);
+    add_fault_metrics(metrics, config.faults, result);
     return metrics;
   }
 };
@@ -469,6 +551,7 @@ class FidelityProtocol final : public Protocol {
          "freshest|oldest pairing policy"},
     };
     for (KnobSpec& knob : tick_knobs()) knobs.push_back(std::move(knob));
+    for (KnobSpec& knob : fault_knobs()) knobs.push_back(std::move(knob));
     return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
@@ -481,6 +564,7 @@ class FidelityProtocol final : public Protocol {
     config.distillation_enabled = spec.knob_bool("distill", true);
     config.seed = spec.seed;
     config.tick = tick_from_spec("fidelity", spec);
+    config.faults = fault_config_from_spec(spec);
     const std::string pairing = spec.knob_string("pairing", "freshest");
     if (pairing == "oldest") {
       config.policy = core::PairingPolicy::kOldest;
@@ -513,6 +597,7 @@ class FidelityProtocol final : public Protocol {
     metrics.set_stats("request_latency", result.request_latency);
     metrics.set_stats("storage_age_at_use", result.storage_age_at_use);
     add_phase_timings(metrics, result.phase);
+    add_fault_metrics(metrics, config.faults, result);
     return metrics;
   }
 };
@@ -537,13 +622,36 @@ class LpProtocol final : public Protocol {
     // No tick knobs: the steady-state solve has no engine to select, and
     // accepting-then-ignoring engine/threads/shards would misrepresent the
     // run. The registry's knob validation rejects them with a clear error.
+    for (KnobSpec& knob : fault_knobs()) knobs.push_back(std::move(knob));
     return knobs;
   }
   RunMetrics run(const ScenarioSpec& spec) const override {
+    if (!spec.faults.empty()) {
+      throw PreconditionError(
+          "lp: scripted fault events are not supported — the steady-state "
+          "LP has no rounds to apply them at; use the fault-*-mtbf/mttr "
+          "knobs, which scale capacities by expected availability");
+    }
+    const sim::FaultConfig faults = fault_config_from_spec(spec);
+    // Steady-state treatment of churn: each entity is up with probability
+    // mtbf/(mtbf+mttr) (the alternating-renewal limit), so an edge's
+    // expected generation capacity is gamma scaled by the link's
+    // availability, both endpoints' availability, and the mean rate
+    // factor 1 - degradation/2 (U is uniform on [0,1)).
+    const double node_avail =
+        faults.node_mtbf > 0.0
+            ? faults.node_mtbf / (faults.node_mtbf + faults.node_mttr)
+            : 1.0;
+    const double link_avail =
+        faults.link_mtbf > 0.0
+            ? faults.link_mtbf / (faults.link_mtbf + faults.link_mttr)
+            : 1.0;
+    const double capacity_factor = link_avail * node_avail * node_avail *
+                                   (1.0 - faults.rate_degradation / 2.0);
     const ScenarioInstance instance = instantiate(spec);
     core::SteadyStateSpec lp_spec;
     lp_spec.node_count = instance.graph.node_count();
-    const double gamma = spec.knob_double("gamma", 1.0);
+    const double gamma = spec.knob_double("gamma", 1.0) * capacity_factor;
     for (const graph::Edge& edge : instance.graph.edges()) {
       lp_spec.generation_capacity.push_back(
           core::RatedPair{core::NodePair(edge.a(), edge.b()), gamma});
@@ -587,6 +695,11 @@ class LpProtocol final : public Protocol {
     metrics.set_scalar("active_swap_rules",
                        static_cast<double>(solution.swap_rates.size()));
     metrics.set_scalar("max_violation", solution.max_violation);
+    // Emitted only under faults, like the simulators' resilience metrics,
+    // so fault-free LP baselines stay byte-identical.
+    if (faults.enabled()) {
+      metrics.set_scalar("expected_capacity_factor", capacity_factor);
+    }
     return metrics;
   }
 };

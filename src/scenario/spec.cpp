@@ -30,6 +30,28 @@ std::size_t nearest_perfect_square(std::size_t n, std::size_t minimum) {
       " but a ", knob_type_name(wanted), " was requested"));
 }
 
+const char* fault_event_name(sim::FaultEventKind kind) {
+  switch (kind) {
+    case sim::FaultEventKind::kNodeDown: return "node-down";
+    case sim::FaultEventKind::kNodeUp: return "node-up";
+    case sim::FaultEventKind::kLinkDown: return "link-down";
+    case sim::FaultEventKind::kLinkUp: return "link-up";
+    case sim::FaultEventKind::kRateFactor: return "rate-factor";
+  }
+  return "?";
+}
+
+sim::FaultEventKind parse_fault_event(const std::string& name) {
+  if (name == "node-down") return sim::FaultEventKind::kNodeDown;
+  if (name == "node-up") return sim::FaultEventKind::kNodeUp;
+  if (name == "link-down") return sim::FaultEventKind::kLinkDown;
+  if (name == "link-up") return sim::FaultEventKind::kLinkUp;
+  if (name == "rate-factor") return sim::FaultEventKind::kRateFactor;
+  throw PreconditionError(util::str_cat(
+      "unknown fault event '", name,
+      "' (valid: node-down, node-up, link-down, link-up, rate-factor)"));
+}
+
 }  // namespace
 
 std::string knob_type_name(KnobType type) {
@@ -128,6 +150,35 @@ util::json::Value ScenarioSpec::to_json() const {
     }
   }
   out.set("knobs", std::move(knob_object));
+  // Emitted only when scripted so fault-free specs round-trip
+  // byte-for-byte with pre-fault baselines.
+  if (!faults.empty()) {
+    Value script = Value::array();
+    for (const sim::FaultEvent& event : faults) {
+      Value entry = Value::object();
+      entry.set("round", static_cast<double>(event.round));
+      entry.set("event", std::string(fault_event_name(event.kind)));
+      switch (event.kind) {
+        case sim::FaultEventKind::kNodeDown:
+        case sim::FaultEventKind::kNodeUp:
+          entry.set("node", static_cast<double>(event.node));
+          break;
+        case sim::FaultEventKind::kLinkDown:
+        case sim::FaultEventKind::kLinkUp: {
+          Value edge = Value::array();
+          edge.push_back(Value(static_cast<double>(event.a)));
+          edge.push_back(Value(static_cast<double>(event.b)));
+          entry.set("edge", std::move(edge));
+          break;
+        }
+        case sim::FaultEventKind::kRateFactor:
+          entry.set("factor", event.factor);
+          break;
+      }
+      script.push_back(std::move(entry));
+    }
+    out.set("faults", std::move(script));
+  }
   return out;
 }
 
@@ -163,6 +214,33 @@ ScenarioSpec ScenarioSpec::from_json(const util::json::Value& value) {
           spec.knobs.emplace(name, number);
         }
       }
+    }
+  }
+  if (value.contains("faults")) {
+    for (const util::json::Value& entry : value.at("faults").items()) {
+      sim::FaultEvent event;
+      event.round = static_cast<std::uint64_t>(entry.at("round").as_number());
+      event.kind = parse_fault_event(entry.at("event").as_string());
+      switch (event.kind) {
+        case sim::FaultEventKind::kNodeDown:
+        case sim::FaultEventKind::kNodeUp:
+          event.node =
+              static_cast<core::NodeId>(entry.at("node").as_number());
+          break;
+        case sim::FaultEventKind::kLinkDown:
+        case sim::FaultEventKind::kLinkUp: {
+          const util::json::Value& edge = entry.at("edge");
+          require(edge.is_array() && edge.size() == 2,
+                  "fault event: 'edge' must be a [a, b] pair");
+          event.a = static_cast<core::NodeId>(edge.at(0).as_number());
+          event.b = static_cast<core::NodeId>(edge.at(1).as_number());
+          break;
+        }
+        case sim::FaultEventKind::kRateFactor:
+          event.factor = entry.at("factor").as_number();
+          break;
+      }
+      spec.faults.push_back(event);
     }
   }
   return spec;

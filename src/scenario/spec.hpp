@@ -20,6 +20,7 @@
 #include "core/workload.hpp"
 #include "graph/graph.hpp"
 #include "graph/topology.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/json.hpp"
 
 namespace poq::scenario {
@@ -66,6 +67,12 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   /// Protocol-specific overlay, validated against the protocol's KnobSpecs.
   std::map<std::string, KnobValue> knobs;
+  /// Scripted fault events (the `faults` JSON array), applied by the
+  /// protocol's fault phase at their stamped rounds. Part of the frame
+  /// rather than the knob overlay because events are structured (round,
+  /// kind, entity) and shared verbatim by every simulator protocol.
+  /// Stochastic fault processes are ordinary knobs (fault-node-mtbf, ...).
+  std::vector<sim::FaultEvent> faults;
 
   [[nodiscard]] bool has_knob(const std::string& name) const {
     return knobs.count(name) != 0;

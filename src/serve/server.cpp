@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -41,6 +42,11 @@ struct Job {
   std::uint32_t seeds_per_cell = 1;
   JobState state = JobState::kQueued;
   util::CancelToken cancel;
+  /// Wall-clock deadline, armed when a worker dequeues the job (only when
+  /// ServerOptions::job_timeout > 0). The reaper cancels the job past it.
+  bool has_deadline = false;
+  bool timed_out = false;
+  std::chrono::steady_clock::time_point deadline;
   std::vector<std::string> events;
   Value result;  // null until done (or cancelled with partial cells)
   std::string error;
@@ -67,6 +73,7 @@ struct Server::Impl {
   std::vector<int> conn_fds;
 
   std::thread listener;
+  std::thread reaper;
   std::vector<std::thread> workers;
   std::vector<std::thread> connections;
 
@@ -163,9 +170,38 @@ struct Server::Impl {
       finish_job(job, report.cancelled ? JobState::kCancelled : JobState::kDone,
                  std::move(result), "");
     } catch (const util::OperationCancelled&) {
-      finish_job(job, JobState::kCancelled, Value(), "");
+      // Same unwind for a client cancel and a deadline kill; the reaper's
+      // timed_out mark (written under mu) tells them apart.
+      bool timed_out = false;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        timed_out = job.timed_out;
+      }
+      if (timed_out) {
+        finish_job(job, JobState::kFailed, Value(), "timeout");
+      } else {
+        finish_job(job, JobState::kCancelled, Value(), "");
+      }
     } catch (const std::exception& error) {
       finish_job(job, JobState::kFailed, Value(), error.what());
+    }
+  }
+
+  /// Deadline reaper: wakes every 100 ms (or on any state change) and
+  /// cancels running jobs past their deadline. Cancellation latency is
+  /// therefore bounded by one poll interval plus one core round/slice.
+  void reaper_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stopping.load()) {
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& [id, job] : jobs) {
+        if (job->state == JobState::kRunning && job->has_deadline &&
+            !job->timed_out && now >= job->deadline) {
+          job->timed_out = true;
+          job->cancel.request();
+        }
+      }
+      cv.wait_for(lock, std::chrono::milliseconds(100));
     }
   }
 
@@ -182,6 +218,14 @@ struct Server::Impl {
         // Dequeue and state change are one atomic step: a job is never
         // "queued" without being in the queue (cancel relies on that).
         job->state = JobState::kRunning;
+        if (options.job_timeout > 0.0) {
+          job->has_deadline = true;
+          job->deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(
+                                  options.job_timeout));
+        }
         append_event_locked(*job, event_frame("job_started", id));
       }
       run_job(*job);
@@ -537,6 +581,9 @@ void Server::start() {
     impl.workers.emplace_back([&impl] { impl.worker_loop(); });
   }
   impl.listener = std::thread([&impl] { impl.listen_loop(); });
+  if (impl.options.job_timeout > 0.0) {
+    impl.reaper = std::thread([&impl] { impl.reaper_loop(); });
+  }
   impl.started = true;
 }
 
@@ -559,6 +606,7 @@ void Server::stop() {
     impl.cv.notify_all();
   }
   if (impl.listener.joinable()) impl.listener.join();
+  if (impl.reaper.joinable()) impl.reaper.join();
   {
     // Unblock connection threads stuck in recv()/send().
     const std::lock_guard<std::mutex> lock(impl.mu);

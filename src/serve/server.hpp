@@ -44,6 +44,11 @@ struct ServerOptions {
   unsigned sweep_threads = 1;
   /// SweepOptions::intra_run_threads for sweep jobs.
   unsigned intra_run_threads = 1;
+  /// Per-job wall-clock budget in seconds (0 = no deadline). A job still
+  /// running this long after it was dequeued is cancelled through its
+  /// CancelToken and fails with error "timeout" — distinguishing the
+  /// deadline from a client cancel, which stays a clean job_cancelled.
+  double job_timeout = 0.0;
 };
 
 class Server {

@@ -21,22 +21,26 @@ EventId Engine::after(SimTime delay, std::function<void()> action) {
 
 void Engine::every(SimTime period, std::function<bool()> action) {
   require(period > 0.0, "Engine::every: period must be positive");
-  // Self-rescheduling closure; shared_ptr breaks the lambda/self cycle.
+  // Self-rescheduling closure, owned by `recurring_` (see engine.hpp).
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, period, action = std::move(action), step]() {
-    if (action()) after(period, *step);
+  std::function<void()>* raw = step.get();
+  recurring_.push_back(std::move(step));
+  *raw = [this, period, action = std::move(action), raw]() {
+    if (action()) after(period, *raw);
   };
-  after(period, *step);
+  after(period, *raw);
 }
 
 void Engine::poisson_process(double rate, std::function<bool()> action) {
   require(rate > 0.0, "Engine::poisson_process: rate must be positive");
   auto stream = std::make_shared<util::Rng>(rng_.fork(0xB0550000 + poisson_streams_++));
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, rate, stream, action = std::move(action), step]() {
-    if (action()) after(stream->exponential(rate), *step);
+  std::function<void()>* raw = step.get();
+  recurring_.push_back(std::move(step));
+  *raw = [this, rate, stream, action = std::move(action), raw]() {
+    if (action()) after(stream->exponential(rate), *raw);
   };
-  after(stream->exponential(rate), *step);
+  after(stream->exponential(rate), *raw);
 }
 
 std::uint64_t Engine::run(SimTime until, std::uint64_t max_events) {

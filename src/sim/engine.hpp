@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
@@ -54,6 +56,11 @@ class Engine {
   EventQueue queue_;
   util::Rng rng_;
   std::uint64_t poisson_streams_ = 0;
+  /// Canonical closures of the recurring processes (every/poisson). The
+  /// engine owns them; the closures reschedule through a raw pointer into
+  /// this storage. A closure that captured its own shared_ptr would be a
+  /// reference cycle and leak one closure per recurring process.
+  std::vector<std::shared_ptr<std::function<void()>>> recurring_;
 };
 
 }  // namespace poq::sim

@@ -104,6 +104,12 @@ void NetworkState::generate_chunk(std::size_t begin, std::size_t end) {
 std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
                                      util::Rng* sequential_rng) {
   const PhaseStopwatch stopwatch(timers_.generate_ns);
+  // Fault phase: the plan's per-round rate factor scales the rate before
+  // the whole/fraction split, and unavailable edges are masked out of the
+  // merge below.
+  const bool faulty = fault_plan_ != nullptr;
+  if (faulty) rate *= fault_plan_->rate_factor();
+  const bool masked = faulty && fault_plan_->any_edge_down();
   const double whole = std::floor(rate);
   const double frac = rate - whole;
   const auto whole_amount = static_cast<std::uint32_t>(whole);
@@ -111,11 +117,13 @@ std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
     require(sequential_rng != nullptr,
             "NetworkState::generate: sequential mode needs an RNG stream");
     std::uint64_t generated = 0;
-    for (const graph::Edge& edge : graph_.edges()) {
+    const auto& edges = graph_.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (masked && !fault_plan_->edge_up(e)) continue;
       std::uint32_t amount = whole_amount;
       if (frac > 0.0 && sequential_rng->bernoulli(frac)) ++amount;
       if (amount == 0) continue;
-      ledger_.add(edge.a(), edge.b(), amount);
+      ledger_.add(edges[e].a(), edges[e].b(), amount);
       generated += amount;
     }
     return generated;
@@ -125,22 +133,54 @@ std::uint64_t NetworkState::generate(std::uint32_t round, double rate,
   // ledger internals single-threaded here; the batch hoists the global
   // bookkeeping without changing any observable state).
   const std::span<const graph::Edge> edges(graph_.edges());
-  if (frac <= 0.0) {
+  if (frac > 0.0) {
+    // Fractional rate: each edge's rounding flag comes from its own stream
+    // keyed (seed, tag, round, edge), batch-derived over dynamically
+    // scheduled chunks into disjoint slices of generation_flags_. Masked
+    // edges still get their flag derived (so masking never shifts another
+    // edge's stream); only their merged amount is zeroed.
+    gen_round_ = round;
+    gen_frac_ = frac;
+    pool_->run_chunks(edges.size(), generate_grain_, &timers_.generate_load,
+                      [this](std::size_t begin, std::size_t end, unsigned) {
+                        generate_chunk(begin, end);
+                      });
+    if (!masked) return ledger_.add_edges(edges, whole_amount, generation_flags_);
+  } else {
     // Integral rate: every edge adds the same amount — no draws at all,
     // straight to the merge (the hot regime of the megascale cells).
     if (whole_amount == 0) return 0;
-    return ledger_.add_edges(edges, whole_amount);
+    if (!masked) return ledger_.add_edges(edges, whole_amount);
   }
-  // Fractional rate: each edge's rounding flag comes from its own stream
-  // keyed (seed, tag, round, edge), batch-derived over dynamically
-  // scheduled chunks into disjoint slices of generation_flags_.
-  gen_round_ = round;
-  gen_frac_ = frac;
-  pool_->run_chunks(edges.size(), generate_grain_, &timers_.generate_load,
-                    [this](std::size_t begin, std::size_t end, unsigned) {
-                      generate_chunk(begin, end);
-                    });
-  return ledger_.add_edges(edges, whole_amount, generation_flags_);
+  // Masked merge: per-edge amounts with zeros for unavailable edges.
+  generation_amounts_.resize(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    std::uint32_t amount = whole_amount;
+    if (frac > 0.0) amount += generation_flags_[e];
+    generation_amounts_[e] = fault_plan_->edge_up(e) ? amount : 0;
+  }
+  return ledger_.add_edges(edges, generation_amounts_);
+}
+
+std::uint64_t NetworkState::purge_node(core::NodeId x) {
+  // Copy the partner row first: remove() mutates it. Each remove goes
+  // through the ledger's normal path, so histogram, totals and dirty-set
+  // reader marks stay exact.
+  const std::span<const core::NodeId> row = ledger_.partners(x);
+  purge_partners_.assign(row.begin(), row.end());
+  std::uint64_t purged = 0;
+  for (const core::NodeId y : purge_partners_) {
+    const std::uint32_t count = ledger_.count(x, y);
+    if (count == 0) continue;
+    if (pair_store_) {
+      if (std::vector<TrackedPair>* bucket = pair_store_->find(x, y)) {
+        bucket->clear();
+      }
+    }
+    ledger_.remove(x, y, count);
+    purged += count;
+  }
+  return purged;
 }
 
 void NetworkState::decide_chunk(std::size_t begin, std::size_t end,

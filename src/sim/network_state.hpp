@@ -44,6 +44,7 @@
 #include "core/ledger.hpp"
 #include "core/maxmin_balancer.hpp"
 #include "graph/graph.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/pair_store.hpp"
 #include "sim/parallel_engine.hpp"
 #include "util/rng.hpp"
@@ -100,6 +101,24 @@ class NetworkState {
   /// bit. Returns the number of pairs generated.
   std::uint64_t generate(std::uint32_t round, double rate,
                          util::Rng* sequential_rng);
+
+  // --- fault phase ------------------------------------------------------
+  /// Attach the driver's fault plan (may be null to detach). While a plan
+  /// is attached, generate() scales the rate by the plan's current rate
+  /// factor and masks unavailable edges out of the sweep. Masking never
+  /// shifts another edge's keyed stream: the sharded path still derives
+  /// the per-(round, edge) rounding flag for every edge and only zeroes
+  /// the merged amount, so the same plan trajectory yields bit-identical
+  /// results at every threads/shards setting. (The sequential path skips
+  /// masked edges without drawing — its single-stream discipline has no
+  /// cross-setting contract to preserve.)
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] const FaultPlan* fault_plan() const { return fault_plan_; }
+  /// Crash purge: remove every stored pair the node shares — ledger
+  /// counts via the sparse partner row (which marks readers per the
+  /// dirty-set discipline) and, when pairs are tracked, the decay
+  /// metadata buckets. Serial phase; returns the pairs purged.
+  std::uint64_t purge_node(core::NodeId x);
 
   // --- swap decide kernel ---------------------------------------------
   /// Per-node swap choice against the frozen (post-generation) state.
@@ -236,6 +255,13 @@ class NetworkState {
   // filled chunk-parallel by bernoulli_batch and merged through
   // add_edges (integral rates never touch it).
   std::vector<std::uint8_t> generation_flags_;
+  // Per-edge merge amounts for the fault-masked generation path (sized on
+  // first faulty generate; fault-free runs never touch it).
+  std::vector<std::uint32_t> generation_amounts_;
+  const FaultPlan* fault_plan_ = nullptr;
+  // Scratch for purge_node's partner-row walk (the row mutates under the
+  // removes).
+  std::vector<core::NodeId> purge_partners_;
   std::vector<std::optional<core::SwapCandidate>> candidates_;  // per node
   // Per-node commit outcome slots (filled by concurrent groups, read by
   // the canonical walk; a node belongs to exactly one conflict group).

@@ -73,6 +73,13 @@ inline constexpr std::uint64_t kArrival = 0x61727276ULL;   // "arrv"
 // pool itself is never materialized.
 inline constexpr std::uint64_t kConsumerArrival = 0x63617272ULL;  // "carr"
 inline constexpr std::uint64_t kConsumerPair = 0x63706169ULL;     // "cpai"
+// Fault-injection phase (sim::FaultPlan): per-(round, node) crash/recover
+// transitions, per-(round, edge) link down/up transitions, and the
+// per-round generation-rate degradation draw. Serial phase — the keying
+// only guarantees the streams stay decorrelated from every kernel above.
+inline constexpr std::uint64_t kFaultNode = 0x666C746EULL;  // "fltn"
+inline constexpr std::uint64_t kFaultLink = 0x666C746CULL;  // "fltl"
+inline constexpr std::uint64_t kFaultRate = 0x666C7472ULL;  // "fltr"
 }  // namespace stream_tag
 
 /// The intra-run concurrency knobs every ported simulator carries.

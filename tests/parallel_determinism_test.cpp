@@ -14,6 +14,7 @@
 
 #include "core/balancing_sim.hpp"
 #include "scenario/protocol.hpp"
+#include "sim/fault_plan.hpp"
 #include "scenario/sweep.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -259,6 +260,75 @@ TEST(ParallelDeterminism, StreamingArrivalsStayDeterministic) {
       EXPECT_EQ(run_dump(spec), reference)
           << "threads=" << threads << " shards=" << shards;
     }
+  }
+}
+
+TEST(ParallelDeterminism, FaultChurnStaysDeterministic) {
+  // Node + link churn plus rate degradation on the three protocols whose
+  // fault phases stress different machinery (ledger purges + generation
+  // masks, gossip's message substrate, the fidelity event engine): the
+  // fault trajectory comes from its own keyed streams, so the full
+  // resilience metric set — crashes, purges, availability, recovery
+  // timings in simulated time — must be bit-identical across the
+  // acceptance grid threads {1,2,8} x shards {1,3,16}.
+  for (const std::string protocol : {"balancing", "gossip", "fidelity"}) {
+    ScenarioSpec spec = base_spec(protocol, 16);
+    spec.consumer_pairs = 10;
+    spec.requests = 30;
+    if (protocol == "fidelity") spec.knobs["duration"] = 40.0;
+    spec.knobs["fault-node-mtbf"] = 50.0;
+    spec.knobs["fault-node-mttr"] = 6.0;
+    spec.knobs["fault-link-mtbf"] = 30.0;
+    spec.knobs["fault-link-mttr"] = 4.0;
+    spec.knobs["fault-rate-degradation"] = 0.3;
+    // A scripted crash on top of the stochastic churn exercises the
+    // script cursor alongside the keyed transitions.
+    spec.faults.push_back({3, sim::FaultEventKind::kNodeDown, 2, 0, 0, 1.0});
+    spec.faults.push_back({9, sim::FaultEventKind::kNodeUp, 2, 0, 0, 1.0});
+    std::string reference;
+    for (const std::int64_t threads : {1, 2, 8}) {
+      for (const std::int64_t shards : {1, 3, 16}) {
+        spec.knobs["threads"] = threads;
+        spec.knobs["shards"] = shards;
+        const std::string dump = run_dump(spec);
+        if (reference.empty()) {
+          reference = dump;
+          EXPECT_NE(dump.find("node_crashes"), std::string::npos)
+              << protocol << ": resilience metrics missing under faults";
+          EXPECT_NE(dump.find("availability"), std::string::npos);
+        } else {
+          EXPECT_EQ(dump, reference) << protocol << " drifted at threads="
+                                     << threads << " shards=" << shards;
+        }
+      }
+    }
+    const RunMetrics metrics = registry().run(protocol, spec);
+    EXPECT_GT(metrics.scalar("node_crashes"), 0.0) << protocol;
+    EXPECT_LT(metrics.scalar("availability"), 1.0) << protocol;
+  }
+}
+
+TEST(ParallelDeterminism, FaultFreeRunsKeepHistoricalMetrics) {
+  // All-default fault knobs must leave every protocol on its historical
+  // path: same numbers, and no resilience metrics in the dump (committed
+  // baselines depend on the metric set not growing).
+  for (const std::string& protocol : kPortedProtocols) {
+    ScenarioSpec spec = base_spec(protocol, 16);
+    spec.consumer_pairs = 10;
+    spec.requests = 20;
+    if (protocol == "fidelity" || protocol == "distributed" ||
+        protocol == "async_routing") {
+      spec.knobs["duration"] = 30.0;
+    }
+    const std::string reference = run_dump(spec);
+    EXPECT_EQ(reference.find("node_crashes"), std::string::npos) << protocol;
+    EXPECT_EQ(reference.find("pairs_purged_by_faults"), std::string::npos)
+        << protocol;
+    ScenarioSpec explicit_defaults = spec;
+    explicit_defaults.knobs["fault-node-mtbf"] = 0.0;
+    explicit_defaults.knobs["fault-link-mtbf"] = 0.0;
+    explicit_defaults.knobs["fault-rate-degradation"] = 0.0;
+    EXPECT_EQ(run_dump(explicit_defaults), reference) << protocol;
   }
 }
 

@@ -128,6 +128,50 @@ TEST(ScenarioSpec, JsonRoundTripPreservesEverything) {
   EXPECT_EQ(round.knobs, spec.knobs);
 }
 
+TEST(ScenarioSpec, FaultScriptRoundTripsAndStaysOptional) {
+  ScenarioSpec spec;
+  spec.faults.push_back({3, sim::FaultEventKind::kNodeDown, 5, 0, 0, 1.0});
+  spec.faults.push_back({7, sim::FaultEventKind::kNodeUp, 5, 0, 0, 1.0});
+  spec.faults.push_back({2, sim::FaultEventKind::kLinkDown, 0, 1, 2, 1.0});
+  spec.faults.push_back({9, sim::FaultEventKind::kLinkUp, 0, 1, 2, 1.0});
+  spec.faults.push_back({4, sim::FaultEventKind::kRateFactor, 0, 0, 0, 0.5});
+  const ScenarioSpec round = ScenarioSpec::from_json(
+      util::json::Value::parse(spec.to_json().dump(2)));
+  ASSERT_EQ(round.faults.size(), spec.faults.size());
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    EXPECT_EQ(round.faults[i].round, spec.faults[i].round) << i;
+    EXPECT_EQ(round.faults[i].kind, spec.faults[i].kind) << i;
+    EXPECT_EQ(round.faults[i].node, spec.faults[i].node) << i;
+    EXPECT_EQ(round.faults[i].a, spec.faults[i].a) << i;
+    EXPECT_EQ(round.faults[i].b, spec.faults[i].b) << i;
+    EXPECT_DOUBLE_EQ(round.faults[i].factor, spec.faults[i].factor) << i;
+  }
+  // Fault-free specs must serialize without the key (committed baseline
+  // JSON cannot grow), and pre-fault JSON must still parse.
+  ScenarioSpec plain;
+  EXPECT_EQ(plain.to_json().dump().find("faults"), std::string::npos);
+  const ScenarioSpec legacy = ScenarioSpec::from_json(
+      util::json::Value::parse(plain.to_json().dump()));
+  EXPECT_TRUE(legacy.faults.empty());
+  // Unknown event names fail with the valid vocabulary in the message.
+  util::json::Value bad = spec.to_json();
+  EXPECT_NE(bad.dump().find("node-down"), std::string::npos);
+  const std::string text = bad.dump();
+  const util::json::Value mangled = util::json::Value::parse(
+      std::string(text).replace(text.find("node-down"), 9, "node-boom"));
+  EXPECT_THROW((void)ScenarioSpec::from_json(mangled), PreconditionError);
+}
+
+TEST(ScenarioSpec, LpRejectsScriptedFaults) {
+  ScenarioSpec spec;
+  spec.protocol = "lp";
+  spec.nodes = 9;
+  spec.faults.push_back({1, sim::FaultEventKind::kNodeDown, 0, 0, 0, 1.0});
+  EXPECT_NE(message_of([&] { (void)registry().run("lp", spec); })
+                .find("scripted fault events are not supported"),
+            std::string::npos);
+}
+
 TEST(ScenarioSpec, TopologyParamsRoundTripAndStayOptional) {
   ScenarioSpec spec;
   spec.topology = "watts-strogatz";

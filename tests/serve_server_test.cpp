@@ -391,6 +391,79 @@ TEST(ServeServer, ShutdownOpUnblocksWaitAndRefusesNewSubmits) {
   EXPECT_NE(::access(socket.c_str(), F_OK), 0);
 }
 
+TEST(ServeServer, JobTimeoutFailsWithTimeoutError) {
+  // A job past its wall-clock budget is cancelled by the reaper and
+  // fails with error "timeout" — not job_cancelled, which is reserved
+  // for client cancels.
+  const std::string socket = unique_socket_path();
+  ServerOptions options = options_with(socket, 1, 4);
+  options.job_timeout = 0.3;
+  ServerFixture fixture(options);
+  Client client(socket);
+  client.connect();
+
+  const Value reply =
+      client.request(submit_run_request(blocker_spec(), /*watch=*/true));
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  const Value terminal = client.read_events();
+  EXPECT_EQ(terminal.at("event").as_string(), "job_failed") << terminal.dump();
+  ASSERT_TRUE(terminal.contains("error")) << terminal.dump();
+  EXPECT_EQ(terminal.at("error").as_string(), "timeout");
+}
+
+TEST(ServeServer, QuickJobsFinishInsideGenerousTimeout) {
+  // The deadline must not perturb jobs that finish in time: same result,
+  // same terminal event as an undeadlined server.
+  const std::string socket = unique_socket_path();
+  ServerOptions options = options_with(socket, 1, 4);
+  options.job_timeout = 60.0;
+  ServerFixture fixture(options);
+  Client client(socket);
+  client.connect();
+
+  const scenario::ScenarioSpec spec = quick_spec(16, 21);
+  const Value reply = client.request(submit_run_request(spec, /*watch=*/true));
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  const Value terminal = client.read_events();
+  ASSERT_EQ(terminal.at("event").as_string(), "job_done") << terminal.dump();
+  const scenario::RunMetrics served = scenario::RunMetrics::from_json(
+      terminal.at("result").at("metrics"));
+  const scenario::RunMetrics direct =
+      scenario::registry().run(spec.protocol, spec);
+  EXPECT_EQ(served.to_json(/*include_timings=*/false).dump(),
+            direct.to_json(/*include_timings=*/false).dump());
+}
+
+TEST(ServeServer, ClientCancelUnderDeadlineStaysJobCancelled) {
+  // Cancel before the (generous) deadline: the unwind must report a clean
+  // job_cancelled, proving the timed_out mark really distinguishes the
+  // two paths.
+  const std::string socket = unique_socket_path();
+  ServerOptions options = options_with(socket, 1, 4);
+  options.job_timeout = 60.0;
+  ServerFixture fixture(options);
+  Client client(socket);
+  client.connect();
+
+  const Value reply =
+      client.request(submit_run_request(blocker_spec(), /*watch=*/false));
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  const std::uint64_t job =
+      static_cast<std::uint64_t>(reply.at("job").as_number());
+
+  Client canceller(socket);
+  canceller.connect();
+  // Give the worker a moment to dequeue, then cancel and watch to the end.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const Value cancel_reply = canceller.request(job_request("cancel", job));
+  ASSERT_TRUE(cancel_reply.at("ok").as_bool()) << cancel_reply.dump();
+  const Value watch_reply = client.request(job_request("watch", job));
+  ASSERT_TRUE(watch_reply.at("ok").as_bool()) << watch_reply.dump();
+  const Value terminal = client.read_events();
+  EXPECT_EQ(terminal.at("event").as_string(), "job_cancelled")
+      << terminal.dump();
+}
+
 TEST(ServeServer, StartRejectsOverlongSocketPaths) {
   ServerOptions options;
   options.socket_path = "/tmp/" + std::string(200, 'x') + ".sock";

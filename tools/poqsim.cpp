@@ -17,11 +17,15 @@
 // Common options: --topology cycle|random-grid|full-grid|erdos-renyi|
 // watts-strogatz|barabasi-albert, --nodes N, --seed S, --pairs P,
 // --requests R. Run `poqsim <protocol> --help` for the knob list.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "scenario/protocol.hpp"
@@ -591,6 +595,7 @@ int cmd_serve(const util::ArgParser& args) {
     std::cout <<
         "usage: poqsim serve [--socket PATH] [--workers N] [--queue-depth D]\n"
         "                    [--sweep-threads T] [--intra-threads K]\n"
+        "                    [--job-timeout SECS]\n"
         "Long-running simulation server: accepts jobs over a local AF_UNIX\n"
         "socket speaking newline-delimited JSON (see `poqsim client`), with a\n"
         "bounded job queue, cooperative cancellation and live per-task\n"
@@ -602,7 +607,10 @@ int cmd_serve(const util::ArgParser& args) {
         "  --sweep-threads T  sweep pool threads per sweep job (default 1;\n"
         "                     0 = hardware)\n"
         "  --intra-threads K  intra-run threads per sweep cell (default 1;\n"
-        "                     0 = hardware)\n";
+        "                     0 = hardware)\n"
+        "  --job-timeout SECS per-job wall-clock budget; a job running past\n"
+        "                     it is cancelled and fails with error \"timeout\"\n"
+        "                     (default 0 = no deadline)\n";
     return 0;
   }
   serve::ServerOptions options;
@@ -627,6 +635,11 @@ int cmd_serve(const util::ArgParser& args) {
     throw PreconditionError("--intra-threads must be in [0, 4096]");
   }
   options.intra_run_threads = static_cast<unsigned>(intra);
+  const double job_timeout = args.get_double("job-timeout", 0.0);
+  if (job_timeout < 0.0 || job_timeout > 1.0e6) {
+    throw PreconditionError("--job-timeout must be in [0, 1e6] seconds");
+  }
+  options.job_timeout = job_timeout;
   check_unused(args);
   serve::Server server(options);
   server.start();
@@ -685,6 +698,11 @@ int cmd_client(const util::ArgParser& args) {
         "  shutdown  stop the daemon\n"
         "  list      protocol/knob registry as JSON\n"
         "common: --socket PATH (default " << kDefaultSocket << ")\n"
+        "        --retries N          retry transient failures (connect\n"
+        "                             refused, queue_full) up to N times\n"
+        "                             (default 0 = fail immediately)\n"
+        "        --retry-base-ms MS   first retry delay; doubles per attempt,\n"
+        "                             capped at 2000 ms (default 50)\n"
         "exit code: 0 on ok replies (and job_done/job_cancelled watches),\n"
         "1 on error replies, 2 when a watched job fails\n";
     return args.has("help") ? 0 : 1;
@@ -738,6 +756,14 @@ int cmd_client(const util::ArgParser& args) {
                             "' (see `poqsim client --help`)");
   }
   const std::string socket = args.get_string("socket", kDefaultSocket);
+  const std::int64_t retries = args.get_int("retries", 0);
+  if (retries < 0 || retries > 1000) {
+    throw PreconditionError("--retries must be in [0, 1000]");
+  }
+  const std::int64_t retry_base_ms = args.get_int("retry-base-ms", 50);
+  if (retry_base_ms < 1 || retry_base_ms > 60000) {
+    throw PreconditionError("--retry-base-ms must be in [1, 60000]");
+  }
   {
     const auto unused = args.unused();
     if (!unused.empty()) {
@@ -745,9 +771,40 @@ int cmd_client(const util::ArgParser& args) {
     }
   }
 
-  serve::Client client(socket);
-  client.connect();
-  const Value reply = client.request(request);
+  // Transient failures — the daemon's socket not up yet, or a full job
+  // queue — are retried with capped exponential backoff; every other
+  // failure (and the final exhausted attempt) behaves exactly as with
+  // --retries 0, so exit codes are unchanged.
+  const auto backoff = [&](std::int64_t attempt) {
+    const std::int64_t cap = 2000;
+    std::int64_t delay = retry_base_ms;
+    for (std::int64_t i = 0; i < attempt && delay < cap; ++i) delay *= 2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(std::min(delay, cap)));
+  };
+  std::unique_ptr<serve::Client> client;
+  Value reply;
+  for (std::int64_t attempt = 0;; ++attempt) {
+    try {
+      // A fresh Client per attempt: the frame reader must not carry bytes
+      // of a half-dead connection into the next one.
+      client = std::make_unique<serve::Client>(socket);
+      client->connect();
+      reply = client->request(request);
+    } catch (const std::exception&) {
+      if (attempt >= retries) throw;
+      backoff(attempt);
+      continue;
+    }
+    const bool transient = reply.is_object() && reply.contains("code") &&
+                           reply.at("code").is_string() &&
+                           reply.at("code").as_string() == "queue_full";
+    if (transient && attempt < retries) {
+      client->close();
+      backoff(attempt);
+      continue;
+    }
+    break;
+  }
   std::cout << reply.dump() << '\n';
   if (!(reply.is_object() && reply.contains("ok") && reply.at("ok").is_bool() &&
         reply.at("ok").as_bool())) {
@@ -756,7 +813,7 @@ int cmd_client(const util::ArgParser& args) {
   const bool streaming =
       action == "watch" || ((action == "submit" || action == "sweep") && watch);
   if (!streaming) return 0;
-  const Value terminal = client.read_events(
+  const Value terminal = client->read_events(
       [](const Value& event) { std::cout << event.dump() << '\n'; });
   return terminal.at("event").as_string() == "job_failed" ? 2 : 0;
 }

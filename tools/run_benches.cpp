@@ -660,6 +660,94 @@ SuiteRun suite_megascale(const Options& options) {
   return run;
 }
 
+SuiteRun suite_faults(const Options& options) {
+  // Fault-injection gate: path-oblivious balancing vs the planned-path
+  // baseline under *identical* churn (same topology, workload, seed and
+  // fault streams), three regimes, each a balancing/planned cell pair:
+  //   * scripted_arc_outage — a cycle with one edge scripted down for the
+  //     middle 80% of the budget. Planned routes shortest arcs on the
+  //     static graph, so connections crossing the dead edge clog its
+  //     window until link-up; balancing is path-oblivious and keeps
+  //     consuming chains the long way around. This is the headline cell:
+  //     the committed baseline pins balancing's delivered_under_fault
+  //     well above planned's.
+  //   * link_churn — stochastic link flapping (no crashes, nothing
+  //     purged): both protocols degrade roughly with availability.
+  //   * full_churn — mild node + link churn plus rate degradation;
+  //     crashes purge stored pairs, exercising every fault code path.
+  // Keyed fault streams make every cell bit-reproducible, so the gate
+  // runs at rel-tol 1e-9 like the other determinism-grade suites; the
+  // backlog never drains, making satisfied/delivered throughput within
+  // the fixed budget the comparable quantity.
+  const std::int64_t budget = options.quick ? 3000 : 6000;
+  struct Regime {
+    const char* label;
+    const char* topology;
+    bool scripted;
+    double link_mtbf, link_mttr, node_mtbf, node_mttr, degradation;
+  };
+  const std::vector<Regime> regimes = {
+      {"scripted_arc_outage", "cycle", true, 0.0, 10.0, 0.0, 10.0, 0.0},
+      {"link_churn", "random-grid", false, 60.0, 30.0, 0.0, 10.0, 0.0},
+      {"full_churn", "random-grid", false, 150.0, 5.0, 200.0, 6.0, 0.1},
+  };
+  std::vector<scenario::ScenarioSpec> grid;
+  for (const Regime& regime : regimes) {
+    for (const char* protocol : {"balancing", "planned"}) {
+      scenario::ScenarioSpec spec;
+      spec.protocol = protocol;
+      spec.topology = regime.topology;
+      spec.nodes = 25;
+      spec.consumer_pairs = 20;
+      spec.requests = 100000;  // backlog never drains within the budget
+      spec.seed = 4200;
+      spec.knobs["max-rounds"] = budget;
+      if (std::string(protocol) == "planned") {
+        spec.knobs["window"] = std::int64_t{4};
+        spec.knobs["mode"] = std::string("oriented");
+      }
+      if (regime.scripted) {
+        spec.faults.push_back({static_cast<std::uint32_t>(budget / 10),
+                               sim::FaultEventKind::kLinkDown, 0, 0, 1, 1.0});
+        spec.faults.push_back({static_cast<std::uint32_t>(budget - budget / 10),
+                               sim::FaultEventKind::kLinkUp, 0, 0, 1, 1.0});
+      } else {
+        spec.knobs["fault-link-mtbf"] = regime.link_mtbf;
+        spec.knobs["fault-link-mttr"] = regime.link_mttr;
+        if (regime.node_mtbf > 0.0) {
+          spec.knobs["fault-node-mtbf"] = regime.node_mtbf;
+          spec.knobs["fault-node-mttr"] = regime.node_mttr;
+        }
+        if (regime.degradation > 0.0) {
+          spec.knobs["fault-rate-degradation"] = regime.degradation;
+        }
+      }
+      grid.push_back(std::move(spec));
+    }
+  }
+  SuiteRun run = run_grid("faults", std::move(grid), /*seeds=*/1, options);
+  // Surface the per-regime comparison and pin it as a gated scalar on the
+  // balancing cell: the margin must stay positive for the headline regime.
+  for (std::size_t i = 0; i + 1 < run.cells.size(); i += 2) {
+    scenario::CellAggregate& balancing = run.cells[i];
+    const scenario::CellAggregate& planned = run.cells[i + 1];
+    if (!balancing.has("delivered_under_fault") ||
+        !planned.has("delivered_under_fault")) {
+      continue;
+    }
+    const double ours = balancing.at("delivered_under_fault").mean();
+    const double theirs = planned.at("delivered_under_fault").mean();
+    util::RunningStats margin;
+    margin.add(ours - theirs);
+    balancing.scalars.emplace_back("delivered_margin_vs_planned", margin);
+    std::cout << "faults: " << regimes[i / 2].label
+              << ": balancing delivered " << util::format_double(ours, 0)
+              << " vs planned " << util::format_double(theirs, 0)
+              << " under identical churn\n";
+  }
+  return run;
+}
+
 using SuiteFn = SuiteRun (*)(const Options&);
 const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"fig4_overhead_vs_distillation", suite_fig4},
@@ -673,6 +761,7 @@ const std::vector<std::pair<std::string, SuiteFn>> kSuites = {
     {"async_routing", suite_async_routing},
     {"serve", suite_serve},
     {"megascale", suite_megascale},
+    {"faults", suite_faults},
 };
 
 // ---------------------------------------------------------------------------
